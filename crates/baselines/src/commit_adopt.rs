@@ -1,0 +1,462 @@
+//! Obstruction-free m-valued consensus from `2n` single-writer registers
+//! via commit–adopt rounds.
+//!
+//! This is the register baseline for Table 1's first row. The literature
+//! algorithms cited by the paper (\[3, 12\]) are randomized wait-free and use
+//! exactly `n` registers; we implement instead a *deterministic
+//! obstruction-free* protocol with a short, classical safety argument, at
+//! the cost of a factor-2 in space (two register arrays). The benches report
+//! both the literature formula (`n`) and our measured count (`2n`).
+//!
+//! # The protocol
+//!
+//! Shared: single-writer registers `A[0..n-1]` and `B[0..n-1]` (register `j`
+//! written only by process `j`), each holding `(round, value, proposed)`
+//! stamps, initially round 0 ("absent").
+//!
+//! Process `p` with preference `v` runs rounds `r = 1, 2, …`:
+//!
+//! 1. **Phase 1**: write `A[p] = (r, v)`; read all of `A`. If every entry
+//!    with round `r` carries the same value `w`, set `proposal = Some(w)`;
+//!    otherwise `None`.
+//! 2. **Phase 2**: write `B[p] = (r, proposal.unwrap_or(v), proposal.is_some())`;
+//!    read all of `B`. If every round-`r` entry has `proposed = true`,
+//!    **decide** its value. Otherwise, if any round-`r` entry has
+//!    `proposed = true`, adopt its value as the new preference. Enter round
+//!    `r+1`.
+//!
+//! If during any read a stamp with a round greater than `r` is observed, the
+//! process jumps to that round, adopting the observed value (preferring a
+//! `proposed` stamp).
+//!
+//! # Why it is safe
+//!
+//! *At most one value is proposed per round*: two proposers both write `A`
+//! before reading all of `A`; the later reader sees both entries, so
+//! unanimity forces equal values.
+//!
+//! *A commit at round `r` fixes all later preferences*: suppose `p` decides
+//! `w` at round `r`, so every round-`r` entry of `B` that existed when `p`
+//! read it was `(w, proposed)`. Any process that finishes round `r`
+//! afterwards wrote its `B` entry before reading `B`, hence reads `B[p] =
+//! (r, w, proposed)` and adopts `w` (and proposal uniqueness means no other
+//! value can be proposed at `r`). Jumpers into rounds `> r` can only adopt
+//! values carried by processes that exited round `r`, i.e. `w`. Therefore
+//! every preference from round `r+1` on equals `w`, and only `w` can ever be
+//! decided.
+//!
+//! *Obstruction-freedom*: a process running alone jumps to the maximum
+//! round, runs at most one contended round, and then a round in which only
+//! its own stamps exist — unanimity on both phases — and decides. The solo
+//! step bound is `3(2n + 2)`.
+
+use std::fmt;
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, SimValue, Transition};
+
+/// A register stamp: `(round, value, proposed)`. Round 0 means "absent"
+/// (the initial value).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Stamp {
+    /// The round this stamp belongs to (0 = initial/absent).
+    pub round: u64,
+    /// The value carried.
+    pub value: u64,
+    /// Whether the value was a phase-1 unanimous proposal (only meaningful
+    /// in `B` registers).
+    pub proposed: bool,
+}
+
+impl Stamp {
+    /// The initial "absent" stamp.
+    pub fn absent() -> Self {
+        Stamp {
+            round: 0,
+            value: 0,
+            proposed: false,
+        }
+    }
+}
+
+impl SimValue for Stamp {}
+
+/// Obstruction-free m-valued consensus from `2n` single-writer registers.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_baselines::CommitAdoptConsensus;
+/// use swapcons_sim::{Configuration, ProcessId, runner};
+///
+/// let p = CommitAdoptConsensus::new(3, 4);
+/// let mut c = Configuration::initial(&p, &[2, 3, 1]).unwrap();
+/// // Solo run: p1 decides its own input within the solo bound.
+/// let out = runner::solo_run(&p, &mut c, ProcessId(1), p.solo_step_bound()).unwrap();
+/// assert_eq!(out.decision, 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitAdoptConsensus {
+    n: usize,
+    m: u64,
+}
+
+impl CommitAdoptConsensus {
+    /// An instance for `n` processes with inputs from `{0, …, m-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `m == 0`.
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n > 0 && m > 0, "need n >= 1 processes and m >= 1 values");
+        CommitAdoptConsensus { n, m }
+    }
+
+    /// Number of registers: `2n` (arrays `A` and `B`).
+    pub fn space(&self) -> usize {
+        2 * self.n
+    }
+
+    /// Solo step bound: at most 3 rounds of `2n + 2` steps each.
+    pub fn solo_step_bound(&self) -> usize {
+        3 * (2 * self.n + 2)
+    }
+
+    fn a_reg(&self, j: usize) -> ObjectId {
+        ObjectId(j)
+    }
+
+    fn b_reg(&self, j: usize) -> ObjectId {
+        ObjectId(self.n + j)
+    }
+}
+
+/// Which read/write the process is poised to perform within its round.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CaPhase {
+    /// Write `A[me] = (round, pref)`.
+    WriteA,
+    /// Reading `A[j]`; `unanimous` holds the candidate proposal so far.
+    ReadA {
+        /// Next register index to read.
+        j: usize,
+        /// `Some(w)` while all round-`r` entries seen so far equal `w`.
+        unanimous: Option<u64>,
+    },
+    /// Write `B[me] = (round, value, proposed)`.
+    WriteB {
+        /// The phase-1 proposal, if unanimity held.
+        proposal: Option<u64>,
+    },
+    /// Reading `B[j]`.
+    ReadB {
+        /// Next register index to read.
+        j: usize,
+        /// The phase-1 proposal.
+        proposal: Option<u64>,
+        /// Whether every round-`r` entry seen so far is `proposed`.
+        all_proposed: bool,
+        /// A proposed value seen, if any (adoption candidate).
+        adopt: Option<u64>,
+    },
+}
+
+/// Local state of a commit–adopt process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct CaState {
+    /// This process.
+    pub pid: ProcessId,
+    /// Current preference.
+    pub pref: u64,
+    /// Current round (starts at 1).
+    pub round: u64,
+    /// Position within the round.
+    pub phase: CaPhase,
+}
+
+impl fmt::Display for CaState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@r{} pref={} {:?}",
+            self.pid, self.round, self.pref, self.phase
+        )
+    }
+}
+
+impl CaState {
+    /// Jump to a higher round observed in a stamp, adopting its value.
+    fn jump(mut self, stamp: &Stamp) -> Self {
+        debug_assert!(stamp.round > self.round);
+        self.round = stamp.round;
+        self.pref = stamp.value;
+        self.phase = CaPhase::WriteA;
+        self
+    }
+}
+
+impl Protocol for CommitAdoptConsensus {
+    type State = CaState;
+    type Value = Stamp;
+
+    fn name(&self) -> String {
+        format!(
+            "commit-adopt consensus: {} processes, {} registers",
+            self.n,
+            self.space()
+        )
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(self.n, 1, self.m)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        vec![ObjectSchema::register(); self.space()]
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> Stamp {
+        Stamp::absent()
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> CaState {
+        CaState {
+            pid,
+            pref: input,
+            round: 1,
+            phase: CaPhase::WriteA,
+        }
+    }
+
+    fn poised(&self, state: &CaState) -> (ObjectId, HistorylessOp<Stamp>) {
+        let me = state.pid.index();
+        match &state.phase {
+            CaPhase::WriteA => (
+                self.a_reg(me),
+                HistorylessOp::Write(Stamp {
+                    round: state.round,
+                    value: state.pref,
+                    proposed: false,
+                }),
+            ),
+            CaPhase::ReadA { j, .. } => (self.a_reg(*j), HistorylessOp::Read),
+            CaPhase::WriteB { proposal } => (
+                self.b_reg(me),
+                HistorylessOp::Write(Stamp {
+                    round: state.round,
+                    value: proposal.unwrap_or(state.pref),
+                    proposed: proposal.is_some(),
+                }),
+            ),
+            CaPhase::ReadB { j, .. } => (self.b_reg(*j), HistorylessOp::Read),
+        }
+    }
+
+    fn observe(&self, mut state: CaState, response: Response<Stamp>) -> Transition<CaState> {
+        match state.phase.clone() {
+            CaPhase::WriteA => {
+                state.phase = CaPhase::ReadA {
+                    j: 0,
+                    unanimous: Some(state.pref),
+                };
+                Transition::Continue(state)
+            }
+            CaPhase::ReadA { j, mut unanimous } => {
+                let stamp = response.expect_value("read returns a stamp");
+                if stamp.round > state.round {
+                    return Transition::Continue(state.jump(&stamp));
+                }
+                if stamp.round == state.round {
+                    if let Some(w) = unanimous {
+                        if stamp.value != w {
+                            unanimous = None;
+                        }
+                    }
+                }
+                if j + 1 < self.n {
+                    state.phase = CaPhase::ReadA {
+                        j: j + 1,
+                        unanimous,
+                    };
+                } else {
+                    state.phase = CaPhase::WriteB {
+                        proposal: unanimous,
+                    };
+                }
+                Transition::Continue(state)
+            }
+            CaPhase::WriteB { proposal } => {
+                state.phase = CaPhase::ReadB {
+                    j: 0,
+                    proposal,
+                    all_proposed: proposal.is_some(),
+                    adopt: proposal,
+                };
+                Transition::Continue(state)
+            }
+            CaPhase::ReadB {
+                j,
+                proposal,
+                mut all_proposed,
+                mut adopt,
+            } => {
+                let stamp = response.expect_value("read returns a stamp");
+                if stamp.round > state.round {
+                    return Transition::Continue(state.jump(&stamp));
+                }
+                if stamp.round == state.round {
+                    if stamp.proposed {
+                        // Proposal uniqueness: all proposed stamps of a round
+                        // carry the same value.
+                        adopt = Some(stamp.value);
+                    } else {
+                        all_proposed = false;
+                    }
+                }
+                if j + 1 < self.n {
+                    state.phase = CaPhase::ReadB {
+                        j: j + 1,
+                        proposal,
+                        all_proposed,
+                        adopt,
+                    };
+                    return Transition::Continue(state);
+                }
+                // Round complete.
+                if all_proposed {
+                    let w = proposal.expect("all_proposed implies own stamp was proposed");
+                    return Transition::Decide(w);
+                }
+                if let Some(w) = adopt {
+                    state.pref = w;
+                }
+                state.round += 1;
+                state.phase = CaPhase::WriteA;
+                Transition::Continue(state)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_sim::explore::ModelChecker;
+    use swapcons_sim::runner::{self, solo_run_cloned};
+    use swapcons_sim::scheduler::SeededRandom;
+    use swapcons_sim::Configuration;
+
+    #[test]
+    fn uses_2n_registers() {
+        let p = CommitAdoptConsensus::new(5, 2);
+        assert_eq!(p.space(), 10);
+        assert!(p.schemas().iter().all(|s| *s == ObjectSchema::register()));
+    }
+
+    #[test]
+    fn solo_decides_own_input_within_bound() {
+        for n in 1..=6 {
+            let p = CommitAdoptConsensus::new(n, 3);
+            let inputs: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
+            let config = Configuration::initial(&p, &inputs).unwrap();
+            for pid in 0..n {
+                let (out, _) =
+                    solo_run_cloned(&p, &config, ProcessId(pid), p.solo_step_bound()).unwrap();
+                assert_eq!(out.decision, inputs[pid]);
+                assert!(
+                    out.steps <= 2 * n + 2,
+                    "one solo round suffices from the start"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn solo_after_contention_still_decides() {
+        for seed in 0..20 {
+            let n = 4;
+            let p = CommitAdoptConsensus::new(n, 2);
+            let inputs = [0, 1, 0, 1];
+            let mut config = Configuration::initial(&p, &inputs).unwrap();
+            runner::run(&p, &mut config, &mut SeededRandom::new(seed), 60).unwrap();
+            for pid in config.running() {
+                let out = runner::solo_run(&p, &mut config, pid, p.solo_step_bound())
+                    .unwrap_or_else(|e| panic!("seed {seed} {pid}: {e}"));
+                assert!(out.steps <= p.solo_step_bound());
+            }
+            assert!(config.all_decided());
+            assert!(
+                p.task().check(&inputs, &config.decisions()).is_ok(),
+                "seed {seed}"
+            );
+            assert_eq!(config.decided_values().len(), 1, "agreement, seed {seed}");
+        }
+    }
+
+    #[test]
+    fn model_check_n2_bounded() {
+        let p = CommitAdoptConsensus::new(2, 2);
+        let report = ModelChecker::new(26, 200_000)
+            .with_solo_budget(p.solo_step_bound())
+            .check_all_inputs(&p);
+        assert!(report.passed(), "{report}");
+        assert!(report.states > 500, "nontrivial exploration: {report}");
+    }
+
+    #[test]
+    fn model_check_n3_mixed_inputs_bounded() {
+        let p = CommitAdoptConsensus::new(3, 2);
+        let report = ModelChecker::new(16, 250_000).check(&p, &[0, 1, 0]);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn proposal_uniqueness_witnessed() {
+        // Drive two processes through phase 1 concurrently; at most one
+        // proposal may emerge.
+        let p = CommitAdoptConsensus::new(2, 2);
+        let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+        // Both write A, then both read all of A.
+        c.step(&p, ProcessId(0)).unwrap(); // p0 WriteA
+        c.step(&p, ProcessId(1)).unwrap(); // p1 WriteA
+        for _ in 0..2 {
+            c.step(&p, ProcessId(0)).unwrap(); // p0 ReadA x2
+            c.step(&p, ProcessId(1)).unwrap(); // p1 ReadA x2
+        }
+        // Both saw both (1,0) and (1,1): neither proposes.
+        for pid in [0, 1] {
+            match &c.state(ProcessId(pid)).unwrap().phase {
+                CaPhase::WriteB { proposal } => assert_eq!(*proposal, None),
+                other => panic!("expected WriteB, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn jump_rule_fast_forwards_laggards() {
+        let p = CommitAdoptConsensus::new(2, 2);
+        let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+        // p0 decides solo (round 1, all alone in its reads? no: p1's stamps
+        // are absent, so p0 is unanimous and decides).
+        runner::solo_run(&p, &mut c, ProcessId(0), p.solo_step_bound()).unwrap();
+        assert_eq!(c.decision(ProcessId(0)), Some(0));
+        // p1 now runs: it must adopt p0's committed value.
+        let out = runner::solo_run(&p, &mut c, ProcessId(1), p.solo_step_bound()).unwrap();
+        assert_eq!(out.decision, 0, "agreement with the earlier commit");
+    }
+
+    #[test]
+    fn all_equal_inputs_decide_that_input() {
+        let p = CommitAdoptConsensus::new(3, 4);
+        let mut c = Configuration::initial(&p, &[3, 3, 3]).unwrap();
+        for pid in 0..3 {
+            runner::solo_run(&p, &mut c, ProcessId(pid), p.solo_step_bound()).unwrap();
+        }
+        assert_eq!(c.decided_values(), [3].into_iter().collect());
+    }
+
+    #[test]
+    fn stamp_absent_is_round_zero() {
+        assert_eq!(Stamp::absent().round, 0);
+    }
+}

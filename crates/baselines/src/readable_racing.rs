@@ -1,0 +1,313 @@
+//! Consensus from `n-1` **readable** swap objects: the
+//! Ellen–Gelashvili–Shavit–Zhu \[15\] regime of Table 1 (row 5).
+//!
+//! The paper notes that Algorithm 1 is based on the EGSZ algorithm from
+//! `n-1` readable swap objects. A plain swap object *is* a readable swap
+//! object (that never reads), so Algorithm 1 itself already witnesses the
+//! `n-1` upper bound; this variant additionally **exercises the `Read`
+//! operation**, which matters downstream: the Lemma 9 adversary must *fail*
+//! against it (reads learn without overwriting), demonstrating why
+//! Theorem 10's proof is confined to swap-only algorithms.
+//!
+//! The variant: run Algorithm 1 (k = 1) unchanged, but once a clean lap with
+//! a ≥ 2 lead is observed, perform one extra **read-only confirmation pass**
+//! over all objects; decide only if every object still holds `⟨U, p⟩`. If
+//! any read observes a foreign entry, merge lap counters and resume racing.
+//!
+//! Safety is inherited from the paper's own argument: the proofs of
+//! Lemmas 5–7 use only (a) decisions follow completed laps, so the
+//! configuration right before the deciding process's last pass was
+//! `⟨V,p⟩`-total (Observation 2), and (b) the decision condition of line 16.
+//! Both facts hold verbatim here — the confirmation pass only *adds*
+//! preconditions to deciding, and reads by other processes never affect
+//! Lemma 5's counting of Swap operations. Obstruction-freedom degrades from
+//! `8(n-1)` to at most `11(n-1)` solo steps (each of up to three decision
+//! attempts may spend an extra `n-1` reads).
+
+use swapcons_core::lap::{LapVec, SwapEntry};
+use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+
+/// Consensus from `n-1` readable swap objects (Algorithm 1 plus a read-only
+/// confirmation pass).
+///
+/// # Example
+///
+/// ```
+/// use swapcons_baselines::ReadableRacing;
+/// use swapcons_sim::{Configuration, ProcessId, runner};
+///
+/// let p = ReadableRacing::new(3, 2);
+/// let mut c = Configuration::initial(&p, &[1, 0, 0]).unwrap();
+/// let out = runner::solo_run(&p, &mut c, ProcessId(0), p.solo_step_bound()).unwrap();
+/// assert_eq!(out.decision, 1); // validity: solo runs decide their input
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadableRacing {
+    n: usize,
+    m: u64,
+}
+
+impl ReadableRacing {
+    /// An instance for `n` processes with inputs from `{0, …, m-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `m == 0`.
+    pub fn new(n: usize, m: u64) -> Self {
+        assert!(n >= 2, "consensus needs at least two processes");
+        assert!(m > 0, "need at least one input value");
+        ReadableRacing { n, m }
+    }
+
+    /// Number of readable swap objects: `n - 1`.
+    pub fn space(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Solo step bound: Lemma 8's `8(n-1)` swaps plus at most three
+    /// confirmation passes of `n-1` reads.
+    pub fn solo_step_bound(&self) -> usize {
+        11 * (self.n - 1)
+    }
+}
+
+/// Execution mode of a [`ReadableRacing`] process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RacingMode {
+    /// Racing exactly as in Algorithm 1.
+    Racing {
+        /// The `conflict` flag.
+        conflict: bool,
+    },
+    /// Read-only confirmation of a pending decision for `candidate`.
+    Confirming {
+        /// The value about to be decided.
+        candidate: u64,
+    },
+}
+
+/// Local state of a [`ReadableRacing`] process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct RacingState {
+    /// This process.
+    pub pid: ProcessId,
+    /// The local lap counter `U`.
+    pub u: LapVec,
+    /// Index of the next object to access.
+    pub pos: usize,
+    /// Racing or confirming.
+    pub mode: RacingMode,
+}
+
+impl Protocol for ReadableRacing {
+    type State = RacingState;
+    type Value = SwapEntry;
+
+    fn name(&self) -> String {
+        format!(
+            "readable racing: {}-process consensus from {} readable swap objects",
+            self.n,
+            self.space()
+        )
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(self.n, 1, self.m)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        vec![ObjectSchema::readable_swap(Domain::Unbounded); self.space()]
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> SwapEntry {
+        SwapEntry::bot(self.m as usize)
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> RacingState {
+        RacingState {
+            pid,
+            u: LapVec::initial(self.m as usize, input),
+            pos: 0,
+            mode: RacingMode::Racing { conflict: false },
+        }
+    }
+
+    fn poised(&self, state: &RacingState) -> (ObjectId, HistorylessOp<SwapEntry>) {
+        match state.mode {
+            RacingMode::Racing { .. } => (
+                ObjectId(state.pos),
+                HistorylessOp::Swap(SwapEntry::of(state.u.clone(), state.pid)),
+            ),
+            RacingMode::Confirming { .. } => (ObjectId(state.pos), HistorylessOp::Read),
+        }
+    }
+
+    fn observe(
+        &self,
+        mut state: RacingState,
+        response: Response<SwapEntry>,
+    ) -> Transition<RacingState> {
+        let got = response.expect_value("read and swap both return values");
+        let mine = got.id == Some(state.pid) && got.laps == state.u;
+        match state.mode.clone() {
+            RacingMode::Racing { mut conflict } => {
+                if !mine {
+                    conflict = true;
+                    if got.laps != state.u {
+                        state.u.merge_max(&got.laps);
+                    }
+                }
+                state.pos += 1;
+                if state.pos < self.space() {
+                    state.mode = RacingMode::Racing { conflict };
+                    return Transition::Continue(state);
+                }
+                state.pos = 0;
+                if conflict {
+                    state.mode = RacingMode::Racing { conflict: false };
+                    return Transition::Continue(state);
+                }
+                let (v, _) = state.u.leader();
+                if state.u.leads_by(v as usize, 2) {
+                    // Algorithm 1 would decide here; we confirm by reading.
+                    state.mode = RacingMode::Confirming { candidate: v };
+                } else {
+                    state.u.increment(v as usize);
+                    state.mode = RacingMode::Racing { conflict: false };
+                }
+                Transition::Continue(state)
+            }
+            RacingMode::Confirming { candidate } => {
+                if !mine {
+                    // Confirmation failed: merge any news and race on.
+                    if got.laps != state.u {
+                        state.u.merge_max(&got.laps);
+                    }
+                    state.pos = 0;
+                    state.mode = RacingMode::Racing { conflict: false };
+                    return Transition::Continue(state);
+                }
+                state.pos += 1;
+                if state.pos < self.space() {
+                    state.mode = RacingMode::Confirming { candidate };
+                    return Transition::Continue(state);
+                }
+                Transition::Decide(candidate)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_objects::OpKind;
+    use swapcons_sim::explore::ModelChecker;
+    use swapcons_sim::runner::{self, solo_run_cloned};
+    use swapcons_sim::scheduler::SeededRandom;
+    use swapcons_sim::Configuration;
+
+    #[test]
+    fn uses_n_minus_1_readable_swap_objects() {
+        let p = ReadableRacing::new(5, 2);
+        assert_eq!(p.space(), 4);
+        assert!(p
+            .schemas()
+            .iter()
+            .all(|s| s.permits_kind(OpKind::Read) && s.permits_kind(OpKind::Swap)));
+    }
+
+    #[test]
+    fn solo_decides_own_input_within_bound() {
+        for n in 2..=6 {
+            let p = ReadableRacing::new(n, 2);
+            let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+            let config = Configuration::initial(&p, &inputs).unwrap();
+            for pid in 0..n {
+                let (out, _) =
+                    solo_run_cloned(&p, &config, ProcessId(pid), p.solo_step_bound()).unwrap();
+                assert_eq!(out.decision, inputs[pid]);
+            }
+        }
+    }
+
+    #[test]
+    fn executions_actually_issue_reads() {
+        // The whole point of this baseline: the Read operation appears.
+        let p = ReadableRacing::new(3, 2);
+        let mut c = Configuration::initial(&p, &[1, 0, 0]).unwrap();
+        let out = runner::run(
+            &p,
+            &mut c,
+            &mut swapcons_sim::scheduler::Solo(ProcessId(0)),
+            100,
+        )
+        .unwrap();
+        assert!(
+            out.history.iter().any(|s| s.op.kind() == OpKind::Read),
+            "confirmation pass must read"
+        );
+    }
+
+    #[test]
+    fn contention_then_solo_agrees() {
+        for seed in 0..20 {
+            let p = ReadableRacing::new(4, 2);
+            let inputs = [0, 1, 1, 0];
+            let mut c = Configuration::initial(&p, &inputs).unwrap();
+            runner::run(&p, &mut c, &mut SeededRandom::new(seed), 60).unwrap();
+            for pid in c.running() {
+                let out = runner::solo_run(&p, &mut c, pid, p.solo_step_bound())
+                    .unwrap_or_else(|e| panic!("seed {seed} {pid}: {e}"));
+                assert!(out.steps <= p.solo_step_bound());
+            }
+            assert_eq!(c.decided_values().len(), 1, "agreement, seed {seed}");
+            assert!(p.task().check(&inputs, &c.decisions()).is_ok());
+        }
+    }
+
+    #[test]
+    fn failed_confirmation_resumes_racing() {
+        let p = ReadableRacing::new(2, 2);
+        let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+        // Drive p0 to the brink of deciding: race solo until it enters
+        // Confirming mode.
+        for _ in 0..p.solo_step_bound() {
+            if matches!(
+                c.state(ProcessId(0)).unwrap().mode,
+                RacingMode::Confirming { .. }
+            ) {
+                break;
+            }
+            c.step(&p, ProcessId(0)).unwrap();
+        }
+        assert!(matches!(
+            c.state(ProcessId(0)).unwrap().mode,
+            RacingMode::Confirming { .. }
+        ));
+        // p1 swaps the object p0 is about to confirm-read.
+        c.step(&p, ProcessId(1)).unwrap();
+        // p0's confirmation read sees the foreign entry and resumes racing.
+        c.step(&p, ProcessId(0)).unwrap();
+        let s = c.state(ProcessId(0)).unwrap();
+        assert!(matches!(s.mode, RacingMode::Racing { .. }));
+        assert_eq!(c.decision(ProcessId(0)), None);
+    }
+
+    #[test]
+    fn model_check_n2_bounded() {
+        let p = ReadableRacing::new(2, 2);
+        let report = ModelChecker::new(26, 150_000)
+            .with_solo_budget(p.solo_step_bound())
+            .check_all_inputs(&p);
+        assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn model_check_n3_bounded() {
+        let p = ReadableRacing::new(3, 2);
+        let report = ModelChecker::new(14, 200_000).check(&p, &[0, 1, 1]);
+        assert!(report.passed(), "{report}");
+    }
+}

@@ -1,0 +1,188 @@
+//! Obstruction-free k-set agreement from registers via the standard
+//! reduction (Section 1 of the paper).
+//!
+//! "There is a simple obstruction-free k-set agreement algorithm using
+//! `n-k+1` registers: `n-k+1` processes use the registers to solve
+//! consensus, and the remaining `k-1` processes decide their input values."
+//!
+//! We instantiate the inner consensus with
+//! [`CommitAdoptConsensus`](crate::commit_adopt::CommitAdoptConsensus) over
+//! `c = n-k+1` processes, which uses `2c` registers; Table 1 reports the
+//! literature formula `n-k+1` (Bouzid–Raynal–Sutra \[6\]) alongside our
+//! measured `2(n-k+1)`.
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+
+use crate::commit_adopt::{CaState, CommitAdoptConsensus, Stamp};
+
+/// k-set agreement from registers: processes `0..n-k+1` run consensus,
+/// processes `n-k+1..n` decide their inputs immediately.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_baselines::RegisterKSet;
+/// use swapcons_sim::{Configuration, ProcessId, runner};
+///
+/// let p = RegisterKSet::new(5, 3, 4); // consensus among 3, two immediate
+/// let mut c = Configuration::initial(&p, &[0, 1, 2, 3, 3]).unwrap();
+/// assert_eq!(c.decision(ProcessId(3)), Some(3)); // immediate deciders
+/// assert_eq!(c.decision(ProcessId(4)), Some(3));
+/// for pid in c.running() {
+///     runner::solo_run(&p, &mut c, pid, p.solo_step_bound()).unwrap();
+/// }
+/// assert!(c.decided_values().len() <= 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegisterKSet {
+    n: usize,
+    k: usize,
+    inner: CommitAdoptConsensus,
+}
+
+impl RegisterKSet {
+    /// An instance for `n` processes and degree `k` with inputs from
+    /// `{0, …, m-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`, `n <= k`, or `m == 0`.
+    pub fn new(n: usize, k: usize, m: u64) -> Self {
+        assert!(k > 0 && n > k && m > 0, "require n > k >= 1 and m >= 1");
+        RegisterKSet {
+            n,
+            k,
+            inner: CommitAdoptConsensus::new(n - k + 1, m),
+        }
+    }
+
+    /// Number of consensus participants: `n - k + 1`.
+    pub fn participants(&self) -> usize {
+        self.n - self.k + 1
+    }
+
+    /// Number of registers used: `2(n-k+1)` (our inner consensus uses two
+    /// arrays; the literature bound is `n-k+1`).
+    pub fn space(&self) -> usize {
+        self.inner.space()
+    }
+
+    /// Solo step bound, inherited from the inner consensus.
+    pub fn solo_step_bound(&self) -> usize {
+        self.inner.solo_step_bound()
+    }
+}
+
+impl Protocol for RegisterKSet {
+    type State = CaState;
+    type Value = Stamp;
+
+    fn name(&self) -> String {
+        format!(
+            "register k-set: {}-process {}-set agreement, {} registers",
+            self.n,
+            self.k,
+            self.space()
+        )
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(self.n, self.k, self.inner.task().m)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        self.inner.schemas()
+    }
+
+    fn initial_value(&self, obj: ObjectId) -> Stamp {
+        self.inner.initial_value(obj)
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> CaState {
+        assert!(
+            pid.index() < self.participants(),
+            "non-participants decide at initialization and have no state"
+        );
+        self.inner.initial_state(pid, input)
+    }
+
+    fn initial_decision(&self, pid: ProcessId, input: u64) -> Option<u64> {
+        (pid.index() >= self.participants()).then_some(input)
+    }
+
+    fn poised(&self, state: &CaState) -> (ObjectId, HistorylessOp<Stamp>) {
+        self.inner.poised(state)
+    }
+
+    fn observe(&self, state: CaState, response: Response<Stamp>) -> Transition<CaState> {
+        self.inner.observe(state, response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_sim::explore::ModelChecker;
+    use swapcons_sim::runner;
+    use swapcons_sim::scheduler::SeededRandom;
+    use swapcons_sim::Configuration;
+
+    #[test]
+    fn space_formula() {
+        let p = RegisterKSet::new(6, 2, 3);
+        assert_eq!(p.participants(), 5);
+        assert_eq!(p.space(), 10);
+    }
+
+    #[test]
+    fn immediate_deciders_do_not_participate() {
+        let p = RegisterKSet::new(5, 3, 4);
+        let c = Configuration::initial(&p, &[0, 1, 2, 3, 2]).unwrap();
+        assert_eq!(c.running().len(), 3);
+        assert_eq!(c.decision(ProcessId(3)), Some(3));
+        assert_eq!(c.decision(ProcessId(4)), Some(2));
+    }
+
+    #[test]
+    fn at_most_k_values_decided() {
+        for seed in 0..20 {
+            let p = RegisterKSet::new(6, 3, 4);
+            let inputs = [0, 1, 2, 3, 0, 1];
+            let mut c = Configuration::initial(&p, &inputs).unwrap();
+            runner::run(&p, &mut c, &mut SeededRandom::new(seed), 80).unwrap();
+            for pid in c.running() {
+                runner::solo_run(&p, &mut c, pid, p.solo_step_bound()).unwrap();
+            }
+            assert!(c.all_decided());
+            assert!(
+                p.task().check(&inputs, &c.decisions()).is_ok(),
+                "seed {seed}"
+            );
+            // The k-1 immediate deciders + 1 consensus value.
+            assert!(c.decided_values().len() <= 3);
+        }
+    }
+
+    #[test]
+    fn consensus_participants_agree_internally() {
+        let p = RegisterKSet::new(4, 2, 3);
+        let inputs = [0, 1, 2, 2];
+        let mut c = Configuration::initial(&p, &inputs).unwrap();
+        for pid in c.running() {
+            runner::solo_run(&p, &mut c, pid, p.solo_step_bound()).unwrap();
+        }
+        assert_eq!(c.decision(ProcessId(0)), c.decision(ProcessId(1)));
+        assert_eq!(c.decision(ProcessId(1)), c.decision(ProcessId(2)));
+    }
+
+    #[test]
+    fn model_check_n3_k2_bounded() {
+        // Inner consensus among 2 processes; p2 decides immediately.
+        let p = RegisterKSet::new(3, 2, 3);
+        let report = ModelChecker::new(24, 150_000)
+            .with_solo_budget(p.solo_step_bound())
+            .check(&p, &[0, 1, 2]);
+        assert!(report.passed(), "{report}");
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based safety tests for every baseline algorithm: arbitrary
+//! seeded schedules plus solo finishes must satisfy the task predicates,
+//! and solo runs must respect each algorithm's stated step bound.
+
+use proptest::prelude::*;
+use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
+use swapcons_sim::scheduler::SeededRandom;
+use swapcons_sim::{runner, Configuration, Protocol};
+
+fn drive<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    contention: usize,
+    seed: u64,
+    solo_budget: usize,
+) -> Result<Vec<Option<u64>>, TestCaseError> {
+    let mut config =
+        Configuration::initial(protocol, inputs).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    runner::run(
+        protocol,
+        &mut config,
+        &mut SeededRandom::new(seed),
+        contention,
+    )
+    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    for pid in config.running() {
+        let out = runner::solo_run(protocol, &mut config, pid, solo_budget)
+            .map_err(|e| TestCaseError::fail(format!("{pid}: {e}")))?;
+        prop_assert!(out.steps <= solo_budget);
+    }
+    Ok(config.decisions())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn commit_adopt_safe_under_random_schedules(
+        seed in 0u64..3000,
+        n in 1usize..6,
+        contention in 0usize..80,
+    ) {
+        let p = CommitAdoptConsensus::new(n, 3);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
+        let decisions = drive(&p, &inputs, contention, seed, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+        let distinct: std::collections::HashSet<_> =
+            decisions.iter().flatten().collect();
+        prop_assert_eq!(distinct.len(), 1, "consensus: exactly one value");
+    }
+
+    #[test]
+    fn register_kset_safe_under_random_schedules(
+        seed in 0u64..3000,
+        n in 3usize..7,
+        k_off in 0usize..3,
+    ) {
+        let k = (2 + k_off).min(n - 1);
+        let m = (k + 1) as u64;
+        let p = RegisterKSet::new(n, k, m);
+        let inputs: Vec<u64> = (0..n).map(|i| (i as u64) % m).collect();
+        let decisions = drive(&p, &inputs, 10 * n, seed, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+    }
+
+    #[test]
+    fn readable_racing_safe_under_random_schedules(
+        seed in 0u64..3000,
+        n in 2usize..6,
+        contention in 0usize..60,
+    ) {
+        let p = ReadableRacing::new(n, 2);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let decisions = drive(&p, &inputs, contention, seed, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+        let distinct: std::collections::HashSet<_> =
+            decisions.iter().flatten().collect();
+        prop_assert_eq!(distinct.len(), 1);
+    }
+
+    #[test]
+    fn binary_racing_safe_under_random_schedules(
+        seed in 0u64..3000,
+        n in 2usize..5,
+        contention in 0usize..60,
+    ) {
+        let p = BinaryRacing::new(n);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let decisions = drive(&p, &inputs, contention, seed, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+        let distinct: std::collections::HashSet<_> =
+            decisions.iter().flatten().collect();
+        prop_assert_eq!(distinct.len(), 1);
+    }
+
+    /// Binary racing's track cells are monotone under any schedule: once a
+    /// cell reads 1, it reads 1 forever.
+    #[test]
+    fn binary_racing_cells_monotone(seed in 0u64..2000, steps in 1usize..200) {
+        let p = BinaryRacing::with_track_len(3, 8);
+        let mut config = Configuration::initial(&p, &[0, 1, 0]).unwrap();
+        let mut sched = SeededRandom::new(seed);
+        let mut high_water = vec![0u64; p.space()];
+        let out = runner::run(&p, &mut config, &mut sched, steps).unwrap();
+        let _ = out;
+        for (i, hw) in high_water.iter_mut().enumerate() {
+            let v = *config.value(swapcons_sim::ObjectId(i));
+            prop_assert!(v >= *hw);
+            *hw = v;
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! E8 — **real-thread contention**: wall-clock time for all `n` threads to
+//! decide under threaded Algorithm 1 (lock-free `AtomicSwap` objects,
+//! obstruction-free + backoff) and the wait-free pairs construction. Not a
+//! paper figure — the paper has no testbed — but it validates that the
+//! shared-memory footprint (`n-k` swap objects) is practical and that the
+//! obstruction-free race converges under genuine OS scheduling.
+//!
+//! Run: `cargo bench -p swapcons-bench --bench fig_contention`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swapcons_bench::harness::cyclic_inputs;
+use swapcons_core::threaded::{ThreadedKSet, ThreadedPairs};
+
+fn check_kset(inputs: &[u64], decisions: &[u64], k: usize) {
+    let distinct: std::collections::HashSet<u64> = decisions.iter().copied().collect();
+    assert!(distinct.len() <= k);
+    for d in decisions {
+        assert!(inputs.contains(d));
+    }
+}
+
+fn bench_threads(c: &mut Criterion) {
+    println!("\n====== threaded Algorithm 1: time for all n threads to decide ======");
+    let mut group = c.benchmark_group("fig_contention/threaded");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [2usize, 4, 8] {
+        let inputs = cyclic_inputs(n, 2);
+        group.bench_with_input(BenchmarkId::new("algorithm1_consensus", n), &n, |b, &n| {
+            b.iter(|| {
+                let alg = ThreadedKSet::new(n, 1, 2);
+                let decisions = alg.run(&inputs);
+                check_kset(&inputs, &decisions, 1);
+                decisions
+            })
+        });
+    }
+    for n in [4usize, 8] {
+        let k = n / 2;
+        let inputs = cyclic_inputs(n, (k + 1) as u64);
+        group.bench_with_input(BenchmarkId::new("algorithm1_kset_k=n/2", n), &n, |b, &n| {
+            b.iter(|| {
+                let alg = ThreadedKSet::new(n, k, (k + 1) as u64);
+                let decisions = alg.run(&inputs);
+                check_kset(&inputs, &decisions, k);
+                decisions
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pairs_wait_free", n), &n, |b, &n| {
+            b.iter(|| {
+                let alg = ThreadedPairs::new(n, k);
+                let decisions = alg.run(&inputs);
+                check_kset(&inputs, &decisions, k);
+                decisions
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_threads);
+criterion_main!(benches);

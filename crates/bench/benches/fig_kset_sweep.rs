@@ -1,0 +1,83 @@
+//! E7 — the k-set agreement **space/cost sweep**: at fixed `n`, sweep `k`
+//! and report the object counts of the swap-based algorithms (Algorithm 1:
+//! `n-k`; pairs where applicable: `n-k`) against the register reduction
+//! (`2(n-k+1)` measured, `n-k+1` literature) and the lower bounds
+//! `⌈n/k⌉-1` (swap) and `⌈n/k⌉` (registers). The "who wins" shape of
+//! Table 1: swap saves one object over registers at every `k`, and the
+//! lower-bound/upper-bound gap `n-k` vs `⌈n/k⌉-1` opens as `k` grows.
+//!
+//! Run: `cargo bench -p swapcons-bench --bench fig_kset_sweep`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swapcons_baselines::RegisterKSet;
+use swapcons_bench::harness::{cyclic_inputs, decide_all};
+use swapcons_core::pairs::PairsKSet;
+use swapcons_core::SwapKSet;
+use swapcons_lower::Table1Row;
+use swapcons_sim::Protocol;
+
+fn print_sweep() {
+    let n = 12usize;
+    println!("\n====== k-sweep at n = {n}: space (objects) ======");
+    println!(
+        "{:>3} {:>12} {:>12} {:>14} {:>12} {:>12}",
+        "k", "swap LB", "Alg1 space", "register LB", "regs space", "pairs space"
+    );
+    for k in 1..n {
+        let m = (k + 1) as u64;
+        let swap_lb = Table1Row::KSetSwap.lower_bound().at(n, k, 2);
+        let alg1 = SwapKSet::new(n, k, m).num_objects();
+        let reg_lb = Table1Row::KSetRegisters.lower_bound().at(n, k, 2);
+        let regs = RegisterKSet::new(n, k, m).num_objects();
+        let pairs = (2 * k >= n).then(|| PairsKSet::new(n, k, m).num_objects());
+        println!(
+            "{k:>3} {swap_lb:>12.1} {alg1:>12} {reg_lb:>14.1} {regs:>12} {:>12}",
+            pairs.map_or("-".into(), |x| x.to_string())
+        );
+        assert!(alg1 as f64 >= swap_lb, "Algorithm 1 cannot beat Theorem 10");
+    }
+
+    println!("\n====== k-sweep at n = {n}: steps to decide everyone ======");
+    for k in [1usize, 2, 3, 4, 6, 8, 11] {
+        let m = (k + 1) as u64;
+        let p = SwapKSet::new(n, k, m);
+        let mut total = 0usize;
+        const SEEDS: usize = 5;
+        for seed in 0..SEEDS as u64 {
+            let (steps, decisions) =
+                decide_all(&p, &cyclic_inputs(n, m), 5 * n, seed, p.solo_step_bound());
+            assert!(p.task().check(&cyclic_inputs(n, m), &decisions).is_ok());
+            total += steps;
+        }
+        println!(
+            "k={k:>2}: avg steps {:>6} (space {})",
+            total / SEEDS,
+            p.space()
+        );
+    }
+    println!();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    print_sweep();
+    let n = 12usize;
+    let mut group = c.benchmark_group("fig_kset/decide_all_n12");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for k in [1usize, 2, 4, 8] {
+        let m = (k + 1) as u64;
+        let p = SwapKSet::new(n, k, m);
+        group.bench_with_input(BenchmarkId::new("algorithm1", k), &k, |b, _| {
+            b.iter(|| decide_all(&p, &cyclic_inputs(n, m), 5 * n, 3, p.solo_step_bound()))
+        });
+        let r = RegisterKSet::new(n, k, m);
+        group.bench_with_input(BenchmarkId::new("registers", k), &k, |b, _| {
+            b.iter(|| decide_all(&r, &cyclic_inputs(n, m), 5 * n, 3, r.solo_step_bound()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

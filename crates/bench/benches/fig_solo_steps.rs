@@ -1,0 +1,83 @@
+//! E3 — **Lemma 8's solo bound**: from adversarially perturbed reachable
+//! configurations, the worst-case solo decision run of Algorithm 1 must stay
+//! within `8(n-k)` swaps. The series shows measured worst cases scaling
+//! linearly in `n-k` under the paper's bound.
+//!
+//! Run: `cargo bench -p swapcons-bench --bench fig_solo_steps`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swapcons_bench::harness::{cyclic_inputs, max_solo_steps, render_series};
+use swapcons_core::SwapKSet;
+use swapcons_sim::{Configuration, ProcessId};
+
+fn print_series() {
+    println!("\n====== Lemma 8: worst observed solo steps vs the 8(n-k) bound ======");
+    let mut points = Vec::new();
+    for n in [2usize, 4, 8, 16, 32, 64] {
+        let p = SwapKSet::consensus(n, 2);
+        let mut worst = 0usize;
+        for seed in 0..10 {
+            let w = max_solo_steps(&p, &cyclic_inputs(n, 2), 6 * n, seed, p.solo_step_bound());
+            worst = worst.max(w);
+        }
+        assert!(worst <= p.solo_step_bound());
+        println!(
+            "n={n:>3} k=1: worst solo = {worst:>4} steps, bound 8(n-k) = {}",
+            p.solo_step_bound()
+        );
+        points.push((n as f64, worst as f64));
+    }
+    println!(
+        "\n{}",
+        render_series("worst solo steps vs n (k=1)", "n", "steps", &points)
+    );
+
+    println!("====== same, sweeping k at n = 24 ======");
+    for k in [1usize, 2, 4, 8, 12, 16, 20] {
+        let p = SwapKSet::new(24, k, (k + 1) as u64);
+        let mut worst = 0usize;
+        for seed in 0..5 {
+            let w = max_solo_steps(
+                &p,
+                &cyclic_inputs(24, (k + 1) as u64),
+                120,
+                seed,
+                p.solo_step_bound(),
+            );
+            worst = worst.max(w);
+        }
+        assert!(worst <= p.solo_step_bound());
+        println!(
+            "n=24 k={k:>2}: worst solo = {worst:>4}, bound = {}",
+            p.solo_step_bound()
+        );
+    }
+    println!();
+}
+
+fn bench_solo(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig_solo/solo_run");
+    group.sample_size(30);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4usize, 16, 64] {
+        let p = SwapKSet::consensus(n, 2);
+        let config = Configuration::initial(&p, &cyclic_inputs(n, 2)).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                swapcons_sim::runner::solo_run_cloned(
+                    &p,
+                    &config,
+                    ProcessId(0),
+                    p.solo_step_bound(),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solo);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! E1 — regenerate **Table 1** of the paper: all eight rows, lower/upper
+//! bound formulas evaluated against the measured object counts of this
+//! repository's implementations, plus wall-clock cost of deciding under each
+//! witness algorithm.
+//!
+//! Run: `cargo bench -p swapcons-bench --bench table1`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use swapcons_baselines::{CommitAdoptConsensus, ReadableRacing};
+use swapcons_bench::harness::{cyclic_inputs, decide_all};
+use swapcons_core::SwapKSet;
+use swapcons_lower::table1;
+
+fn print_table1() {
+    let ns = [4usize, 8, 16, 64, 256];
+    let ks = [2usize, 4];
+    let entries = table1::generate(&ns, &ks, 2);
+    println!("\n================ Table 1 (regenerated) ================");
+    println!("{}", table1::render(&entries));
+    let violations = table1::violations(&entries);
+    assert!(
+        violations.is_empty(),
+        "an implementation undercut a paper lower bound: {violations:?}"
+    );
+    println!("cross-check: no implementation beats any paper lower bound ✓\n");
+}
+
+fn bench_row_witnesses(c: &mut Criterion) {
+    print_table1();
+    let mut group = c.benchmark_group("table1/decide_all");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for n in [4usize, 8, 16] {
+        let swap = SwapKSet::consensus(n, 2);
+        group.bench_with_input(BenchmarkId::new("consensus_swap", n), &n, |b, _| {
+            b.iter(|| {
+                decide_all(
+                    &swap,
+                    &cyclic_inputs(n, 2),
+                    4 * n,
+                    11,
+                    swap.solo_step_bound(),
+                )
+            })
+        });
+        let regs = CommitAdoptConsensus::new(n, 2);
+        group.bench_with_input(BenchmarkId::new("consensus_registers", n), &n, |b, _| {
+            b.iter(|| {
+                decide_all(
+                    &regs,
+                    &cyclic_inputs(n, 2),
+                    4 * n,
+                    11,
+                    regs.solo_step_bound(),
+                )
+            })
+        });
+        let readable = ReadableRacing::new(n, 2);
+        group.bench_with_input(
+            BenchmarkId::new("consensus_readable_swap", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    decide_all(
+                        &readable,
+                        &cyclic_inputs(n, 2),
+                        4 * n,
+                        11,
+                        readable.solo_step_bound(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_row_witnesses);
+criterion_main!(benches);

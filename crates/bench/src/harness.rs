@@ -1,0 +1,121 @@
+//! Shared helpers for the benchmark targets: canonical workloads and
+//! plain-text series rendering (every bench prints the table/figure data it
+//! regenerates, so `cargo bench` output is the artifact recorded in
+//! EXPERIMENTS.md).
+
+use swapcons_sim::{Configuration, ProcessId, Protocol};
+
+/// A cyclic input assignment `0, 1, …, m-1, 0, 1, …` for `n` processes —
+/// the maximally-contended workload used throughout the evaluation.
+pub fn cyclic_inputs(n: usize, m: u64) -> Vec<u64> {
+    (0..n).map(|i| (i as u64) % m).collect()
+}
+
+/// Decide every process: random contention for `contention` steps, then each
+/// still-running process runs solo (the canonical obstruction-free
+/// schedule). Returns (total steps, decisions).
+///
+/// # Panics
+///
+/// Panics if a solo run exceeds `solo_budget` (an obstruction-freedom
+/// violation) or the inputs are invalid.
+pub fn decide_all<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    contention: usize,
+    seed: u64,
+    solo_budget: usize,
+) -> (usize, Vec<Option<u64>>) {
+    let mut config = Configuration::initial(protocol, inputs).expect("valid inputs");
+    let mut sched = swapcons_sim::scheduler::SeededRandom::new(seed);
+    let out = swapcons_sim::runner::run(protocol, &mut config, &mut sched, contention)
+        .expect("no schema violations");
+    let mut steps = out.steps;
+    for pid in config.running() {
+        let solo = swapcons_sim::runner::solo_run(protocol, &mut config, pid, solo_budget)
+            .expect("obstruction-freedom");
+        steps += solo.steps;
+    }
+    (steps, config.decisions())
+}
+
+/// Measure the longest solo run over every process from a
+/// contention-perturbed configuration (the Lemma 8 experiment's inner loop).
+///
+/// # Panics
+///
+/// Panics if any solo run exceeds `solo_budget`.
+pub fn max_solo_steps<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    contention: usize,
+    seed: u64,
+    solo_budget: usize,
+) -> usize {
+    let mut config = Configuration::initial(protocol, inputs).expect("valid inputs");
+    let mut sched = swapcons_sim::scheduler::SeededRandom::new(seed);
+    swapcons_sim::runner::run(protocol, &mut config, &mut sched, contention)
+        .expect("no schema violations");
+    let mut worst = 0;
+    for pid in config.running() {
+        let (out, _) = swapcons_sim::runner::solo_run_cloned(protocol, &config, pid, solo_budget)
+            .expect("obstruction-freedom");
+        worst = worst.max(out.steps);
+    }
+    worst
+}
+
+/// Render a two-column data series as aligned text, with a title line —
+/// the "figure" format the benches print.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "{x_label:>12} {y_label:>16}");
+    for (x, y) in points {
+        let _ = writeln!(out, "{x:>12.2} {y:>16.3}");
+    }
+    out
+}
+
+/// Processes `0..n` as a vector of ids.
+pub fn all_pids(n: usize) -> Vec<ProcessId> {
+    ProcessId::all(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_core::SwapKSet;
+
+    #[test]
+    fn cyclic_inputs_cover_the_domain() {
+        assert_eq!(cyclic_inputs(5, 2), vec![0, 1, 0, 1, 0]);
+        assert_eq!(cyclic_inputs(3, 5), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn decide_all_satisfies_the_task() {
+        let p = SwapKSet::new(5, 2, 3);
+        let inputs = cyclic_inputs(5, 3);
+        let (steps, decisions) = decide_all(&p, &inputs, 40, 7, p.solo_step_bound());
+        assert!(steps > 0);
+        assert!(p.task().check(&inputs, &decisions).is_ok());
+        assert!(decisions.iter().all(|d| d.is_some()));
+    }
+
+    #[test]
+    fn max_solo_steps_respects_lemma8() {
+        let p = SwapKSet::consensus(6, 2);
+        let worst = max_solo_steps(&p, &cyclic_inputs(6, 2), 60, 3, p.solo_step_bound());
+        assert!(worst <= p.solo_step_bound());
+        assert!(worst > 0);
+    }
+
+    #[test]
+    fn series_rendering() {
+        let s = render_series("t", "n", "steps", &[(1.0, 2.0), (3.0, 4.5)]);
+        assert!(s.starts_with("# t"));
+        assert_eq!(s.lines().count(), 4);
+    }
+}

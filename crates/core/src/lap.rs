@@ -1,0 +1,328 @@
+//! Lap counters: the racing state of Algorithm 1.
+//!
+//! Every process keeps a local lap counter `U[0..m-1]` recording the highest
+//! lap it has observed for each input value; the shared swap objects each
+//! hold a lap counter plus the identifier of the process that last swapped
+//! (`⟨U, p⟩`). The correctness proofs are phrased in terms of the
+//! **domination** partial order (`V ⪯ V'` iff `V[j] ≤ V'[j]` for all `j`,
+//! Section 3), which [`LapVec`] implements together with the component-wise
+//! max merge of lines 11–12 and the leader selection of lines 14–16.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use swapcons_sim::{ProcessId, SimValue};
+
+/// A lap counter: one lap count per input value in `{0, …, m-1}`.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_core::lap::LapVec;
+///
+/// let mut u = LapVec::zeros(3);
+/// u.set(1, 1);                 // input 1 starts on lap 1 (line 3)
+/// assert_eq!(u.leader(), (1, 1));
+/// assert!(!u.leads_by(1, 2));  // not yet 2 laps ahead
+/// u.increment(1);
+/// u.increment(1);
+/// assert!(u.leads_by(1, 2));   // line 16's decision condition
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LapVec {
+    laps: Vec<u64>,
+}
+
+impl LapVec {
+    /// The all-zero lap counter of length `m` (line 2 of Algorithm 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`; a race needs at least one value.
+    pub fn zeros(m: usize) -> Self {
+        assert!(m > 0, "lap counters need at least one component");
+        LapVec { laps: vec![0; m] }
+    }
+
+    /// The initial local lap counter of a process with input `v`: all zeros
+    /// except `U[v] = 1` (lines 2–3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v >= m`.
+    pub fn initial(m: usize, v: u64) -> Self {
+        let mut u = LapVec::zeros(m);
+        u.set(v as usize, 1);
+        u
+    }
+
+    /// Number of components (`m`).
+    pub fn len(&self) -> usize {
+        self.laps.len()
+    }
+
+    /// Whether the counter has zero components (never true for constructed
+    /// counters; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.laps.is_empty()
+    }
+
+    /// The lap count of value `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn get(&self, j: usize) -> u64 {
+        self.laps[j]
+    }
+
+    /// Set the lap count of value `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn set(&mut self, j: usize, laps: u64) {
+        self.laps[j] = laps;
+    }
+
+    /// Increment the lap count of value `j` (line 20).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn increment(&mut self, j: usize) {
+        self.laps[j] += 1;
+    }
+
+    /// Domination: `self ⪯ other` iff every component of `self` is at most
+    /// the corresponding component of `other` (Section 3's `V ⪯ V'`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ (counters from different races).
+    pub fn dominated_by(&self, other: &LapVec) -> bool {
+        assert_eq!(self.len(), other.len(), "lap counters of different m");
+        self.laps.iter().zip(&other.laps).all(|(a, b)| a <= b)
+    }
+
+    /// Merge: set every component to the max of the two counters
+    /// (lines 11–12).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn merge_max(&mut self, other: &LapVec) {
+        assert_eq!(self.len(), other.len(), "lap counters of different m");
+        for (a, b) in self.laps.iter_mut().zip(&other.laps) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// The leading value and its lap: `c = max(U)`, `v = min{ j : U[j] = c }`
+    /// (lines 14–15; ties broken toward the smallest value).
+    pub fn leader(&self) -> (u64, u64) {
+        let c = *self.laps.iter().max().expect("nonempty");
+        let v = self.laps.iter().position(|&x| x == c).expect("max exists") as u64;
+        (v, c)
+    }
+
+    /// Line 16's decision test: does value `v` lead every other value by at
+    /// least `margin` laps (`U[v] ≥ U[j] + margin` for all `j ≠ v`)?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn leads_by(&self, v: usize, margin: u64) -> bool {
+        let lead = self.laps[v];
+        self.laps
+            .iter()
+            .enumerate()
+            .all(|(j, &x)| j == v || lead >= x.saturating_add(margin))
+    }
+
+    /// The raw components.
+    pub fn as_slice(&self) -> &[u64] {
+        &self.laps
+    }
+}
+
+impl fmt::Display for LapVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, x) in self.laps.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for LapVec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+/// The value stored in each of Algorithm 1's swap objects: a lap counter
+/// plus the identifier of the last swapper — the paper's `⟨U, p⟩`, with
+/// `id = None` playing the role of the initial `⊥`.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SwapEntry {
+    /// The lap-counter field (an array of `m` values, all initially 0).
+    pub laps: LapVec,
+    /// The identifier field (initially `⊥` = `None`).
+    pub id: Option<ProcessId>,
+}
+
+impl SwapEntry {
+    /// The initial object value `⟨[0,…,0], ⊥⟩`.
+    pub fn bot(m: usize) -> Self {
+        SwapEntry {
+            laps: LapVec::zeros(m),
+            id: None,
+        }
+    }
+
+    /// The entry `⟨laps, p⟩` a process swaps in (line 7).
+    pub fn of(laps: LapVec, pid: ProcessId) -> Self {
+        SwapEntry {
+            laps,
+            id: Some(pid),
+        }
+    }
+}
+
+impl SimValue for SwapEntry {}
+
+impl fmt::Debug for SwapEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.id {
+            Some(p) => write!(f, "⟨{},{p}⟩", self.laps),
+            None => write!(f, "⟨{},⊥⟩", self.laps),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_initial() {
+        let z = LapVec::zeros(3);
+        assert_eq!(z.as_slice(), &[0, 0, 0]);
+        let u = LapVec::initial(3, 2);
+        assert_eq!(u.as_slice(), &[0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one component")]
+    fn zero_length_rejected() {
+        let _ = LapVec::zeros(0);
+    }
+
+    #[test]
+    fn domination_is_a_partial_order() {
+        let a = LapVec {
+            laps: vec![1, 2, 3],
+        };
+        let b = LapVec {
+            laps: vec![2, 2, 4],
+        };
+        let c = LapVec {
+            laps: vec![3, 1, 5],
+        };
+        // Reflexive.
+        assert!(a.dominated_by(&a));
+        // a ⪯ b but not b ⪯ a (antisymmetry on distinct elements).
+        assert!(a.dominated_by(&b));
+        assert!(!b.dominated_by(&a));
+        // Incomparable pair.
+        assert!(!b.dominated_by(&c));
+        assert!(!c.dominated_by(&b));
+    }
+
+    #[test]
+    fn merge_max_is_least_upper_bound() {
+        let mut a = LapVec {
+            laps: vec![1, 5, 0],
+        };
+        let b = LapVec {
+            laps: vec![3, 2, 0],
+        };
+        a.merge_max(&b);
+        assert_eq!(a.as_slice(), &[3, 5, 0]);
+        // The merge dominates both operands.
+        assert!(b.dominated_by(&a));
+        assert!(LapVec {
+            laps: vec![1, 5, 0]
+        }
+        .dominated_by(&a));
+    }
+
+    #[test]
+    fn leader_breaks_ties_to_smallest_value() {
+        let u = LapVec {
+            laps: vec![4, 7, 7],
+        };
+        assert_eq!(
+            u.leader(),
+            (1, 7),
+            "value 1 beats value 2 on ties (line 15)"
+        );
+        let z = LapVec::zeros(2);
+        assert_eq!(z.leader(), (0, 0));
+    }
+
+    #[test]
+    fn leads_by_margin() {
+        let u = LapVec {
+            laps: vec![5, 3, 2],
+        };
+        assert!(u.leads_by(0, 2));
+        assert!(!u.leads_by(0, 3));
+        assert!(!u.leads_by(1, 1), "value 1 is behind value 0");
+        // Single-value race trivially leads.
+        assert!(LapVec::zeros(1).leads_by(0, 2));
+    }
+
+    #[test]
+    fn observation3_local_counters_only_grow() {
+        // A process only modifies U via merge_max and increment; both are
+        // monotone w.r.t. domination (Observation 3).
+        let mut u = LapVec::initial(3, 0);
+        let before = u.clone();
+        u.merge_max(&LapVec {
+            laps: vec![0, 4, 1],
+        });
+        assert!(before.dominated_by(&u));
+        let before = u.clone();
+        u.increment(1);
+        assert!(before.dominated_by(&u));
+    }
+
+    #[test]
+    fn entry_initial_is_bot() {
+        let e = SwapEntry::bot(2);
+        assert_eq!(e.id, None);
+        assert_eq!(e.laps, LapVec::zeros(2));
+        assert_eq!(format!("{e:?}"), "⟨[0,0],⊥⟩");
+    }
+
+    #[test]
+    fn entry_of_carries_identity() {
+        let e = SwapEntry::of(LapVec::initial(2, 1), ProcessId(3));
+        assert_eq!(e.id, Some(ProcessId(3)));
+        assert_eq!(format!("{e:?}"), "⟨[0,1],p3⟩");
+    }
+
+    #[test]
+    #[should_panic(expected = "different m")]
+    fn mixing_lengths_panics() {
+        let a = LapVec::zeros(2);
+        let b = LapVec::zeros(3);
+        let _ = a.dominated_by(&b);
+    }
+}

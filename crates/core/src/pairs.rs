@@ -1,0 +1,228 @@
+//! Wait-free k-set agreement from `n-k` swap objects when `k ≥ ⌈n/2⌉`
+//! (Section 1's Chaudhuri–Reiners pairing construction).
+//!
+//! "Using this 2-process consensus algorithm and a reduction by Chaudhuri
+//! and Reiners, we can construct a simple wait-free n-process k-set
+//! agreement algorithm from n−k swap objects when k ≥ ⌈n/2⌉ as follows: n−k
+//! different pairs of processes each use a different swap object to solve
+//! consensus, while the remaining 2k−n processes simply decide their input
+//! values."
+//!
+//! Unlike Algorithm 1 (obstruction-free), this construction is **wait-free**
+//! — every process decides within exactly one of its own steps (or zero, for
+//! the unpaired processes) — but it only applies in the `k ≥ ⌈n/2⌉` regime.
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+
+/// The pairing construction: processes `2i` and `2i+1` (for `i < n-k`) run
+/// 2-process consensus on swap object `i`; processes `2(n-k), …, n-1` decide
+/// their inputs immediately.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_core::pairs::PairsKSet;
+/// use swapcons_sim::{Configuration, runner, scheduler::RoundRobin};
+///
+/// let p = PairsKSet::new(4, 3, 4); // n=4, k=3 >= ceil(4/2): one pair, two singles
+/// let mut config = Configuration::initial(&p, &[0, 1, 2, 3]).unwrap();
+/// let out = runner::run(&p, &mut config, &mut RoundRobin::new(), 10).unwrap();
+/// assert!(out.all_decided);
+/// assert!(config.decided_values().len() <= 3);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairsKSet {
+    n: usize,
+    k: usize,
+    m: u64,
+}
+
+impl PairsKSet {
+    /// An instance for `n` processes and degree `k` with inputs from
+    /// `{0, …, m-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > k ≥ ⌈n/2⌉` and `m > 0`.
+    pub fn new(n: usize, k: usize, m: u64) -> Self {
+        assert!(
+            n > k,
+            "for n <= k everyone decides their input; no objects needed"
+        );
+        assert!(
+            2 * k >= n,
+            "the pairing construction requires k >= ceil(n/2)"
+        );
+        assert!(m > 0, "need at least one input value");
+        PairsKSet { n, k, m }
+    }
+
+    /// Number of swap objects: `n - k` (one per pair).
+    pub fn space(&self) -> usize {
+        self.n - self.k
+    }
+
+    /// Wait-freedom bound: every process decides within one own step.
+    pub fn step_bound(&self) -> usize {
+        1
+    }
+
+    /// The pair index of `pid`, or `None` if `pid` is one of the `2k-n`
+    /// unpaired processes.
+    pub fn pair_of(&self, pid: ProcessId) -> Option<usize> {
+        (pid.index() < 2 * self.space()).then_some(pid.index() / 2)
+    }
+}
+
+/// State of a paired process that has not yet swapped.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct PairState {
+    /// The process's input.
+    pub input: u64,
+    /// The swap object assigned to this process's pair.
+    pub object: usize,
+}
+
+impl Protocol for PairsKSet {
+    type State = PairState;
+    // None = ⊥.
+    type Value = Option<u64>;
+
+    fn name(&self) -> String {
+        format!(
+            "pairs: wait-free {}-process {}-set agreement from {} swap objects",
+            self.n,
+            self.k,
+            self.space()
+        )
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(self.n, self.k, self.m)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        vec![ObjectSchema::swap(); self.space()]
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> Option<u64> {
+        None
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> PairState {
+        let object = self
+            .pair_of(pid)
+            .expect("unpaired processes decide at initialization and have no state");
+        PairState { input, object }
+    }
+
+    fn initial_decision(&self, pid: ProcessId, input: u64) -> Option<u64> {
+        // The 2k-n unpaired processes decide their inputs without steps.
+        self.pair_of(pid).is_none().then_some(input)
+    }
+
+    fn poised(&self, state: &PairState) -> (ObjectId, HistorylessOp<Option<u64>>) {
+        (
+            ObjectId(state.object),
+            HistorylessOp::Swap(Some(state.input)),
+        )
+    }
+
+    fn observe(&self, state: PairState, response: Response<Option<u64>>) -> Transition<PairState> {
+        match response.expect_value("swap returns the previous value") {
+            None => Transition::Decide(state.input),
+            Some(theirs) => Transition::Decide(theirs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_sim::explore::ModelChecker;
+    use swapcons_sim::runner;
+    use swapcons_sim::scheduler::{RoundRobin, SeededRandom};
+    use swapcons_sim::Configuration;
+
+    #[test]
+    fn space_is_n_minus_k() {
+        assert_eq!(PairsKSet::new(4, 2, 3).space(), 2);
+        assert_eq!(PairsKSet::new(6, 4, 5).space(), 2);
+        assert_eq!(PairsKSet::new(5, 3, 4).space(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= ceil(n/2)")]
+    fn rejects_small_k() {
+        let _ = PairsKSet::new(6, 2, 3);
+    }
+
+    #[test]
+    fn pairing_layout() {
+        let p = PairsKSet::new(5, 3, 4); // 2 pairs, 1 single
+        assert_eq!(p.pair_of(ProcessId(0)), Some(0));
+        assert_eq!(p.pair_of(ProcessId(1)), Some(0));
+        assert_eq!(p.pair_of(ProcessId(2)), Some(1));
+        assert_eq!(p.pair_of(ProcessId(3)), Some(1));
+        assert_eq!(p.pair_of(ProcessId(4)), None);
+    }
+
+    #[test]
+    fn unpaired_processes_decide_at_initialization() {
+        let p = PairsKSet::new(5, 3, 4);
+        let c = Configuration::initial(&p, &[0, 1, 2, 3, 1]).unwrap();
+        assert_eq!(c.decision(ProcessId(4)), Some(1));
+        assert_eq!(c.running().len(), 4);
+    }
+
+    #[test]
+    fn wait_free_one_step_each() {
+        let p = PairsKSet::new(6, 3, 4);
+        let inputs = [0, 1, 2, 3, 0, 1];
+        let mut c = Configuration::initial(&p, &inputs).unwrap();
+        let out = runner::run(&p, &mut c, &mut RoundRobin::new(), 100).unwrap();
+        assert!(out.all_decided);
+        assert_eq!(
+            out.steps, 6,
+            "every paired process decides in exactly one step"
+        );
+        assert!(p.task().check(&inputs, &c.decisions()).is_ok());
+    }
+
+    #[test]
+    fn k_agreement_bound_is_tight_per_pair() {
+        // Each pair agrees internally, so at most (n-k) + (2k-n) = k values.
+        let p = PairsKSet::new(4, 2, 4);
+        let inputs = [0, 1, 2, 3];
+        let mut c = Configuration::initial(&p, &inputs).unwrap();
+        runner::run(&p, &mut c, &mut RoundRobin::new(), 100).unwrap();
+        // Pair (p0,p1) decides one value; pair (p2,p3) decides one value.
+        assert_eq!(c.decision(ProcessId(0)), c.decision(ProcessId(1)));
+        assert_eq!(c.decision(ProcessId(2)), c.decision(ProcessId(3)));
+        assert!(c.decided_values().len() <= 2);
+    }
+
+    #[test]
+    fn model_check_exhaustive_n4_k2() {
+        let p = PairsKSet::new(4, 2, 3);
+        let report = ModelChecker::new(10, 100_000)
+            .with_solo_budget(1)
+            .check_all_inputs(&p);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn random_schedules_safe() {
+        for seed in 0..20 {
+            let p = PairsKSet::new(7, 4, 5);
+            let inputs = [0, 1, 2, 3, 4, 0, 1];
+            let mut c = Configuration::initial(&p, &inputs).unwrap();
+            runner::run(&p, &mut c, &mut SeededRandom::new(seed), 100).unwrap();
+            assert!(
+                p.task().check(&inputs, &c.decisions()).is_ok(),
+                "seed {seed}"
+            );
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Real multi-threaded implementations of the paper's algorithms, built on
+//! the lock-free [`AtomicSwap`] object.
+//!
+//! The simulator (`swapcons-sim`) executes algorithms under *explicit*
+//! schedules; this module runs them under the only scheduler the paper's
+//! asynchronous model really has in practice — the operating system. One
+//! [`AtomicSwap::swap`] call is one shared-memory step of the model.
+//!
+//! Obstruction-freedom caveat: Algorithm 1 guarantees termination only when
+//! a process eventually runs long enough alone. Under real contention the
+//! race converges with overwhelming probability because lap leads grow, but
+//! there is no deterministic bound; [`ThreadedKSet::propose`] therefore
+//! applies a short randomized backoff after conflicted laps (a standard
+//! technique for running obstruction-free algorithms, which does not change
+//! the algorithm's shared-memory footprint: still exactly `n-k` swap
+//! objects). [`ThreadedKSet::propose_bounded`] offers a lap-bounded variant
+//! for callers that need a hard stop.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use swapcons_objects::atomic::AtomicSwap;
+use swapcons_sim::ProcessId;
+
+use crate::lap::{LapVec, SwapEntry};
+use crate::two_process::ThreadedTwoProcess;
+
+/// Threaded Algorithm 1: obstruction-free m-valued k-set agreement among
+/// real threads from `n-k` lock-free swap objects.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_core::threaded::ThreadedKSet;
+///
+/// let alg = ThreadedKSet::new(4, 2, 3);
+/// let decisions = alg.run(&[0, 1, 2, 0]);
+/// let distinct: std::collections::HashSet<_> = decisions.iter().copied().collect();
+/// assert!(distinct.len() <= 2);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedKSet {
+    n: usize,
+    k: usize,
+    m: u64,
+    objects: Vec<AtomicSwap<SwapEntry>>,
+}
+
+impl ThreadedKSet {
+    /// An instance for `n` threads, degree `k`, inputs from `{0, …, m-1}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n <= k`, `k == 0`, or `m == 0` (same preconditions as
+    /// [`crate::algorithm1::SwapKSet::new`]).
+    pub fn new(n: usize, k: usize, m: u64) -> Self {
+        assert!(k > 0 && n > k && m > 0, "require n > k >= 1 and m >= 1");
+        let objects = (0..n - k)
+            .map(|_| AtomicSwap::new(SwapEntry::bot(m as usize)))
+            .collect();
+        ThreadedKSet { n, k, m, objects }
+    }
+
+    /// Number of threads (`n`).
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of swap objects (`n-k`) — the space complexity.
+    pub fn space(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The agreement degree `k`.
+    pub fn degree(&self) -> usize {
+        self.k
+    }
+
+    /// Propose `input` as process `pid`; blocks until the race is decided.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n` or `input >= m`.
+    pub fn propose(&self, pid: usize, input: u64) -> u64 {
+        self.propose_bounded(pid, input, u64::MAX)
+            .expect("unbounded propose always decides")
+    }
+
+    /// Propose with a cap on completed laps; returns `None` if the cap is
+    /// reached without a decision (only possible under unbounded
+    /// contention).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n` or `input >= m`.
+    pub fn propose_bounded(&self, pid: usize, input: u64, max_laps: u64) -> Option<u64> {
+        assert!(pid < self.n, "pid {pid} out of range for n={}", self.n);
+        assert!(
+            input < self.m,
+            "input {input} out of range for m={}",
+            self.m
+        );
+        let me = ProcessId(pid);
+        let mut u = LapVec::initial(self.m as usize, input);
+        let mut rng = StdRng::seed_from_u64((pid as u64) << 32 | input);
+        let mut contended_passes: u32 = 0;
+        let mut laps: u64 = 0;
+        loop {
+            let mut conflict = false;
+            for object in &self.objects {
+                // Line 7: one atomic swap = one shared-memory step.
+                let got = object.swap(SwapEntry::of(u.clone(), me));
+                if got.id != Some(me) || got.laps != u {
+                    conflict = true;
+                    if got.laps != u {
+                        u.merge_max(&got.laps);
+                    }
+                }
+            }
+            if !conflict {
+                let (v, _) = u.leader();
+                if u.leads_by(v as usize, 2) {
+                    return Some(v);
+                }
+                u.increment(v as usize);
+                laps += 1;
+                if laps >= max_laps {
+                    return None;
+                }
+                contended_passes = 0;
+            } else {
+                // Randomized exponential backoff: purely local, no shared
+                // memory — the schedule knob that makes obstruction-freedom
+                // terminate in practice.
+                contended_passes = contended_passes.saturating_add(1);
+                let cap = 1u32 << contended_passes.min(12);
+                for _ in 0..rng.gen_range(0..cap) {
+                    std::hint::spin_loop();
+                }
+                if contended_passes > 4 {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    /// Run all `n` proposers on their own threads and collect the decisions,
+    /// indexed by process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n` or any input is out of range.
+    pub fn run(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n, "one input per process");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(pid, &input)| scope.spawn(move || self.propose(pid, input)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proposer panicked"))
+                .collect()
+        })
+    }
+}
+
+/// Threaded pairing construction: wait-free k-set agreement for
+/// `k ≥ ⌈n/2⌉` from `n-k` swap objects (see [`crate::pairs::PairsKSet`]).
+#[derive(Debug)]
+pub struct ThreadedPairs {
+    n: usize,
+    k: usize,
+    pairs: Vec<ThreadedTwoProcess>,
+}
+
+impl ThreadedPairs {
+    /// An instance for `n` threads and degree `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `n > k ≥ ⌈n/2⌉`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > k && 2 * k >= n, "pairing requires n > k >= ceil(n/2)");
+        ThreadedPairs {
+            n,
+            k,
+            pairs: (0..n - k).map(|_| ThreadedTwoProcess::new()).collect(),
+        }
+    }
+
+    /// Number of swap objects (`n-k`).
+    pub fn space(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Propose `input` as process `pid`; wait-free (at most one swap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n`.
+    pub fn propose(&self, pid: usize, input: u64) -> u64 {
+        assert!(pid < self.n, "pid {pid} out of range for n={}", self.n);
+        if pid < 2 * self.pairs.len() {
+            self.pairs[pid / 2].propose(input)
+        } else {
+            input
+        }
+    }
+
+    /// Run all `n` proposers on their own threads; returns decisions indexed
+    /// by process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != n`.
+    pub fn run(&self, inputs: &[u64]) -> Vec<u64> {
+        assert_eq!(inputs.len(), self.n, "one input per process");
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = inputs
+                .iter()
+                .enumerate()
+                .map(|(pid, &input)| scope.spawn(move || self.propose(pid, input)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proposer panicked"))
+                .collect()
+        })
+    }
+
+    /// The agreement degree `k`.
+    pub fn degree(&self) -> usize {
+        self.k
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn assert_kset(inputs: &[u64], decisions: &[u64], k: usize) {
+        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        assert!(distinct.len() <= k, "{distinct:?} exceeds k={k}");
+        let valid: HashSet<u64> = inputs.iter().copied().collect();
+        for d in decisions {
+            assert!(valid.contains(d), "decision {d} is nobody's input");
+        }
+    }
+
+    #[test]
+    fn threaded_consensus_small() {
+        for round in 0..20 {
+            let alg = ThreadedKSet::new(3, 1, 2);
+            let inputs = [round % 2, (round + 1) % 2, round % 2];
+            let decisions = alg.run(&inputs);
+            assert_kset(&inputs, &decisions, 1);
+        }
+    }
+
+    #[test]
+    fn threaded_kset_n6_k2() {
+        for _ in 0..10 {
+            let alg = ThreadedKSet::new(6, 2, 3);
+            let inputs = [0, 1, 2, 0, 1, 2];
+            let decisions = alg.run(&inputs);
+            assert_kset(&inputs, &decisions, 2);
+        }
+    }
+
+    #[test]
+    fn threaded_kset_equal_inputs_decide_it() {
+        let alg = ThreadedKSet::new(4, 1, 3);
+        let decisions = alg.run(&[2, 2, 2, 2]);
+        assert_eq!(
+            decisions,
+            vec![2, 2, 2, 2],
+            "validity forces the unique input"
+        );
+    }
+
+    #[test]
+    fn propose_bounded_gives_up_cleanly() {
+        // Solo proposer needs ~3 laps; a cap of 1 must abort.
+        let alg = ThreadedKSet::new(3, 1, 2);
+        assert_eq!(alg.propose_bounded(0, 1, 1), None);
+        // A fresh instance decides solo well within 10 laps.
+        let alg = ThreadedKSet::new(3, 1, 2);
+        assert_eq!(alg.propose_bounded(0, 1, 10), Some(1));
+    }
+
+    #[test]
+    fn solo_propose_decides_own_input() {
+        let alg = ThreadedKSet::new(5, 2, 4);
+        assert_eq!(alg.propose(3, 2), 2, "a solo run must decide its own input");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn propose_validates_input() {
+        let alg = ThreadedKSet::new(3, 1, 2);
+        let _ = alg.propose(0, 5);
+    }
+
+    #[test]
+    fn threaded_pairs_wait_free_rounds() {
+        for _ in 0..20 {
+            let alg = ThreadedPairs::new(6, 4);
+            let inputs = [0, 1, 2, 3, 4, 5];
+            let decisions = alg.run(&inputs);
+            assert_kset(&inputs, &decisions, 4);
+            // Pairwise agreement inside each pair.
+            assert_eq!(decisions[0], decisions[1]);
+            assert_eq!(decisions[2], decisions[3]);
+            // Unpaired processes keep their inputs.
+            assert_eq!(decisions[4], 4);
+            assert_eq!(decisions[5], 5);
+        }
+    }
+
+    #[test]
+    fn threaded_pairs_space() {
+        assert_eq!(ThreadedPairs::new(8, 5).space(), 3);
+        assert_eq!(ThreadedPairs::new(8, 5).degree(), 5);
+    }
+
+    #[test]
+    fn oversubscribed_threads() {
+        // More threads than cores: stresses preemption mid-pass.
+        let alg = ThreadedKSet::new(12, 4, 5);
+        let inputs: Vec<u64> = (0..12).map(|i| (i % 5) as u64).collect();
+        let decisions = alg.run(&inputs);
+        assert_kset(&inputs, &decisions, 4);
+    }
+}

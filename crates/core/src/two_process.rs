@@ -1,0 +1,107 @@
+//! The paper's wait-free 2-process consensus from a single swap object
+//! (Section 1).
+//!
+//! "There is also a simple wait-free 2-process consensus algorithm from a
+//! single swap object. The swap object initially contains a special value ⊥
+//! which cannot be the input value of any process. Both processes swap their
+//! input value into the object. The process that receives the response ⊥
+//! decides its input value and the other process decides the value it
+//! obtained in response to its swap operation."
+//!
+//! The deterministic simulator protocol lives in
+//! [`swapcons_sim::testing::TwoProcessSwapConsensus`] (re-exported here);
+//! this module adds the lock-free threaded form used by the pairs
+//! construction in [`crate::threaded`].
+
+pub use swapcons_sim::testing::{TwoProcConsensusValue, TwoProcState, TwoProcessSwapConsensus};
+
+use swapcons_objects::atomic::AtomicSwap;
+
+/// A wait-free 2-process consensus object for real threads, built on one
+/// lock-free [`AtomicSwap`].
+///
+/// Each of the two parties calls [`ThreadedTwoProcess::propose`] exactly
+/// once; both calls return the same value, which is one of the two proposed
+/// values. The decision takes exactly one atomic swap — wait-free with a
+/// concrete step bound of 1.
+///
+/// # Example
+///
+/// ```
+/// use std::sync::Arc;
+/// use swapcons_core::two_process::ThreadedTwoProcess;
+///
+/// let obj = Arc::new(ThreadedTwoProcess::new());
+/// let a = Arc::clone(&obj);
+/// let t = std::thread::spawn(move || a.propose(7));
+/// let mine = obj.propose(9);
+/// let theirs = t.join().unwrap();
+/// assert_eq!(mine, theirs);
+/// assert!(mine == 7 || mine == 9);
+/// ```
+#[derive(Debug)]
+pub struct ThreadedTwoProcess {
+    // None plays the role of ⊥.
+    object: AtomicSwap<Option<u64>>,
+}
+
+impl ThreadedTwoProcess {
+    /// A fresh consensus object holding `⊥`.
+    pub fn new() -> Self {
+        ThreadedTwoProcess {
+            object: AtomicSwap::new(None),
+        }
+    }
+
+    /// Propose `input`; returns the agreed value. Must be called at most
+    /// once by each of at most two parties.
+    pub fn propose(&self, input: u64) -> u64 {
+        match self.object.swap(Some(input)) {
+            None => input,
+            Some(theirs) => theirs,
+        }
+    }
+}
+
+impl Default for ThreadedTwoProcess {
+    fn default() -> Self {
+        ThreadedTwoProcess::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_first_proposer_wins() {
+        let o = ThreadedTwoProcess::new();
+        assert_eq!(o.propose(3), 3);
+        assert_eq!(o.propose(8), 3);
+    }
+
+    #[test]
+    fn concurrent_agreement_many_rounds() {
+        for round in 0..200u64 {
+            let o = Arc::new(ThreadedTwoProcess::new());
+            let a = Arc::clone(&o);
+            let b = Arc::clone(&o);
+            let t1 = std::thread::spawn(move || a.propose(round));
+            let t2 = std::thread::spawn(move || b.propose(round + 1000));
+            let d1 = t1.join().unwrap();
+            let d2 = t2.join().unwrap();
+            assert_eq!(d1, d2, "agreement in round {round}");
+            assert!(
+                d1 == round || d1 == round + 1000,
+                "validity in round {round}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_is_fresh() {
+        let o = ThreadedTwoProcess::default();
+        assert_eq!(o.propose(5), 5);
+    }
+}

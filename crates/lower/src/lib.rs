@@ -1,0 +1,55 @@
+//! Executable lower-bound machinery for *The Space Complexity of Consensus
+//! from Swap*.
+//!
+//! The paper's lower bounds are **constructive**: each proof describes an
+//! adversary that, pointed at any algorithm of the relevant class, builds
+//! executions forcing the algorithm to use many objects. This crate
+//! implements those adversaries against the [`swapcons_sim::Protocol`]
+//! interface, so they can literally be run against Algorithm 1, the
+//! baselines, or any future algorithm:
+//!
+//! * [`lemma9`] — the overwriting adversary behind Theorem 10 (`⌈n/k⌉ - 1`
+//!   swap objects for k-set agreement): repeatedly dispatches fresh
+//!   processes whose solo runs must step outside the already-equalized
+//!   object set, forcing one new distinct object per process (Figure 1).
+//!   Run against Algorithm 1 with `k = 1` it forces **all** `n-1` objects —
+//!   the bound is exactly tight.
+//! * [`valency`] — bounded-exhaustive bivalence/univalence computation for
+//!   process groups (the Section 2 valency notions; Observation 12).
+//! * [`lemma13`] — the block-swap bivalence extension: given a bivalent pair
+//!   `Q` and a covering set `S`, find a `Q`-only execution after which the
+//!   block swap leaves `Q` bivalent.
+//! * [`section5`] — the inductive constructions of Lemma 16 (readable
+//!   binary swap objects, Theorem 18: `n-2`) and Lemma 20 (domain size `b`,
+//!   Theorem 22: `(n-2)/(3b+1)`), executed step by step with their
+//!   invariants checked on every iteration (Figures 2–6).
+//! * [`bounds`] / [`table1`] — the formula side of Table 1 and its
+//!   regeneration: every row rendered with the paper's lower/upper bound
+//!   formulas evaluated next to the *measured* object counts of this
+//!   repository's implementations.
+//!
+//! # Example: force all `n-1` objects of Algorithm 1
+//!
+//! ```
+//! use swapcons_core::SwapKSet;
+//! use swapcons_lower::lemma9;
+//!
+//! let protocol = SwapKSet::consensus(5, 2);
+//! let report = lemma9::theorem10_consensus_witness(&protocol, 200).unwrap();
+//! assert_eq!(report.forced_objects.len(), 4); // |Q| = n-1 distinct objects
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bounds;
+pub mod lemma13;
+pub mod lemma9;
+pub mod section5;
+pub mod table1;
+pub mod theorem10;
+pub mod valency;
+
+pub use bounds::{BoundFormula, Table1Row};
+pub use lemma9::LemmaNineReport;
+pub use valency::{Valency, ValencyOracle};

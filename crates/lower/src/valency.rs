@@ -1,0 +1,275 @@
+//! Valency computation — the Section 2 notions, bounded-exhaustively.
+//!
+//! "A set of processes `P` is **bivalent** in configuration `C` if, for each
+//! `v ∈ {0,1}`, there exists an execution from `C` only involving steps by
+//! `P` in which some process in `P` decides the value `v`. If `P` is not
+//! bivalent in `C`, then it is **univalent**; `v`-univalent if `v` is the
+//! only value decided by `P` in its deciding executions."
+//!
+//! Exact valency is computable only when the group-only reachable space is
+//! finite; racing algorithms grow lap counters unboundedly, so
+//! [`ValencyOracle`] explores group-only executions to a configurable depth
+//! and state budget. Its verdicts are therefore three-valued:
+//!
+//! * decided values *found* are definite (witness schedules are returned);
+//! * a verdict of univalence/bivalence is definitive only when the search
+//!   was exhaustive ([`ValencyResult::exhaustive`]);
+//! * otherwise the verdict is the best-effort [`Valency::Unknown`] — the
+//!   Section 5 drivers treat it conservatively and record the cutoff.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+
+use swapcons_sim::{Configuration, ProcessId, Protocol};
+
+/// Three-valued valency verdict for a process group.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Valency {
+    /// Both 0 and 1 are decidable by the group (definitive: witnesses
+    /// exist even if the search was truncated).
+    Bivalent,
+    /// Exactly this value is decidable, and the search was exhaustive.
+    Univalent(u64),
+    /// The search was truncated before both values were found; the values
+    /// seen so far are in the accompanying [`ValencyResult`].
+    Unknown,
+}
+
+impl fmt::Display for Valency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Valency::Bivalent => write!(f, "bivalent"),
+            Valency::Univalent(v) => write!(f, "{v}-univalent"),
+            Valency::Unknown => write!(f, "unknown (search truncated)"),
+        }
+    }
+}
+
+/// Result of a valency query.
+#[derive(Clone, Debug)]
+pub struct ValencyResult {
+    /// Values decided by the group in some explored group-only execution,
+    /// with a witnessing schedule for each.
+    pub witnesses: HashMap<u64, Vec<ProcessId>>,
+    /// Whether the exploration covered the entire group-only reachable
+    /// space.
+    pub exhaustive: bool,
+    /// Distinct configurations explored.
+    pub states: usize,
+}
+
+impl ValencyResult {
+    /// The verdict, combining found values with exhaustiveness.
+    pub fn verdict(&self) -> Valency {
+        let values: HashSet<u64> = self.witnesses.keys().copied().collect();
+        if values.len() >= 2 {
+            Valency::Bivalent
+        } else if self.exhaustive {
+            match values.iter().next() {
+                Some(&v) => Valency::Univalent(v),
+                // No group member can ever decide — degenerate; treat as
+                // unknown rather than inventing a value.
+                None => Valency::Unknown,
+            }
+        } else {
+            Valency::Unknown
+        }
+    }
+
+    /// Whether `v` was proven decidable.
+    pub fn can_decide(&self, v: u64) -> bool {
+        self.witnesses.contains_key(&v)
+    }
+}
+
+/// Bounded-exhaustive valency oracle for a fixed protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct ValencyOracle {
+    /// Maximum schedule length explored.
+    pub max_depth: usize,
+    /// Maximum distinct configurations visited per query.
+    pub max_states: usize,
+}
+
+impl ValencyOracle {
+    /// An oracle with the given per-query budgets.
+    pub fn new(max_depth: usize, max_states: usize) -> Self {
+        ValencyOracle {
+            max_depth,
+            max_states,
+        }
+    }
+
+    /// Explore `group`-only executions from `config`, collecting every value
+    /// some group member decides.
+    ///
+    /// Early-exits once two distinct values are found (bivalence is then
+    /// definitive).
+    pub fn query<P: Protocol>(
+        &self,
+        protocol: &P,
+        config: &Configuration<P>,
+        group: &[ProcessId],
+    ) -> ValencyResult {
+        let mut witnesses: HashMap<u64, Vec<ProcessId>> = HashMap::new();
+        // Fast path: solo runs of each group member. For racing protocols a
+        // bivalent configuration usually realizes both values on
+        // straight-line schedules, making bivalence checks cheap.
+        for &pid in group {
+            if config.decision(pid).is_some() {
+                continue;
+            }
+            if let Ok((out, _)) =
+                swapcons_sim::runner::solo_run_cloned(protocol, config, pid, self.max_depth)
+            {
+                witnesses
+                    .entry(out.decision)
+                    .or_insert_with(|| vec![pid; out.steps]);
+            }
+        }
+        if witnesses.len() >= 2 {
+            return ValencyResult {
+                witnesses,
+                exhaustive: false,
+                states: 0,
+            };
+        }
+        let mut visited: HashSet<Configuration<P>> = HashSet::new();
+        let mut exhaustive = true;
+        let mut stack: Vec<(Configuration<P>, Vec<ProcessId>)> = vec![(config.clone(), vec![])];
+        while let Some((c, schedule)) = stack.pop() {
+            if witnesses.len() >= 2 {
+                // Bivalence established; whatever remains unexplored cannot
+                // change the verdict.
+                return ValencyResult {
+                    witnesses,
+                    exhaustive: false,
+                    states: visited.len(),
+                };
+            }
+            if !visited.insert(c.clone()) {
+                continue;
+            }
+            if visited.len() > self.max_states || schedule.len() >= self.max_depth {
+                exhaustive = false;
+                continue;
+            }
+            for &pid in group {
+                if c.decision(pid).is_some() {
+                    continue;
+                }
+                let mut child = c.clone();
+                let rec = match child.step(protocol, pid) {
+                    Ok(rec) => rec,
+                    Err(_) => {
+                        exhaustive = false;
+                        continue;
+                    }
+                };
+                let mut sched = schedule.clone();
+                sched.push(pid);
+                if let Some(v) = rec.decided {
+                    witnesses.entry(v).or_insert_with(|| sched.clone());
+                }
+                stack.push((child, sched));
+            }
+        }
+        ValencyResult {
+            witnesses,
+            exhaustive,
+            states: visited.len(),
+        }
+    }
+
+    /// Convenience: the verdict only.
+    pub fn valency<P: Protocol>(
+        &self,
+        protocol: &P,
+        config: &Configuration<P>,
+        group: &[ProcessId],
+    ) -> Valency {
+        self.query(protocol, config, group).verdict()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_baselines::BinaryRacing;
+    use swapcons_core::SwapKSet;
+    use swapcons_sim::runner;
+
+    /// Observation 12: with q0 holding input 0 and q1 holding input 1, the
+    /// pair {q0, q1} is bivalent in the initial configuration.
+    #[test]
+    fn observation12_initial_bivalence_binary_racing() {
+        let p = BinaryRacing::with_track_len(4, 10);
+        // Processes 0,1 are the special pair Q; 2,3 are P.
+        let c = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        let oracle = ValencyOracle::new(60, 60_000);
+        let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(result.verdict(), Valency::Bivalent, "{result:?}");
+        // Witness schedules replay to the claimed decisions.
+        for (&v, schedule) in &result.witnesses {
+            let mut replay = c.clone();
+            let h = runner::replay(&p, &mut replay, schedule).unwrap();
+            assert!(h.decisions().iter().any(|&(_, d)| d == v));
+        }
+    }
+
+    #[test]
+    fn observation12_initial_bivalence_algorithm1() {
+        let p = SwapKSet::consensus(3, 2);
+        let c = Configuration::initial(&p, &[0, 1, 0]).unwrap();
+        let oracle = ValencyOracle::new(40, 40_000);
+        assert_eq!(
+            oracle.valency(&p, &c, &[ProcessId(0), ProcessId(1)]),
+            Valency::Bivalent
+        );
+    }
+
+    #[test]
+    fn univalence_after_commitment() {
+        // Run p0 of Algorithm 1 solo to decision; afterwards the pair
+        // {p1, p2} can only decide p0's value.
+        let p = SwapKSet::consensus(3, 2);
+        let mut c = Configuration::initial(&p, &[1, 0, 0]).unwrap();
+        runner::solo_run(&p, &mut c, ProcessId(0), p.solo_step_bound()).unwrap();
+        let oracle = ValencyOracle::new(40, 150_000);
+        let result = oracle.query(&p, &c, &[ProcessId(1), ProcessId(2)]);
+        // 1 must be decidable (agreement forces it); 0 must NOT appear.
+        assert!(result.can_decide(1), "{result:?}");
+        assert!(
+            !result.can_decide(0),
+            "agreement violation witnessed: {result:?}"
+        );
+    }
+
+    #[test]
+    fn unanimous_inputs_are_univalent() {
+        let p = BinaryRacing::with_track_len(3, 10);
+        let c = Configuration::initial(&p, &[1, 1, 1]).unwrap();
+        let oracle = ValencyOracle::new(60, 100_000);
+        let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
+        assert!(result.can_decide(1));
+        assert!(!result.can_decide(0), "validity: 0 is nobody's input");
+    }
+
+    #[test]
+    fn truncated_search_reports_unknown() {
+        let p = SwapKSet::consensus(3, 2);
+        let c = Configuration::initial(&p, &[0, 1, 0]).unwrap();
+        // Depth 1 cannot reach any decision.
+        let oracle = ValencyOracle::new(1, 10);
+        let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(result.verdict(), Valency::Unknown);
+        assert!(!result.exhaustive);
+    }
+
+    #[test]
+    fn verdict_display() {
+        assert_eq!(Valency::Bivalent.to_string(), "bivalent");
+        assert_eq!(Valency::Univalent(1).to_string(), "1-univalent");
+        assert!(Valency::Unknown.to_string().contains("truncated"));
+    }
+}

@@ -1,0 +1,295 @@
+//! The operation/response alphabet of historyless objects.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// An operation on a historyless object.
+///
+/// Following Section 2 of the paper, an operation is *trivial* if it can
+/// never modify the value of the object ([`HistorylessOp::Read`]) and
+/// *nontrivial* otherwise ([`HistorylessOp::Write`], [`HistorylessOp::Swap`]).
+/// A historyless object's value is fully determined by the last nontrivial
+/// operation applied to it, which is why both `Write(v)` and `Swap(v)` map the
+/// object to value `v` regardless of its prior state.
+///
+/// The type parameter `V` is the object's value type. Protocols built on
+/// integer-valued objects typically use `u64` so that bounded domains
+/// ([`crate::Domain::Bounded`]) can be enforced.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_objects::HistorylessOp;
+///
+/// assert!(HistorylessOp::<u64>::Read.is_trivial());
+/// assert!(!HistorylessOp::Swap(3u64).is_trivial());
+/// assert_eq!(HistorylessOp::Write(9u64).next_value(&4), Some(9));
+/// assert_eq!(HistorylessOp::<u64>::Read.next_value(&4), None);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HistorylessOp<V> {
+    /// Trivial operation: return the current value, leave it unchanged.
+    Read,
+    /// Nontrivial operation: set the value to the payload. The response is an
+    /// acknowledgement carrying no information about the previous value.
+    Write(V),
+    /// Nontrivial operation: set the value to the payload and return the
+    /// previous value atomically.
+    Swap(V),
+}
+
+impl<V> HistorylessOp<V> {
+    /// Returns `true` when the operation can never modify the object.
+    pub fn is_trivial(&self) -> bool {
+        matches!(self, HistorylessOp::Read)
+    }
+
+    /// Returns `true` when the operation always sets the object's value.
+    pub fn is_nontrivial(&self) -> bool {
+        !self.is_trivial()
+    }
+
+    /// The value the object holds after this operation is applied, or `None`
+    /// if the operation is trivial (value unchanged).
+    pub fn next_value(&self, _current: &V) -> Option<V>
+    where
+        V: Clone,
+    {
+        match self {
+            HistorylessOp::Read => None,
+            HistorylessOp::Write(v) | HistorylessOp::Swap(v) => Some(v.clone()),
+        }
+    }
+
+    /// The response returned to the caller when the operation is applied to
+    /// an object currently holding `current`.
+    pub fn response(&self, current: &V) -> Response<V>
+    where
+        V: Clone,
+    {
+        match self {
+            HistorylessOp::Read | HistorylessOp::Swap(_) => Response::Value(current.clone()),
+            HistorylessOp::Write(_) => Response::Ack,
+        }
+    }
+
+    /// The [`OpKind`] discriminant of this operation, independent of payload.
+    pub fn kind(&self) -> OpKind {
+        match self {
+            HistorylessOp::Read => OpKind::Read,
+            HistorylessOp::Write(_) => OpKind::Write,
+            HistorylessOp::Swap(_) => OpKind::Swap,
+        }
+    }
+
+    /// Borrow the payload of a nontrivial operation.
+    pub fn payload(&self) -> Option<&V> {
+        match self {
+            HistorylessOp::Read => None,
+            HistorylessOp::Write(v) | HistorylessOp::Swap(v) => Some(v),
+        }
+    }
+
+    /// Map the payload type, preserving the operation kind.
+    pub fn map<U>(self, f: impl FnOnce(V) -> U) -> HistorylessOp<U> {
+        match self {
+            HistorylessOp::Read => HistorylessOp::Read,
+            HistorylessOp::Write(v) => HistorylessOp::Write(f(v)),
+            HistorylessOp::Swap(v) => HistorylessOp::Swap(f(v)),
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for HistorylessOp<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistorylessOp::Read => write!(f, "Read"),
+            HistorylessOp::Write(v) => write!(f, "Write({v:?})"),
+            HistorylessOp::Swap(v) => write!(f, "Swap({v:?})"),
+        }
+    }
+}
+
+/// The discriminant of a [`HistorylessOp`], used for capability checks in
+/// [`crate::ObjectSchema::permits_kind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OpKind {
+    /// A trivial read.
+    Read,
+    /// A blind write (nontrivial, uninformative response).
+    Write,
+    /// An atomic swap (nontrivial, returns the previous value).
+    Swap,
+}
+
+impl OpKind {
+    /// Whether operations of this kind are trivial.
+    pub fn is_trivial(self) -> bool {
+        matches!(self, OpKind::Read)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Read => "read",
+            OpKind::Write => "write",
+            OpKind::Swap => "swap",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The response to a [`HistorylessOp`].
+///
+/// `Read` and `Swap` return the (previous) value of the object; `Write`
+/// returns an uninformative acknowledgement. Keeping the acknowledgement as a
+/// distinct variant (rather than echoing the written value) makes it
+/// impossible for a protocol state machine to smuggle information out of a
+/// write, which matters for the covering arguments in the paper: a block
+/// *write* hides a preceding execution from the writers, while a block *swap*
+/// does not (Section 2).
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Response<V> {
+    /// Acknowledgement of a write; carries no information.
+    Ack,
+    /// The value observed by a read or returned by a swap.
+    Value(V),
+}
+
+impl<V> Response<V> {
+    /// Borrow the payload of a value-bearing response.
+    pub fn value(&self) -> Option<&V> {
+        match self {
+            Response::Ack => None,
+            Response::Value(v) => Some(v),
+        }
+    }
+
+    /// Consume the response, yielding the payload of a value-bearing
+    /// response.
+    pub fn into_value(self) -> Option<V> {
+        match self {
+            Response::Ack => None,
+            Response::Value(v) => Some(v),
+        }
+    }
+
+    /// Consume the response, yielding the payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the response is [`Response::Ack`]. Intended for protocol
+    /// code that has just issued a `Read` or `Swap` and is therefore entitled
+    /// to a value.
+    pub fn expect_value(self, msg: &str) -> V {
+        match self {
+            Response::Ack => panic!("expected value response: {msg}"),
+            Response::Value(v) => v,
+        }
+    }
+}
+
+impl<V: fmt::Debug> fmt::Debug for Response<V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Response::Ack => write!(f, "Ack"),
+            Response::Value(v) => write!(f, "Value({v:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_is_trivial_and_preserves_value() {
+        let op: HistorylessOp<u64> = HistorylessOp::Read;
+        assert!(op.is_trivial());
+        assert!(!op.is_nontrivial());
+        assert_eq!(op.next_value(&42), None);
+        assert_eq!(op.response(&42), Response::Value(42));
+    }
+
+    #[test]
+    fn write_is_nontrivial_with_ack_response() {
+        let op = HistorylessOp::Write(7u64);
+        assert!(op.is_nontrivial());
+        assert_eq!(op.next_value(&42), Some(7));
+        assert_eq!(op.response(&42), Response::Ack);
+    }
+
+    #[test]
+    fn swap_sets_value_and_returns_previous() {
+        let op = HistorylessOp::Swap(7u64);
+        assert!(op.is_nontrivial());
+        assert_eq!(op.next_value(&42), Some(7));
+        assert_eq!(op.response(&42), Response::Value(42));
+    }
+
+    #[test]
+    fn historyless_property_next_value_ignores_current() {
+        // The defining property of a historyless object: the value after a
+        // nontrivial op does not depend on the value before.
+        let op = HistorylessOp::Swap(5u64);
+        for current in 0..100u64 {
+            assert_eq!(op.next_value(&current), Some(5));
+        }
+        let op = HistorylessOp::Write(9u64);
+        for current in 0..100u64 {
+            assert_eq!(op.next_value(&current), Some(9));
+        }
+    }
+
+    #[test]
+    fn kind_discriminants() {
+        assert_eq!(HistorylessOp::<u64>::Read.kind(), OpKind::Read);
+        assert_eq!(HistorylessOp::Write(0u64).kind(), OpKind::Write);
+        assert_eq!(HistorylessOp::Swap(0u64).kind(), OpKind::Swap);
+        assert!(OpKind::Read.is_trivial());
+        assert!(!OpKind::Write.is_trivial());
+        assert!(!OpKind::Swap.is_trivial());
+    }
+
+    #[test]
+    fn payload_borrowing() {
+        assert_eq!(HistorylessOp::<u64>::Read.payload(), None);
+        assert_eq!(HistorylessOp::Write(3u64).payload(), Some(&3));
+        assert_eq!(HistorylessOp::Swap(4u64).payload(), Some(&4));
+    }
+
+    #[test]
+    fn map_preserves_kind() {
+        let op = HistorylessOp::Swap(3u64).map(|v| v * 2);
+        assert_eq!(op, HistorylessOp::Swap(6u64));
+        let op: HistorylessOp<u64> = HistorylessOp::Read.map(|v: u64| v * 2);
+        assert_eq!(op, HistorylessOp::Read);
+    }
+
+    #[test]
+    fn response_accessors() {
+        let r = Response::Value(11u64);
+        assert_eq!(r.value(), Some(&11));
+        assert_eq!(r.clone().into_value(), Some(11));
+        assert_eq!(r.expect_value("must hold"), 11);
+        let a: Response<u64> = Response::Ack;
+        assert_eq!(a.value(), None);
+        assert_eq!(a.into_value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected value response")]
+    fn expect_value_on_ack_panics() {
+        let a: Response<u64> = Response::Ack;
+        let _ = a.expect_value("boom");
+    }
+
+    #[test]
+    fn debug_formatting_is_compact() {
+        assert_eq!(format!("{:?}", HistorylessOp::Swap(2u64)), "Swap(2)");
+        assert_eq!(format!("{:?}", Response::<u64>::Ack), "Ack");
+        assert_eq!(format!("{}", OpKind::Swap), "swap");
+    }
+}

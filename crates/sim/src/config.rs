@@ -1,0 +1,461 @@
+//! Configurations and steps — the paper's execution model, executable.
+//!
+//! A configuration consists of a state for every process and a value for
+//! every object (Section 2). [`Configuration::step`] applies exactly one
+//! step: the scheduled process applies its poised operation to an object,
+//! obtains the response determined by the object's current value, performs
+//! its local computation, and either continues or decides.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, SchemaError};
+
+use crate::history::StepRecord;
+use crate::ids::{ObjectId, ProcessId};
+use crate::protocol::{Protocol, SimValue, Transition};
+
+/// Status of one process within a configuration.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ProcStatus<S> {
+    /// Still participating; holds the local state.
+    Running(S),
+    /// Terminated with a decision. Decided processes take no further steps.
+    Decided(u64),
+}
+
+impl<S> ProcStatus<S> {
+    /// The local state, if still running.
+    pub fn state(&self) -> Option<&S> {
+        match self {
+            ProcStatus::Running(s) => Some(s),
+            ProcStatus::Decided(_) => None,
+        }
+    }
+
+    /// The decision, if decided.
+    pub fn decision(&self) -> Option<u64> {
+        match self {
+            ProcStatus::Running(_) => None,
+            ProcStatus::Decided(v) => Some(*v),
+        }
+    }
+}
+
+/// A reachable configuration of a protocol: object values, process statuses,
+/// and the inputs that produced the initial configuration (kept for validity
+/// checking).
+pub struct Configuration<P: Protocol> {
+    objects: Vec<P::Value>,
+    procs: Vec<ProcStatus<P::State>>,
+    inputs: Vec<u64>,
+}
+
+// Manual impls: the derive would demand `P: Clone`/`P: Hash` etc., but only
+// `P::Value` and `P::State` appear in fields, and the `Protocol` trait
+// already requires Clone + Eq + Hash of both.
+impl<P: Protocol> Clone for Configuration<P> {
+    fn clone(&self) -> Self {
+        Configuration {
+            objects: self.objects.clone(),
+            procs: self.procs.clone(),
+            inputs: self.inputs.clone(),
+        }
+    }
+}
+
+impl<P: Protocol> PartialEq for Configuration<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.objects == other.objects && self.procs == other.procs && self.inputs == other.inputs
+    }
+}
+
+impl<P: Protocol> Eq for Configuration<P> {}
+
+impl<P: Protocol> std::hash::Hash for Configuration<P> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.objects.hash(state);
+        self.procs.hash(state);
+        self.inputs.hash(state);
+    }
+}
+
+impl<P: Protocol> Configuration<P> {
+    /// The initial configuration for the given per-process inputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadInputs`] if the input vector violates the
+    /// protocol's task (wrong length or out-of-range input), or a schema
+    /// error if an initial object value violates its declared domain.
+    pub fn initial(protocol: &P, inputs: &[u64]) -> Result<Self, SimError> {
+        protocol
+            .task()
+            .check_inputs(inputs)
+            .map_err(|v| SimError::BadInputs(v.to_string()))?;
+        let schemas = protocol.schemas();
+        let mut objects = Vec::with_capacity(schemas.len());
+        for (i, schema) in schemas.iter().enumerate() {
+            let value = protocol.initial_value(ObjectId(i));
+            check_domain(schema, &value).map_err(|e| SimError::Schema {
+                process: None,
+                object: ObjectId(i),
+                error: e,
+            })?;
+            objects.push(value);
+        }
+        let procs = inputs
+            .iter()
+            .enumerate()
+            .map(
+                |(i, &input)| match protocol.initial_decision(ProcessId(i), input) {
+                    Some(v) => ProcStatus::Decided(v),
+                    None => ProcStatus::Running(protocol.initial_state(ProcessId(i), input)),
+                },
+            )
+            .collect();
+        Ok(Configuration {
+            objects,
+            procs,
+            inputs: inputs.to_vec(),
+        })
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.procs.len()
+    }
+
+    /// Number of shared objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// The inputs this run started from.
+    pub fn inputs(&self) -> &[u64] {
+        &self.inputs
+    }
+
+    /// The value of object `obj` — the paper's `value(B, C)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range.
+    pub fn value(&self, obj: ObjectId) -> &P::Value {
+        &self.objects[obj.index()]
+    }
+
+    /// All object values, indexed by object id.
+    pub fn object_values(&self) -> &[P::Value] {
+        &self.objects
+    }
+
+    /// The status of process `pid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn status(&self, pid: ProcessId) -> &ProcStatus<P::State> {
+        &self.procs[pid.index()]
+    }
+
+    /// The local state of `pid`, if running.
+    pub fn state(&self, pid: ProcessId) -> Option<&P::State> {
+        self.status(pid).state()
+    }
+
+    /// The decision of `pid`, if decided.
+    pub fn decision(&self, pid: ProcessId) -> Option<u64> {
+        self.status(pid).decision()
+    }
+
+    /// Decisions of all processes, indexed by process id.
+    pub fn decisions(&self) -> Vec<Option<u64>> {
+        self.procs.iter().map(|s| s.decision()).collect()
+    }
+
+    /// The set of distinct decided values.
+    pub fn decided_values(&self) -> HashSet<u64> {
+        self.procs.iter().filter_map(|s| s.decision()).collect()
+    }
+
+    /// Ids of processes that have not yet decided.
+    pub fn running(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, ProcStatus::Running(_)))
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// Whether every process has decided.
+    pub fn all_decided(&self) -> bool {
+        self.procs
+            .iter()
+            .all(|s| matches!(s, ProcStatus::Decided(_)))
+    }
+
+    /// The operation process `pid` is poised to apply (Section 2), or `None`
+    /// if it has decided.
+    pub fn poised(
+        &self,
+        protocol: &P,
+        pid: ProcessId,
+    ) -> Option<(ObjectId, HistorylessOp<P::Value>)> {
+        self.state(pid).map(|s| protocol.poised(s))
+    }
+
+    /// Apply one step by `pid`, mutating the configuration and returning a
+    /// record of the step.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ProcessDecided`] if `pid` has already decided;
+    /// * [`SimError::Schema`] if the poised operation violates the target
+    ///   object's schema (wrong operation kind or out-of-domain value) —
+    ///   this indicates a bug in the protocol under test, and the
+    ///   configuration is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range, or if the protocol's poised
+    /// operation targets an out-of-range object (both are protocol bugs).
+    pub fn step(&mut self, protocol: &P, pid: ProcessId) -> Result<StepRecord<P::Value>, SimError> {
+        let state = match &self.procs[pid.index()] {
+            ProcStatus::Running(s) => s.clone(),
+            ProcStatus::Decided(_) => return Err(SimError::ProcessDecided(pid)),
+        };
+        let (obj, op) = protocol.poised(&state);
+        assert!(
+            obj.index() < self.objects.len(),
+            "{pid:?} poised on out-of-range object {obj:?}"
+        );
+        let schema = protocol.schemas()[obj.index()];
+        schema
+            .check_op_kind(op.kind())
+            .map_err(|e| SimError::Schema {
+                process: Some(pid),
+                object: obj,
+                error: e,
+            })?;
+        if let Some(payload) = op.payload() {
+            check_domain(&schema, payload).map_err(|e| SimError::Schema {
+                process: Some(pid),
+                object: obj,
+                error: e,
+            })?;
+        }
+        let current = &self.objects[obj.index()];
+        let response = op.response(current);
+        if let Some(next) = op.next_value(current) {
+            self.objects[obj.index()] = next;
+        }
+        let decided = match protocol.observe(state, response.clone()) {
+            Transition::Continue(next_state) => {
+                self.procs[pid.index()] = ProcStatus::Running(next_state);
+                None
+            }
+            Transition::Decide(v) => {
+                self.procs[pid.index()] = ProcStatus::Decided(v);
+                Some(v)
+            }
+        };
+        Ok(StepRecord {
+            pid,
+            object: obj,
+            op,
+            response,
+            decided,
+        })
+    }
+
+    /// Whether this configuration is indistinguishable from `other` to every
+    /// process in `pids` — the paper's `C1 ~P C2` (equal local states; note
+    /// that indistinguishability of *configurations* constrains only process
+    /// states, not object values).
+    pub fn indistinguishable_to(&self, other: &Self, pids: &[ProcessId]) -> bool {
+        pids.iter()
+            .all(|&p| self.procs[p.index()] == other.procs[p.index()])
+    }
+
+    /// Whether the objects in `objs` hold the same values in `self` and
+    /// `other` — the precondition for extending indistinguishable
+    /// configurations by executions that access only those objects.
+    pub fn same_object_values(&self, other: &Self, objs: &[ObjectId]) -> bool {
+        objs.iter()
+            .all(|&o| self.objects[o.index()] == other.objects[o.index()])
+    }
+
+    /// A compact fingerprint of the configuration (object values + process
+    /// statuses), used by the model checker's visited set.
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.objects.hash(&mut h);
+        self.procs.hash(&mut h);
+        h.finish()
+    }
+
+    /// Overwrite the value of an object. **System-level** operation used by
+    /// adversary constructions to build hypothetical configurations; not
+    /// reachable by any process step.
+    pub fn poke_object(&mut self, obj: ObjectId, value: P::Value) {
+        self.objects[obj.index()] = value;
+    }
+}
+
+impl<P: Protocol> fmt::Debug for Configuration<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Configuration")
+            .field("objects", &self.objects)
+            .field("procs", &self.procs)
+            .finish()
+    }
+}
+
+fn check_domain<V: SimValue>(schema: &ObjectSchema, value: &V) -> Result<(), SchemaError> {
+    match (schema.domain(), value.domain_point()) {
+        (swapcons_objects::Domain::Unbounded, _) => Ok(()),
+        (swapcons_objects::Domain::Bounded(_), Some(x)) => schema.check_value(x),
+        (domain @ swapcons_objects::Domain::Bounded(_), None) => {
+            // A composite value cannot inhabit a bounded integer domain.
+            Err(SchemaError::ValueOutOfDomain {
+                value: u64::MAX,
+                domain,
+            })
+        }
+    }
+}
+
+/// Errors produced by the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The inputs passed to [`Configuration::initial`] violate the task.
+    BadInputs(String),
+    /// A decided process was scheduled.
+    ProcessDecided(ProcessId),
+    /// An operation violated an object's schema.
+    Schema {
+        /// The stepping process (`None` during initialization).
+        process: Option<ProcessId>,
+        /// The target object.
+        object: ObjectId,
+        /// The underlying schema error.
+        error: SchemaError,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadInputs(msg) => write!(f, "bad inputs: {msg}"),
+            SimError::ProcessDecided(p) => write!(f, "{p} has already decided"),
+            SimError::Schema {
+                process,
+                object,
+                error,
+            } => match process {
+                Some(p) => write!(f, "{p} violated schema of {object}: {error}"),
+                None => write!(f, "initial value of {object} violates schema: {error}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::TwoProcessSwapConsensus;
+
+    fn init(inputs: &[u64]) -> Configuration<TwoProcessSwapConsensus> {
+        Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
+    }
+
+    #[test]
+    fn initial_configuration_shape() {
+        let c = init(&[0, 1]);
+        assert_eq!(c.num_processes(), 2);
+        assert_eq!(c.num_objects(), 1);
+        assert_eq!(c.inputs(), &[0, 1]);
+        assert_eq!(c.running(), vec![ProcessId(0), ProcessId(1)]);
+        assert!(!c.all_decided());
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        let err = Configuration::initial(&TwoProcessSwapConsensus, &[0]).unwrap_err();
+        assert!(matches!(err, SimError::BadInputs(_)));
+        let err = Configuration::initial(&TwoProcessSwapConsensus, &[0, 99]).unwrap_err();
+        assert!(matches!(err, SimError::BadInputs(_)));
+    }
+
+    #[test]
+    fn first_swapper_decides_own_input() {
+        let mut c = init(&[0, 1]);
+        let rec = c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert_eq!(rec.decided, Some(0), "p0 sees ⊥ and decides its own input");
+        assert_eq!(c.decision(ProcessId(0)), Some(0));
+        let rec = c.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert_eq!(rec.decided, Some(0), "p1 receives p0's input from the swap");
+        assert!(c.all_decided());
+        assert_eq!(c.decided_values().len(), 1);
+    }
+
+    #[test]
+    fn stepping_decided_process_errors() {
+        let mut c = init(&[1, 1]);
+        c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        let err = c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap_err();
+        assert_eq!(err, SimError::ProcessDecided(ProcessId(0)));
+    }
+
+    #[test]
+    fn indistinguishability_over_subsets() {
+        let a = init(&[0, 1]);
+        let mut b = init(&[0, 0]);
+        // p0 has the same state (same input 0); p1 differs.
+        assert!(a.indistinguishable_to(&b, &[ProcessId(0)]));
+        assert!(!a.indistinguishable_to(&b, &[ProcessId(1)]));
+        // After p1 steps in b, p0 still cannot distinguish.
+        b.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert!(a.indistinguishable_to(&b, &[ProcessId(0)]));
+    }
+
+    #[test]
+    fn same_object_values_tracks_swaps() {
+        let a = init(&[0, 1]);
+        let mut b = init(&[0, 1]);
+        assert!(a.same_object_values(&b, &[ObjectId(0)]));
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert!(!a.same_object_values(&b, &[ObjectId(0)]));
+    }
+
+    #[test]
+    fn fingerprints_distinguish_configurations() {
+        let a = init(&[0, 1]);
+        let mut b = init(&[0, 1]);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn poke_object_changes_value() {
+        use crate::testing::TwoProcConsensusValue;
+        let mut c = init(&[0, 1]);
+        c.poke_object(ObjectId(0), TwoProcConsensusValue::Input(1));
+        assert_eq!(c.value(ObjectId(0)), &TwoProcConsensusValue::Input(1));
+    }
+
+    #[test]
+    fn poised_returns_none_after_decision() {
+        let mut c = init(&[0, 1]);
+        assert!(c.poised(&TwoProcessSwapConsensus, ProcessId(0)).is_some());
+        c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert!(c.poised(&TwoProcessSwapConsensus, ProcessId(0)).is_none());
+    }
+}

@@ -1,0 +1,348 @@
+//! Exhaustive model checking of small protocol instances.
+//!
+//! [`ModelChecker`] performs a depth-first search over *all* schedules from
+//! an initial configuration, de-duplicating configurations (two schedules
+//! that lead to the same configuration explore a single subtree). On every
+//! reachable configuration it checks the task's safety predicates —
+//! k-agreement and validity — and, optionally, solo termination within a
+//! step budget from every reachable configuration, which is precisely
+//! obstruction-freedom restricted to the explored region (and for Algorithm 1
+//! the paper's Lemma 8 gives the concrete budget `8(n-k)`).
+//!
+//! Racing-style algorithms have unbounded state spaces (lap counters grow
+//! under contention), so exploration is bounded by depth and state count;
+//! [`CheckReport::complete`] records whether any cutoff was hit. A report
+//! with `complete == true` and no violation is an exhaustive proof of safety
+//! for that instance; `complete == false` is a bounded certificate.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::config::Configuration;
+use crate::ids::ProcessId;
+use crate::protocol::Protocol;
+use crate::runner::{solo_run_cloned, SoloRunError};
+use crate::task::TaskViolation;
+
+/// Bounded-exhaustive schedule explorer.
+#[derive(Clone, Copy, Debug)]
+pub struct ModelChecker {
+    /// Maximum schedule length explored from the initial configuration.
+    pub max_depth: usize,
+    /// Maximum number of distinct configurations visited.
+    pub max_states: usize,
+    /// If set, verify from every visited configuration that every running
+    /// process decides within this many solo steps (obstruction-freedom).
+    pub solo_budget: Option<usize>,
+}
+
+impl ModelChecker {
+    /// A checker with the given depth and state bounds and no solo checking.
+    pub fn new(max_depth: usize, max_states: usize) -> Self {
+        ModelChecker {
+            max_depth,
+            max_states,
+            solo_budget: None,
+        }
+    }
+
+    /// Enable solo-termination (obstruction-freedom) checking with the given
+    /// per-run step budget.
+    pub fn with_solo_budget(mut self, budget: usize) -> Self {
+        self.solo_budget = Some(budget);
+        self
+    }
+
+    /// Explore all schedules from the initial configuration for `inputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the initial configuration cannot be constructed (bad inputs
+    /// are a usage error in test code).
+    pub fn check<P: Protocol>(&self, protocol: &P, inputs: &[u64]) -> CheckReport {
+        let initial =
+            Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
+        let task = protocol.task();
+        let mut visited: HashSet<Configuration<P>> = HashSet::new();
+        let mut report = CheckReport {
+            states: 0,
+            terminal_states: 0,
+            complete: true,
+            deepest: 0,
+            violation: None,
+        };
+        // DFS stack: configuration + the schedule that produced it.
+        let mut stack: Vec<(Configuration<P>, Vec<ProcessId>)> = vec![(initial, Vec::new())];
+        while let Some((config, schedule)) = stack.pop() {
+            if !visited.insert(config.clone()) {
+                continue;
+            }
+            report.states += 1;
+            report.deepest = report.deepest.max(schedule.len());
+            if report.states >= self.max_states {
+                report.complete = false;
+            }
+            // Safety predicates on every reachable configuration.
+            if let Err(v) = task.check(inputs, &config.decisions()) {
+                report.violation = Some(FoundViolation {
+                    kind: ViolationKind::Task(v),
+                    schedule,
+                });
+                return report;
+            }
+            // Obstruction-freedom: every running process decides solo.
+            if let Some(budget) = self.solo_budget {
+                for pid in config.running() {
+                    match solo_run_cloned(protocol, &config, pid, budget) {
+                        Ok(_) => {}
+                        Err(SoloRunError::BudgetExhausted { .. }) => {
+                            report.violation = Some(FoundViolation {
+                                kind: ViolationKind::SoloTermination { pid, budget },
+                                schedule,
+                            });
+                            return report;
+                        }
+                        Err(e) => {
+                            report.violation = Some(FoundViolation {
+                                kind: ViolationKind::Internal(e.to_string()),
+                                schedule,
+                            });
+                            return report;
+                        }
+                    }
+                }
+            }
+            let running = config.running();
+            if running.is_empty() {
+                report.terminal_states += 1;
+                continue;
+            }
+            if schedule.len() >= self.max_depth || report.states >= self.max_states {
+                report.complete = false;
+                continue;
+            }
+            for pid in running {
+                let mut child = config.clone();
+                match child.step(protocol, pid) {
+                    Ok(_) => {
+                        let mut s = schedule.clone();
+                        s.push(pid);
+                        stack.push((child, s));
+                    }
+                    Err(e) => {
+                        let mut s = schedule.clone();
+                        s.push(pid);
+                        report.violation = Some(FoundViolation {
+                            kind: ViolationKind::Internal(e.to_string()),
+                            schedule: s,
+                        });
+                        return report;
+                    }
+                }
+            }
+        }
+        report
+    }
+
+    /// Check every input assignment of the protocol's task (all `m^n`
+    /// vectors). Returns the first failing report, or the last successful
+    /// one with aggregate counts.
+    pub fn check_all_inputs<P: Protocol>(&self, protocol: &P) -> CheckReport {
+        let task = protocol.task();
+        let mut aggregate = CheckReport {
+            states: 0,
+            terminal_states: 0,
+            complete: true,
+            deepest: 0,
+            violation: None,
+        };
+        let mut inputs = vec![0u64; task.n];
+        loop {
+            let report = self.check(protocol, &inputs);
+            aggregate.states += report.states;
+            aggregate.terminal_states += report.terminal_states;
+            aggregate.complete &= report.complete;
+            aggregate.deepest = aggregate.deepest.max(report.deepest);
+            if report.violation.is_some() {
+                aggregate.violation = report.violation;
+                return aggregate;
+            }
+            // Advance the input vector like an odometer in base m.
+            let mut i = 0;
+            loop {
+                if i == task.n {
+                    return aggregate;
+                }
+                inputs[i] += 1;
+                if inputs[i] < task.m {
+                    break;
+                }
+                inputs[i] = 0;
+                i += 1;
+            }
+        }
+    }
+}
+
+/// Result of a model-checking run.
+#[derive(Clone, Debug)]
+pub struct CheckReport {
+    /// Distinct configurations visited.
+    pub states: usize,
+    /// Configurations in which every process has decided.
+    pub terminal_states: usize,
+    /// `true` if no depth/state cutoff was hit: the search was exhaustive.
+    pub complete: bool,
+    /// Length of the longest schedule explored.
+    pub deepest: usize,
+    /// The first violation found, if any, with a witnessing schedule.
+    pub violation: Option<FoundViolation>,
+}
+
+impl CheckReport {
+    /// Whether the check passed (no violation found).
+    pub fn passed(&self) -> bool {
+        self.violation.is_none()
+    }
+
+    /// Whether the check passed *and* explored the full reachable space.
+    pub fn proves_safety(&self) -> bool {
+        self.passed() && self.complete
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states ({} terminal), deepest schedule {}, {}",
+            self.states,
+            self.terminal_states,
+            self.deepest,
+            match (&self.violation, self.complete) {
+                (Some(v), _) => format!("VIOLATION: {v}"),
+                (None, true) => "exhaustive, no violations".to_string(),
+                (None, false) => "bounded (cutoff hit), no violations".to_string(),
+            }
+        )
+    }
+}
+
+/// A violation discovered by the model checker, with the schedule that
+/// reaches the violating configuration from the initial one.
+#[derive(Clone, Debug)]
+pub struct FoundViolation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// The witnessing schedule (sequence of process ids from the initial
+    /// configuration).
+    pub schedule: Vec<ProcessId>,
+}
+
+impl fmt::Display for FoundViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} via schedule {:?}", self.kind, self.schedule)
+    }
+}
+
+/// Kinds of model-checking violations.
+#[derive(Clone, Debug)]
+pub enum ViolationKind {
+    /// A task safety predicate failed (agreement or validity).
+    Task(TaskViolation),
+    /// A process failed to decide within the solo budget
+    /// (obstruction-freedom violation within the explored region).
+    SoloTermination {
+        /// The stuck process.
+        pid: ProcessId,
+        /// The exhausted budget.
+        budget: usize,
+    },
+    /// The simulator rejected a step (protocol bug, e.g. schema violation).
+    Internal(String),
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViolationKind::Task(v) => write!(f, "task violation: {v}"),
+            ViolationKind::SoloTermination { pid, budget } => {
+                write!(f, "{pid} did not decide within {budget} solo steps")
+            }
+            ViolationKind::Internal(msg) => write!(f, "internal: {msg}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::{SelfishConsensus, TwoProcessSwapConsensus};
+
+    #[test]
+    fn two_process_consensus_is_exhaustively_safe() {
+        let report = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.proves_safety(), "{report}");
+        assert!(report.terminal_states > 0);
+    }
+
+    #[test]
+    fn two_process_consensus_all_inputs() {
+        // 16^2 input vectors, each fully explored.
+        let report = ModelChecker::new(10, 10_000).check_all_inputs(&TwoProcessSwapConsensus);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn selfish_consensus_caught_with_witness() {
+        let report = ModelChecker::new(10, 10_000).check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        assert!(report.to_string().contains("VIOLATION"));
+        let violation = report
+            .violation
+            .expect("must catch the agreement violation");
+        assert!(matches!(
+            violation.kind,
+            ViolationKind::Task(TaskViolation::Agreement { .. })
+        ));
+        assert!(!violation.schedule.is_empty());
+    }
+
+    #[test]
+    fn selfish_consensus_with_equal_inputs_passes() {
+        // With equal inputs the broken protocol cannot disagree.
+        let report = ModelChecker::new(10, 10_000).check(&SelfishConsensus { n: 2 }, &[1, 1]);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn cutoffs_mark_report_incomplete() {
+        let report = ModelChecker::new(1, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.passed());
+        assert!(!report.complete, "depth 1 cannot cover 2-step executions");
+        assert!(!report.proves_safety());
+    }
+
+    #[test]
+    fn state_dedup_keeps_counts_small() {
+        // Both schedules of the 2-process protocol converge; visited-state
+        // dedup should keep the total tiny.
+        let report = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.states <= 8, "states = {}", report.states);
+    }
+
+    #[test]
+    fn solo_budget_violation_detected() {
+        // With a budget of 0 steps, nobody can decide: every configuration
+        // with a running process violates the solo check.
+        let report = ModelChecker::new(10, 10_000)
+            .with_solo_budget(0)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        let v = report.violation.expect("budget 0 must be violated");
+        assert!(matches!(
+            v.kind,
+            ViolationKind::SoloTermination { budget: 0, .. }
+        ));
+    }
+}

@@ -1,0 +1,180 @@
+//! The [`Protocol`] trait: deterministic per-process state machines over
+//! shared historyless objects.
+//!
+//! A protocol corresponds to the paper's notion of a (deterministic)
+//! algorithm: for every configuration and process, it specifies the next
+//! operation the process is *poised* to apply (Section 2), and how the
+//! process's state evolves after receiving the response. Determinism is what
+//! the lower-bound adversaries exploit — an obstruction-free algorithm is a
+//! nondeterministic solo-terminating algorithm that happens to be
+//! deterministic, and all constructions in the paper's proofs replay
+//! deterministic solo executions.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+
+use crate::ids::{ObjectId, ProcessId};
+use crate::task::KSetTask;
+
+/// Values storable in simulated objects.
+///
+/// The simulator is generic over the object value type so that Algorithm 1's
+/// composite values (lap-counter array + process identifier) can be stored
+/// directly. Bounded-domain enforcement (Section 5's objects) applies to
+/// values that expose an integer *domain point*; composite values return
+/// `None` and may only inhabit unbounded-domain objects.
+pub trait SimValue: Clone + Eq + Hash + Debug {
+    /// The integer the value denotes, when the value type embeds into a
+    /// bounded integer domain. Used by [`crate::Configuration`] to enforce
+    /// [`swapcons_objects::Domain::Bounded`] schemas.
+    fn domain_point(&self) -> Option<u64> {
+        None
+    }
+}
+
+impl SimValue for u64 {
+    fn domain_point(&self) -> Option<u64> {
+        Some(*self)
+    }
+}
+
+impl SimValue for bool {
+    fn domain_point(&self) -> Option<u64> {
+        Some(u64::from(*self))
+    }
+}
+
+// Composite values (no integer domain point). `Option<V>` is the idiomatic
+// representation of a "⊥ or payload" object value, as in the paper's
+// 2-process consensus from one swap object.
+impl<V: SimValue> SimValue for Option<V> {}
+
+impl<A: SimValue, B: SimValue> SimValue for (A, B) {}
+
+/// Result of a process absorbing the response to its poised operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Transition<S> {
+    /// The process continues with a new state.
+    Continue(S),
+    /// The process decides the given value and terminates (takes no further
+    /// steps — the paper's processes output once and stop participating).
+    Decide(u64),
+}
+
+/// A deterministic algorithm in the asynchronous shared-memory model.
+///
+/// Implementations must be **deterministic**: `poised` and `observe` must be
+/// pure functions of their arguments. All simulator facilities (replay,
+/// model checking, the lower-bound adversaries) rely on this.
+///
+/// The object set is fixed up front ([`Protocol::schemas`]); the simulator
+/// enforces that every operation conforms to the schema of the object it
+/// targets, so an algorithm's claimed object kinds (the Table 1 row it
+/// belongs to) are machine-checked on every step.
+pub trait Protocol {
+    /// Per-process local state.
+    type State: Clone + Eq + Hash + Debug;
+    /// Object value type.
+    type Value: SimValue;
+
+    /// Human-readable name (used in reports and benchmark output).
+    fn name(&self) -> String;
+
+    /// The task this protocol solves, with its parameters.
+    fn task(&self) -> KSetTask;
+
+    /// Number of processes (`n`).
+    fn num_processes(&self) -> usize {
+        self.task().n
+    }
+
+    /// Capability schema of every shared object. The length of this vector
+    /// is the protocol's **space complexity** — the quantity all of the
+    /// paper's bounds are about.
+    fn schemas(&self) -> Vec<ObjectSchema>;
+
+    /// Number of shared objects.
+    fn num_objects(&self) -> usize {
+        self.schemas().len()
+    }
+
+    /// Initial value of object `obj` (the paper's initial configuration
+    /// defines object values before any steps).
+    fn initial_value(&self, obj: ObjectId) -> Self::Value;
+
+    /// Initial state of process `pid` with input `input`.
+    fn initial_state(&self, pid: ProcessId, input: u64) -> Self::State;
+
+    /// A decision made by `pid` without taking any steps, if the protocol
+    /// assigns one. The paper's k-set agreement constructions use this
+    /// ("the remaining `2k-n` processes simply decide their input values");
+    /// most protocols return `None` for every process.
+    fn initial_decision(&self, _pid: ProcessId, _input: u64) -> Option<u64> {
+        None
+    }
+
+    /// The operation the process is poised to apply in a state. Must be
+    /// deterministic.
+    fn poised(&self, state: &Self::State) -> (ObjectId, HistorylessOp<Self::Value>);
+
+    /// Absorb the response to the poised operation, producing the next state
+    /// or a decision. Must be deterministic.
+    fn observe(
+        &self,
+        state: Self::State,
+        response: Response<Self::Value>,
+    ) -> Transition<Self::State>;
+}
+
+/// Blanket impl so `&P` can be passed wherever a protocol is expected.
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+    type Value = P::Value;
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+    fn task(&self) -> KSetTask {
+        (**self).task()
+    }
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        (**self).schemas()
+    }
+    fn initial_value(&self, obj: ObjectId) -> Self::Value {
+        (**self).initial_value(obj)
+    }
+    fn initial_state(&self, pid: ProcessId, input: u64) -> Self::State {
+        (**self).initial_state(pid, input)
+    }
+    fn initial_decision(&self, pid: ProcessId, input: u64) -> Option<u64> {
+        (**self).initial_decision(pid, input)
+    }
+    fn poised(&self, state: &Self::State) -> (ObjectId, HistorylessOp<Self::Value>) {
+        (**self).poised(state)
+    }
+    fn observe(
+        &self,
+        state: Self::State,
+        response: Response<Self::Value>,
+    ) -> Transition<Self::State> {
+        (**self).observe(state, response)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_domain_point_is_identity() {
+        assert_eq!(5u64.domain_point(), Some(5));
+    }
+
+    #[test]
+    fn bool_domain_point() {
+        assert_eq!(false.domain_point(), Some(0));
+        assert_eq!(true.domain_point(), Some(1));
+    }
+}

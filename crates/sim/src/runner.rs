@@ -1,0 +1,262 @@
+//! Execution drivers: run a protocol under a scheduler, run solo
+//! (solo-terminating) executions, and replay recorded schedules.
+
+use std::fmt;
+
+use crate::config::{Configuration, SimError};
+use crate::history::History;
+use crate::ids::ProcessId;
+use crate::protocol::Protocol;
+use crate::scheduler::{Scheduler, Solo};
+
+/// Result of [`run`].
+#[derive(Clone, Debug)]
+pub struct RunOutcome<V> {
+    /// Whether every process decided before the step budget ran out (or the
+    /// scheduler stopped).
+    pub all_decided: bool,
+    /// Total steps taken.
+    pub steps: usize,
+    /// The execution's history.
+    pub history: History<V>,
+}
+
+/// Drive `config` under `scheduler` for at most `max_steps` steps, or until
+/// all processes decide or the scheduler stops.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from [`Configuration::step`] — in a correct
+/// protocol this only happens on schema violations, i.e. protocol bugs.
+pub fn run<P: Protocol, S: Scheduler>(
+    protocol: &P,
+    config: &mut Configuration<P>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> Result<RunOutcome<P::Value>, SimError> {
+    let mut history = History::new();
+    let mut steps = 0;
+    while steps < max_steps {
+        let running = config.running();
+        if running.is_empty() {
+            break;
+        }
+        let Some(pid) = scheduler.pick(&running, steps) else {
+            break;
+        };
+        let record = config.step(protocol, pid)?;
+        history.push(record);
+        steps += 1;
+    }
+    Ok(RunOutcome {
+        all_decided: config.all_decided(),
+        steps,
+        history,
+    })
+}
+
+/// Outcome of a solo run that reached a decision.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SoloOutcome {
+    /// The decided value.
+    pub decision: u64,
+    /// Steps the process took to decide.
+    pub steps: usize,
+}
+
+/// Error from [`solo_run`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoloRunError {
+    /// The process had already decided before the run started — its solo
+    /// execution is empty; the existing decision is reported.
+    AlreadyDecided(u64),
+    /// The process did not decide within the step budget. For an
+    /// obstruction-free algorithm this indicates either too small a budget
+    /// or a violation of obstruction-freedom.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: usize,
+    },
+    /// The simulator rejected a step.
+    Sim(SimError),
+}
+
+impl fmt::Display for SoloRunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SoloRunError::AlreadyDecided(v) => write!(f, "process had already decided {v}"),
+            SoloRunError::BudgetExhausted { budget } => {
+                write!(f, "no decision within {budget} solo steps")
+            }
+            SoloRunError::Sim(e) => write!(f, "simulator error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SoloRunError {}
+
+impl From<SimError> for SoloRunError {
+    fn from(e: SimError) -> Self {
+        SoloRunError::Sim(e)
+    }
+}
+
+/// Run `pid` alone from `config` until it decides — the paper's
+/// *solo-terminating execution by `pid`*. Mutates `config` in place.
+///
+/// # Errors
+///
+/// See [`SoloRunError`].
+pub fn solo_run<P: Protocol>(
+    protocol: &P,
+    config: &mut Configuration<P>,
+    pid: ProcessId,
+    max_steps: usize,
+) -> Result<SoloOutcome, SoloRunError> {
+    if let Some(v) = config.decision(pid) {
+        return Err(SoloRunError::AlreadyDecided(v));
+    }
+    let mut steps = 0;
+    let mut sched = Solo(pid);
+    while steps < max_steps {
+        let running = config.running();
+        let Some(p) = sched.pick(&running, steps) else {
+            // pid decided: Solo returns None once pid leaves the running set.
+            break;
+        };
+        let rec = config.step(protocol, p)?;
+        steps += 1;
+        if let Some(v) = rec.decided {
+            return Ok(SoloOutcome { decision: v, steps });
+        }
+    }
+    if let Some(v) = config.decision(pid) {
+        return Ok(SoloOutcome { decision: v, steps });
+    }
+    Err(SoloRunError::BudgetExhausted { budget: max_steps })
+}
+
+/// Clone `config` and run `pid` solo on the clone, leaving `config` alone.
+/// Returns the outcome and the final configuration.
+///
+/// # Errors
+///
+/// See [`SoloRunError`].
+pub fn solo_run_cloned<P: Protocol>(
+    protocol: &P,
+    config: &Configuration<P>,
+    pid: ProcessId,
+    max_steps: usize,
+) -> Result<(SoloOutcome, Configuration<P>), SoloRunError> {
+    let mut clone = config.clone();
+    let outcome = solo_run(protocol, &mut clone, pid, max_steps)?;
+    Ok((outcome, clone))
+}
+
+/// Replay an explicit schedule (sequence of process ids); picks of decided
+/// processes are skipped. Returns the history.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from stepping.
+pub fn replay<P: Protocol>(
+    protocol: &P,
+    config: &mut Configuration<P>,
+    schedule: &[ProcessId],
+) -> Result<History<P::Value>, SimError> {
+    let mut history = History::new();
+    for &pid in schedule {
+        if config.decision(pid).is_some() {
+            continue;
+        }
+        history.push(config.step(protocol, pid)?);
+    }
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::{RoundRobin, SeededRandom};
+    use crate::testing::TwoProcessSwapConsensus;
+
+    fn init(inputs: &[u64]) -> Configuration<TwoProcessSwapConsensus> {
+        Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
+    }
+
+    #[test]
+    fn round_robin_run_decides_everyone() {
+        let mut c = init(&[0, 1]);
+        let out = run(&TwoProcessSwapConsensus, &mut c, &mut RoundRobin::new(), 10).unwrap();
+        assert!(out.all_decided);
+        assert_eq!(out.steps, 2, "each process swaps once");
+        assert_eq!(c.decided_values().len(), 1, "agreement");
+    }
+
+    #[test]
+    fn random_runs_agree_for_any_seed() {
+        for seed in 0..50 {
+            let mut c = init(&[0, 1]);
+            let out = run(
+                &TwoProcessSwapConsensus,
+                &mut c,
+                &mut SeededRandom::new(seed),
+                10,
+            )
+            .unwrap();
+            assert!(out.all_decided);
+            assert_eq!(c.decided_values().len(), 1, "agreement under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn solo_run_decides_own_input() {
+        let mut c = init(&[1, 0]);
+        let out = solo_run(&TwoProcessSwapConsensus, &mut c, ProcessId(1), 10).unwrap();
+        assert_eq!(out.decision, 0, "validity: p1 decides its own input solo");
+        assert_eq!(out.steps, 1);
+        assert_eq!(c.decision(ProcessId(0)), None, "p0 untouched");
+    }
+
+    #[test]
+    fn solo_run_cloned_preserves_original() {
+        let c = init(&[1, 0]);
+        let (out, after) = solo_run_cloned(&TwoProcessSwapConsensus, &c, ProcessId(0), 10).unwrap();
+        assert_eq!(out.decision, 1);
+        assert_eq!(c.decision(ProcessId(0)), None);
+        assert_eq!(after.decision(ProcessId(0)), Some(1));
+    }
+
+    #[test]
+    fn solo_run_on_decided_process_errors() {
+        let mut c = init(&[1, 0]);
+        solo_run(&TwoProcessSwapConsensus, &mut c, ProcessId(0), 10).unwrap();
+        let err = solo_run(&TwoProcessSwapConsensus, &mut c, ProcessId(0), 10).unwrap_err();
+        assert_eq!(err, SoloRunError::AlreadyDecided(1));
+    }
+
+    #[test]
+    fn replay_skips_decided() {
+        let mut c = init(&[0, 1]);
+        let h = replay(
+            &TwoProcessSwapConsensus,
+            &mut c,
+            &[ProcessId(0), ProcessId(0), ProcessId(1)],
+        )
+        .unwrap();
+        assert_eq!(h.len(), 2, "second p0 pick skipped (already decided)");
+        assert!(c.all_decided());
+    }
+
+    #[test]
+    fn history_records_operations() {
+        let mut c = init(&[0, 1]);
+        let out = run(&TwoProcessSwapConsensus, &mut c, &mut RoundRobin::new(), 10).unwrap();
+        assert_eq!(out.history.len(), 2);
+        assert!(
+            out.history.iter().all(|s| s.op.is_nontrivial()),
+            "swap-only protocol"
+        );
+        assert_eq!(out.history.decisions().len(), 2);
+    }
+}

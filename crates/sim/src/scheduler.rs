@@ -1,0 +1,302 @@
+//! Schedulers — the paper's adversarial "scheduler picks a process that has
+//! not decided to take its next step" (Section 2), as pluggable strategies.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::ids::ProcessId;
+
+/// A strategy for choosing which running process takes the next step.
+///
+/// `running` is the set of processes that have not yet decided (never
+/// empty when called). Returning `None` ends the execution early — used by
+/// schedulers that model a fixed schedule running out.
+pub trait Scheduler {
+    /// Choose the next process to step, or `None` to stop the execution.
+    fn pick(&mut self, running: &[ProcessId], step_index: usize) -> Option<ProcessId>;
+}
+
+/// Cycles through the running processes in id order.
+#[derive(Clone, Debug, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// A round-robin scheduler starting at the lowest id.
+    pub fn new() -> Self {
+        RoundRobin::default()
+    }
+}
+
+impl Scheduler for RoundRobin {
+    fn pick(&mut self, running: &[ProcessId], _step_index: usize) -> Option<ProcessId> {
+        if running.is_empty() {
+            return None;
+        }
+        let choice = running[self.cursor % running.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        Some(choice)
+    }
+}
+
+/// Runs a single process solo — the schedules behind solo-terminating
+/// executions and obstruction-freedom.
+#[derive(Clone, Copy, Debug)]
+pub struct Solo(pub ProcessId);
+
+impl Scheduler for Solo {
+    fn pick(&mut self, running: &[ProcessId], _step_index: usize) -> Option<ProcessId> {
+        running.contains(&self.0).then_some(self.0)
+    }
+}
+
+/// Uniformly random choice among running processes, from a seeded RNG
+/// (deterministic given the seed, so failures replay).
+pub struct SeededRandom {
+    rng: StdRng,
+}
+
+impl SeededRandom {
+    /// A random scheduler with the given seed.
+    pub fn new(seed: u64) -> Self {
+        SeededRandom {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for SeededRandom {
+    fn pick(&mut self, running: &[ProcessId], _step_index: usize) -> Option<ProcessId> {
+        if running.is_empty() {
+            return None;
+        }
+        Some(running[self.rng.gen_range(0..running.len())])
+    }
+}
+
+impl fmt::Debug for SeededRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SeededRandom").finish_non_exhaustive()
+    }
+}
+
+/// Replays a fixed schedule; stops when the schedule is exhausted. Picks of
+/// already-decided processes are skipped (schedulers may only pick running
+/// processes in the model).
+#[derive(Clone, Debug)]
+pub struct Fixed {
+    schedule: Vec<ProcessId>,
+    cursor: usize,
+}
+
+impl Fixed {
+    /// A scheduler that replays `schedule` in order.
+    pub fn new(schedule: Vec<ProcessId>) -> Self {
+        Fixed {
+            schedule,
+            cursor: 0,
+        }
+    }
+
+    /// How many schedule entries have been consumed.
+    pub fn consumed(&self) -> usize {
+        self.cursor
+    }
+}
+
+impl Scheduler for Fixed {
+    fn pick(&mut self, running: &[ProcessId], _step_index: usize) -> Option<ProcessId> {
+        while self.cursor < self.schedule.len() {
+            let p = self.schedule[self.cursor];
+            self.cursor += 1;
+            if running.contains(&p) {
+                return Some(p);
+            }
+        }
+        None
+    }
+}
+
+/// An "obstruction" scheduler: adversarial interleaving for a while, then a
+/// solo suffix by one process. This is the schedule family obstruction-free
+/// algorithms must terminate under: eventually some process runs alone.
+pub struct ObstructionThenSolo {
+    /// Steps of seeded-random interleaving before isolation.
+    pub contention_steps: usize,
+    /// The process granted the solo suffix.
+    pub survivor: ProcessId,
+    rng: StdRng,
+}
+
+impl ObstructionThenSolo {
+    /// Random contention for `contention_steps`, then `survivor` runs alone.
+    pub fn new(contention_steps: usize, survivor: ProcessId, seed: u64) -> Self {
+        ObstructionThenSolo {
+            contention_steps,
+            survivor,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Scheduler for ObstructionThenSolo {
+    fn pick(&mut self, running: &[ProcessId], step_index: usize) -> Option<ProcessId> {
+        if running.is_empty() {
+            return None;
+        }
+        if step_index < self.contention_steps {
+            Some(running[self.rng.gen_range(0..running.len())])
+        } else {
+            running.contains(&self.survivor).then_some(self.survivor)
+        }
+    }
+}
+
+impl fmt::Debug for ObstructionThenSolo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ObstructionThenSolo")
+            .field("contention_steps", &self.contention_steps)
+            .field("survivor", &self.survivor)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A crash-failure scheduler: random interleaving, but each listed process
+/// permanently stops being scheduled after its crash step index. Crashed
+/// processes never take another step — the asynchronous model's crash is
+/// indistinguishable from being infinitely slow, which is exactly how the
+/// remaining processes experience it.
+pub struct CrashingRandom {
+    crashes: Vec<(ProcessId, usize)>,
+    rng: StdRng,
+}
+
+impl CrashingRandom {
+    /// Random scheduling with the given `(process, crash_after_step)`
+    /// schedule of failures.
+    pub fn new(crashes: Vec<(ProcessId, usize)>, seed: u64) -> Self {
+        CrashingRandom {
+            crashes,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn crashed(&self, pid: ProcessId, step: usize) -> bool {
+        self.crashes.iter().any(|&(p, at)| p == pid && step >= at)
+    }
+}
+
+impl Scheduler for CrashingRandom {
+    fn pick(&mut self, running: &[ProcessId], step_index: usize) -> Option<ProcessId> {
+        let alive: Vec<ProcessId> = running
+            .iter()
+            .copied()
+            .filter(|&p| !self.crashed(p, step_index))
+            .collect();
+        if alive.is_empty() {
+            return None;
+        }
+        Some(alive[self.rng.gen_range(0..alive.len())])
+    }
+}
+
+impl fmt::Debug for CrashingRandom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CrashingRandom")
+            .field("crashes", &self.crashes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[usize]) -> Vec<ProcessId> {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut s = RoundRobin::new();
+        let running = pids(&[0, 1, 2]);
+        let picks: Vec<_> = (0..6)
+            .map(|i| s.pick(&running, i).unwrap().index())
+            .collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn round_robin_handles_shrinking_set() {
+        let mut s = RoundRobin::new();
+        assert!(s.pick(&pids(&[0, 1]), 0).is_some());
+        // One process decides; the scheduler keeps picking valid processes.
+        let p = s.pick(&pids(&[1]), 1).unwrap();
+        assert_eq!(p, ProcessId(1));
+        assert_eq!(s.pick(&[], 2), None);
+    }
+
+    #[test]
+    fn solo_picks_only_its_process() {
+        let mut s = Solo(ProcessId(1));
+        assert_eq!(s.pick(&pids(&[0, 1, 2]), 0), Some(ProcessId(1)));
+        assert_eq!(s.pick(&pids(&[0, 2]), 1), None, "survivor decided: stop");
+    }
+
+    #[test]
+    fn seeded_random_is_deterministic() {
+        let running = pids(&[0, 1, 2, 3]);
+        let picks = |seed| {
+            let mut s = SeededRandom::new(seed);
+            (0..20)
+                .map(|i| s.pick(&running, i).unwrap().index())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(42), picks(42));
+        assert_ne!(
+            picks(42),
+            picks(43),
+            "different seeds should differ (w.h.p.)"
+        );
+    }
+
+    #[test]
+    fn fixed_replays_and_skips_decided() {
+        let mut s = Fixed::new(pids(&[0, 1, 0, 1]));
+        assert_eq!(s.pick(&pids(&[0, 1]), 0), Some(ProcessId(0)));
+        // p1 decided: its entries are skipped.
+        assert_eq!(s.pick(&pids(&[0]), 1), Some(ProcessId(0)));
+        assert_eq!(s.pick(&pids(&[0]), 2), None);
+        assert_eq!(s.consumed(), 4);
+    }
+
+    #[test]
+    fn crashing_random_never_schedules_the_dead() {
+        let mut s = CrashingRandom::new(vec![(ProcessId(0), 5)], 3);
+        let running = pids(&[0, 1]);
+        for step in 0..20 {
+            let p = s.pick(&running, step).unwrap();
+            if step >= 5 {
+                assert_eq!(p, ProcessId(1), "p0 crashed at step 5");
+            }
+        }
+        // Everyone crashed: scheduling stops.
+        let mut s = CrashingRandom::new(vec![(ProcessId(0), 0), (ProcessId(1), 0)], 3);
+        assert_eq!(s.pick(&running, 0), None);
+    }
+
+    #[test]
+    fn obstruction_then_solo_switches_phase() {
+        let mut s = ObstructionThenSolo::new(3, ProcessId(0), 7);
+        let running = pids(&[0, 1]);
+        for i in 0..3 {
+            assert!(s.pick(&running, i).is_some());
+        }
+        assert_eq!(s.pick(&running, 3), Some(ProcessId(0)));
+        assert_eq!(s.pick(&running, 99), Some(ProcessId(0)));
+        assert_eq!(s.pick(&pids(&[1]), 100), None);
+    }
+}

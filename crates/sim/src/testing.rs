@@ -1,0 +1,187 @@
+//! Small reference protocols used by the simulator's own tests, doctests,
+//! and the model checker's self-tests.
+//!
+//! [`TwoProcessSwapConsensus`] is a *paper algorithm*: Section 1 describes
+//! the simple wait-free 2-process consensus algorithm from a single swap
+//! object ("The swap object initially contains a special value ⊥ … Both
+//! processes swap their input value into the object. The process that
+//! receives the response ⊥ decides its input value and the other process
+//! decides the value it obtained"). It is re-exported by `swapcons-core` as
+//! the building block of the pairs k-set agreement construction.
+//!
+//! [`SelfishConsensus`] is deliberately **incorrect** (each process decides
+//! its own input) — it exists so tests can confirm the model checker
+//! actually catches agreement violations.
+
+use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+
+use crate::ids::{ObjectId, ProcessId};
+use crate::protocol::{Protocol, SimValue, Transition};
+use crate::task::KSetTask;
+
+/// Value stored in the 2-process consensus swap object: `⊥` or an input.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TwoProcConsensusValue {
+    /// The initial value `⊥`, which cannot be any process's input.
+    Bot,
+    /// An input value swapped in by a process.
+    Input(u64),
+}
+
+impl SimValue for TwoProcConsensusValue {}
+
+/// The paper's wait-free 2-process consensus algorithm from one swap object.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TwoProcessSwapConsensus;
+
+/// State of a process in [`TwoProcessSwapConsensus`]: it has not yet swapped.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TwoProcState {
+    /// The process's input.
+    pub input: u64,
+}
+
+impl Protocol for TwoProcessSwapConsensus {
+    type State = TwoProcState;
+    type Value = TwoProcConsensusValue;
+
+    fn name(&self) -> String {
+        "two-process consensus from one swap object".into()
+    }
+
+    fn task(&self) -> KSetTask {
+        // 2 processes, consensus, inputs in {0,…,15} (any m works; the
+        // algorithm is input-oblivious).
+        KSetTask::new(2, 1, 16)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        vec![ObjectSchema::swap()]
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> TwoProcConsensusValue {
+        TwoProcConsensusValue::Bot
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: u64) -> TwoProcState {
+        TwoProcState { input }
+    }
+
+    fn poised(&self, state: &TwoProcState) -> (ObjectId, HistorylessOp<TwoProcConsensusValue>) {
+        (
+            ObjectId(0),
+            HistorylessOp::Swap(TwoProcConsensusValue::Input(state.input)),
+        )
+    }
+
+    fn observe(
+        &self,
+        state: TwoProcState,
+        response: Response<TwoProcConsensusValue>,
+    ) -> Transition<TwoProcState> {
+        match response.expect_value("swap always returns the previous value") {
+            TwoProcConsensusValue::Bot => Transition::Decide(state.input),
+            TwoProcConsensusValue::Input(v) => Transition::Decide(v),
+        }
+    }
+}
+
+/// A deliberately broken "consensus" protocol: each process reads a shared
+/// register once and then decides **its own input**. Violates agreement
+/// whenever two inputs differ. Used to test violation detection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelfishConsensus {
+    /// Number of processes.
+    pub n: usize,
+}
+
+/// State of a process in [`SelfishConsensus`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SelfishState {
+    /// The process's input.
+    pub input: u64,
+}
+
+impl Protocol for SelfishConsensus {
+    type State = SelfishState;
+    type Value = u64;
+
+    fn name(&self) -> String {
+        format!("selfish (broken) consensus, n={}", self.n)
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::consensus(self.n)
+    }
+
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        vec![ObjectSchema::register()]
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> u64 {
+        0
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: u64) -> SelfishState {
+        SelfishState { input }
+    }
+
+    fn poised(&self, _state: &SelfishState) -> (ObjectId, HistorylessOp<u64>) {
+        (ObjectId(0), HistorylessOp::Read)
+    }
+
+    fn observe(&self, state: SelfishState, _response: Response<u64>) -> Transition<SelfishState> {
+        Transition::Decide(state.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Configuration;
+    use crate::runner;
+
+    #[test]
+    fn two_process_consensus_all_interleavings() {
+        // Only two schedules matter (p0 first or p1 first); check both for
+        // all distinct input pairs.
+        for (a, b) in [(0u64, 1u64), (3, 9), (5, 5)] {
+            for first in [0usize, 1] {
+                let second = 1 - first;
+                let mut c = Configuration::initial(&TwoProcessSwapConsensus, &[a, b]).unwrap();
+                c.step(&TwoProcessSwapConsensus, ProcessId(first)).unwrap();
+                c.step(&TwoProcessSwapConsensus, ProcessId(second)).unwrap();
+                let inputs = [a, b];
+                let winner = inputs[first];
+                assert_eq!(c.decision(ProcessId(first)), Some(winner));
+                assert_eq!(c.decision(ProcessId(second)), Some(winner));
+            }
+        }
+    }
+
+    #[test]
+    fn two_process_consensus_is_wait_free_two_steps() {
+        // Wait-freedom with a concrete bound: each process decides in
+        // exactly 1 own step regardless of schedule.
+        let mut c = Configuration::initial(&TwoProcessSwapConsensus, &[2, 7]).unwrap();
+        let out = runner::run(
+            &TwoProcessSwapConsensus,
+            &mut c,
+            &mut crate::scheduler::RoundRobin::new(),
+            5,
+        )
+        .unwrap();
+        assert_eq!(out.steps, 2);
+        assert!(out.all_decided);
+    }
+
+    #[test]
+    fn selfish_consensus_violates_agreement() {
+        let p = SelfishConsensus { n: 2 };
+        let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+        c.step(&p, ProcessId(0)).unwrap();
+        c.step(&p, ProcessId(1)).unwrap();
+        assert_eq!(c.decided_values().len(), 2, "two distinct values decided");
+        assert!(p.task().check_agreement(&c.decisions()).is_err());
+    }
+}

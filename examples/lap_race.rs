@@ -1,0 +1,69 @@
+//! Watch Algorithm 1's race unfold under a deterministic schedule: the lap
+//! counters in the shared swap objects, the conflicts, and the final
+//! 2-lap-lead decisions.
+//!
+//! Run: `cargo run --example lap_race`
+
+use swapcons::core::algorithm1::SwapKSet;
+use swapcons::sim::scheduler::SeededRandom;
+use swapcons::sim::{runner, Configuration, ObjectId, ProcessId, Protocol};
+
+fn print_objects(config: &Configuration<SwapKSet>, space: usize) {
+    let cells: Vec<String> = (0..space)
+        .map(|i| format!("{:?}", config.value(ObjectId(i))))
+        .collect();
+    println!("    objects: {}", cells.join("  "));
+}
+
+fn main() {
+    let n = 4;
+    let protocol = SwapKSet::consensus(n, 2);
+    let inputs = [0u64, 1, 0, 1];
+    println!("{}", protocol.name());
+    println!("inputs: {inputs:?}\n");
+
+    let mut config = Configuration::initial(&protocol, &inputs).unwrap();
+    print_objects(&config, protocol.space());
+
+    // Phase 1: 24 steps of seeded-random contention, narrating each swap.
+    let mut sched = SeededRandom::new(42);
+    for step in 0..24 {
+        let running = config.running();
+        if running.is_empty() {
+            break;
+        }
+        let Some(pid) = swapcons::sim::Scheduler::pick(&mut sched, &running, step) else {
+            break;
+        };
+        let rec = config.step(&protocol, pid).unwrap();
+        println!("step {step:>2}: {rec:?}");
+        if (step + 1) % 8 == 0 {
+            print_objects(&config, protocol.space());
+        }
+    }
+
+    // Phase 2: let each process finish solo (obstruction-freedom: each
+    // decides within 8(n-k) steps — Lemma 8).
+    println!("\n-- contention ends; processes finish solo --");
+    for pid in config.running() {
+        let out = runner::solo_run(&protocol, &mut config, pid, protocol.solo_step_bound())
+            .expect("Lemma 8");
+        println!(
+            "{pid} decides {} after {} solo steps",
+            out.decision, out.steps
+        );
+    }
+
+    print_objects(&config, protocol.space());
+    let decided = config.decided_values();
+    println!(
+        "\ndecided values: {decided:?} (agreement: {})",
+        decided.len() == 1
+    );
+    assert_eq!(decided.len(), 1);
+
+    // Show a process's final local view.
+    for pid in 0..n {
+        println!("p{pid} decision: {:?}", config.decision(ProcessId(pid)));
+    }
+}

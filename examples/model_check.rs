@@ -1,0 +1,84 @@
+//! Exhaustively (bounded) model-check every algorithm in the repository on
+//! small instances: k-agreement + validity on every reachable
+//! configuration, and solo termination (obstruction-freedom) from every
+//! visited state.
+//!
+//! Run: `cargo run --release --example model_check`
+
+use swapcons::baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
+use swapcons::core::hierarchy::TasConsensus;
+use swapcons::core::pairs::PairsKSet;
+use swapcons::core::SwapKSet;
+use swapcons::sim::explore::ModelChecker;
+use swapcons::sim::Protocol;
+
+fn check<P: Protocol>(protocol: &P, inputs: &[u64], checker: ModelChecker) {
+    let report = checker.check(protocol, inputs);
+    let status = if report.passed() { "PASS" } else { "FAIL" };
+    println!(
+        "[{status}] {:<70} inputs {:?}\n        {report}",
+        protocol.name(),
+        inputs
+    );
+    assert!(report.passed(), "{report}");
+}
+
+fn main() {
+    println!("Bounded-exhaustive model checking (safety on every reachable state):\n");
+
+    let p = SwapKSet::consensus(2, 2);
+    check(
+        &p,
+        &[0, 1],
+        ModelChecker::new(26, 120_000).with_solo_budget(p.solo_step_bound()),
+    );
+
+    let p = SwapKSet::consensus(3, 2);
+    check(&p, &[0, 1, 1], ModelChecker::new(20, 250_000));
+
+    let p = SwapKSet::new(3, 2, 3);
+    check(
+        &p,
+        &[0, 1, 2],
+        ModelChecker::new(16, 150_000).with_solo_budget(p.solo_step_bound()),
+    );
+
+    let p = PairsKSet::new(4, 2, 3);
+    check(
+        &p,
+        &[0, 1, 2, 2],
+        ModelChecker::new(10, 50_000).with_solo_budget(1),
+    );
+
+    let p = CommitAdoptConsensus::new(2, 2);
+    check(
+        &p,
+        &[0, 1],
+        ModelChecker::new(24, 150_000).with_solo_budget(p.solo_step_bound()),
+    );
+
+    let p = RegisterKSet::new(3, 2, 3);
+    check(&p, &[0, 1, 2], ModelChecker::new(20, 150_000));
+
+    let p = ReadableRacing::new(2, 2);
+    check(
+        &p,
+        &[0, 1],
+        ModelChecker::new(24, 150_000).with_solo_budget(p.solo_step_bound()),
+    );
+
+    let p = BinaryRacing::with_track_len(2, 8);
+    check(&p, &[0, 1], ModelChecker::new(28, 200_000));
+
+    let p = BinaryRacing::with_track_len(3, 8);
+    check(&p, &[0, 1, 1], ModelChecker::new(16, 200_000));
+
+    let p = TasConsensus;
+    check(
+        &p,
+        &[3, 8],
+        ModelChecker::new(12, 50_000).with_solo_budget(p.step_bound()),
+    );
+
+    println!("\nall model checks passed.");
+}

@@ -1,0 +1,25 @@
+//! Regenerate Table 1 of the paper: lower/upper bound formulas evaluated
+//! next to the measured object counts of this repository's witnesses.
+//!
+//! Run: `cargo run --example table1`
+
+use swapcons::lower::table1;
+
+fn main() {
+    let ns = [4usize, 8, 16, 64, 256];
+    let ks = [2usize, 4];
+    let entries = table1::generate(&ns, &ks, 2);
+    println!("{}", table1::render(&entries));
+
+    let violations = table1::violations(&entries);
+    if violations.is_empty() {
+        println!("cross-check ✓: no implementation in this repository uses fewer objects");
+        println!("than the paper's lower bound for its row.");
+    } else {
+        println!("INCONSISTENCY — implementations beating paper lower bounds:");
+        for v in violations {
+            println!("  {v:?}");
+        }
+        std::process::exit(1);
+    }
+}

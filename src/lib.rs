@@ -1,0 +1,41 @@
+//! # swapcons — umbrella crate
+//!
+//! Executable reproduction of *The Space Complexity of Consensus from Swap*
+//! (Sean Ovens, PODC 2022 / arXiv:2305.06507). This crate re-exports the
+//! workspace's public API:
+//!
+//! * [`objects`] — historyless object model (swap, readable swap, register,
+//!   test-and-set), deterministic cells, and lock-free atomic objects.
+//! * [`sim`] — deterministic asynchronous shared-memory simulator,
+//!   schedulers, traces, and an exhaustive model checker.
+//! * [`core`] — Algorithm 1 (obstruction-free m-valued k-set agreement from
+//!   `n-k` swap objects) in simulator and threaded forms, plus the paper's
+//!   wait-free constructions.
+//! * [`baselines`] — the register and binary-object algorithms Table 1
+//!   compares against.
+//! * [`lower`] — the executable lower-bound machinery: the Lemma 9
+//!   overwriting adversary, valency oracles, and the Section 5 inductive
+//!   constructions.
+//!
+//! # Quickstart
+//!
+//! Run obstruction-free k-set agreement among real threads:
+//!
+//! ```
+//! use swapcons::core::threaded::ThreadedKSet;
+//!
+//! // 6 processes, 2-set agreement, inputs from {0,1,2}: at most 2 distinct
+//! // decisions, each some process's input. Uses exactly n-k = 4 swap objects.
+//! let decisions = ThreadedKSet::new(6, 2, 3).run(&[0, 1, 2, 0, 1, 2]);
+//! let distinct: std::collections::HashSet<_> = decisions.iter().copied().collect();
+//! assert!(distinct.len() <= 2);
+//! for d in decisions {
+//!     assert!([0u64, 1, 2].contains(&d));
+//! }
+//! ```
+
+pub use swapcons_baselines as baselines;
+pub use swapcons_core as core;
+pub use swapcons_lower as lower;
+pub use swapcons_objects as objects;
+pub use swapcons_sim as sim;

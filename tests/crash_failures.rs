@@ -1,0 +1,99 @@
+//! Integration: crash failures, and the wait-free / obstruction-free
+//! distinction the paper's progress conditions draw.
+//!
+//! * The **pairs construction is wait-free**: every non-crashed process
+//!   decides within its own steps no matter who crashes (this is what makes
+//!   it a wait-free k-set agreement algorithm, Section 1).
+//! * **Algorithm 1 is obstruction-free but not wait-free**: after crashes,
+//!   survivors still decide once they run alone (crashed processes are just
+//!   infinitely slow), and the paper's FLP-style background means no
+//!   deterministic algorithm from these objects could do better.
+//! * The **2-process consensus from one swap object is wait-free**: a
+//!   process decides in exactly one step even if its peer crashed.
+
+use swapcons::core::pairs::PairsKSet;
+use swapcons::core::SwapKSet;
+use swapcons::sim::scheduler::CrashingRandom;
+use swapcons::sim::testing::TwoProcessSwapConsensus;
+use swapcons::sim::{runner, Configuration, ProcessId, Protocol};
+
+#[test]
+fn two_process_consensus_survives_peer_crash() {
+    // p1 crashes before taking any step; p0 decides alone in one step.
+    let p = TwoProcessSwapConsensus;
+    let mut c = Configuration::initial(&p, &[4, 9]).unwrap();
+    let out = runner::solo_run(&p, &mut c, ProcessId(0), 2).unwrap();
+    assert_eq!(out.decision, 4);
+    assert_eq!(out.steps, 1, "wait-free: one swap suffices");
+}
+
+#[test]
+fn pairs_every_survivor_decides_despite_crashes() {
+    // Crash one member of each pair immediately; all survivors decide
+    // within one own step under any schedule.
+    let p = PairsKSet::new(6, 3, 4);
+    let inputs = [0u64, 1, 2, 3, 0, 1];
+    for seed in 0..10 {
+        let mut c = Configuration::initial(&p, &inputs).unwrap();
+        let crashes = vec![(ProcessId(0), 0), (ProcessId(2), 0), (ProcessId(4), 0)];
+        let mut sched = CrashingRandom::new(crashes, seed);
+        runner::run(&p, &mut c, &mut sched, 100).unwrap();
+        // Survivors p1, p3, p5 all decided (their own inputs: partners dead).
+        for pid in [1usize, 3, 5] {
+            assert_eq!(
+                c.decision(ProcessId(pid)),
+                Some(inputs[pid]),
+                "survivor p{pid} decides its own input when its partner crashed first"
+            );
+        }
+        assert!(p.task().check_validity(&inputs, &c.decisions()).is_ok());
+    }
+}
+
+#[test]
+fn algorithm1_survivors_decide_after_crashes() {
+    // Crash all but one process mid-race; the survivor, now effectively
+    // solo, decides within Lemma 8's bound.
+    let p = SwapKSet::consensus(5, 2);
+    let inputs = [0u64, 1, 0, 1, 0];
+    for seed in 0..10 {
+        let mut c = Configuration::initial(&p, &inputs).unwrap();
+        let crashes: Vec<(ProcessId, usize)> = (1..5).map(|i| (ProcessId(i), 20)).collect();
+        let mut sched = CrashingRandom::new(crashes, seed);
+        // Random 5-process contention for 20 steps, then p0 alone.
+        let out = runner::run(&p, &mut c, &mut sched, 20 + p.solo_step_bound()).unwrap();
+        // p0 must have decided (it is the only scheduled process after
+        // step 20, and Lemma 8 bounds its solo run).
+        assert!(
+            c.decision(ProcessId(0)).is_some(),
+            "seed {seed}: survivor did not decide; steps = {}",
+            out.steps
+        );
+        assert!(p.task().check(&inputs, &c.decisions()).is_ok());
+    }
+}
+
+#[test]
+fn algorithm1_is_not_wait_free_under_lockstep() {
+    // Companion fact: without the crash (= solo suffix), a perfect duel
+    // starves everyone — obstruction-freedom's weakness, by design.
+    let p = SwapKSet::consensus(2, 2);
+    let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+    let out = runner::run(
+        &p,
+        &mut c,
+        &mut swapcons::sim::scheduler::RoundRobin::new(),
+        1_000,
+    )
+    .unwrap();
+    assert!(!out.all_decided);
+}
+
+#[test]
+fn crashed_majority_cannot_block_pairs_outsiders() {
+    // The 2k-n unpaired processes decide at initialization; crashes cannot
+    // touch them at all.
+    let p = PairsKSet::new(5, 3, 4);
+    let c = Configuration::initial(&p, &[0, 1, 2, 3, 1]).unwrap();
+    assert_eq!(c.decision(ProcessId(4)), Some(1));
+}

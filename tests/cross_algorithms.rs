@@ -1,0 +1,156 @@
+//! Integration: every algorithm in the workspace driven through the same
+//! schedule harness, with the task predicates checked end to end.
+
+use swapcons::baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
+use swapcons::core::pairs::PairsKSet;
+use swapcons::core::SwapKSet;
+use swapcons::sim::scheduler::SeededRandom;
+use swapcons::sim::{runner, Configuration, Protocol};
+
+/// Contention then sequential solo finishes; returns decisions.
+fn drive<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    contention: usize,
+    seed: u64,
+    solo_budget: usize,
+) -> Vec<Option<u64>> {
+    let mut config = Configuration::initial(protocol, inputs).unwrap();
+    runner::run(
+        protocol,
+        &mut config,
+        &mut SeededRandom::new(seed),
+        contention,
+    )
+    .unwrap();
+    for pid in config.running() {
+        runner::solo_run(protocol, &mut config, pid, solo_budget)
+            .unwrap_or_else(|e| panic!("{}: {e}", protocol.name()));
+    }
+    assert!(config.all_decided());
+    config.decisions()
+}
+
+#[test]
+fn algorithm1_against_every_schedule_seed() {
+    for seed in 0..30 {
+        let p = SwapKSet::new(6, 2, 3);
+        let inputs = [0, 1, 2, 0, 1, 2];
+        let decisions = drive(&p, &inputs, 80, seed, p.solo_step_bound());
+        p.task().check(&inputs, &decisions).unwrap();
+    }
+}
+
+#[test]
+fn all_consensus_algorithms_agree_under_the_same_seeds() {
+    for seed in 0..10 {
+        let n = 4;
+        let inputs = [0u64, 1, 1, 0];
+
+        let alg1 = SwapKSet::consensus(n, 2);
+        let d1 = drive(&alg1, &inputs, 40, seed, alg1.solo_step_bound());
+        assert_eq!(distinct(&d1), 1, "Algorithm 1, seed {seed}");
+
+        let ca = CommitAdoptConsensus::new(n, 2);
+        let d2 = drive(&ca, &inputs, 40, seed, ca.solo_step_bound());
+        assert_eq!(distinct(&d2), 1, "commit-adopt, seed {seed}");
+
+        let rr = ReadableRacing::new(n, 2);
+        let d3 = drive(&rr, &inputs, 40, seed, rr.solo_step_bound());
+        assert_eq!(distinct(&d3), 1, "readable racing, seed {seed}");
+
+        let br = BinaryRacing::new(n);
+        let d4 = drive(&br, &inputs, 40, seed, br.solo_step_bound());
+        assert_eq!(distinct(&d4), 1, "binary racing, seed {seed}");
+    }
+}
+
+fn distinct(decisions: &[Option<u64>]) -> usize {
+    decisions
+        .iter()
+        .flatten()
+        .collect::<std::collections::HashSet<_>>()
+        .len()
+}
+
+#[test]
+fn kset_algorithms_respect_degree_across_k() {
+    for k in 2..=5usize {
+        let n = 2 * k;
+        let m = (k + 1) as u64;
+        let inputs: Vec<u64> = (0..n).map(|i| (i as u64) % m).collect();
+
+        let alg1 = SwapKSet::new(n, k, m);
+        let d = drive(&alg1, &inputs, 10 * n, 1, alg1.solo_step_bound());
+        alg1.task().check(&inputs, &d).unwrap();
+
+        let pairs = PairsKSet::new(n, k, m);
+        let d = drive(&pairs, &inputs, 10 * n, 1, 1);
+        pairs.task().check(&inputs, &d).unwrap();
+
+        let regs = RegisterKSet::new(n, k, m);
+        let d = drive(&regs, &inputs, 10 * n, 1, regs.solo_step_bound());
+        regs.task().check(&inputs, &d).unwrap();
+    }
+}
+
+#[test]
+fn unanimous_inputs_force_that_decision_everywhere() {
+    // Validity pinned down: with all-equal inputs, every algorithm must
+    // decide exactly that input.
+    let inputs = [1u64, 1, 1, 1];
+    let n = 4;
+
+    let alg1 = SwapKSet::consensus(n, 2);
+    assert_eq!(
+        drive(&alg1, &inputs, 30, 9, alg1.solo_step_bound()),
+        vec![Some(1); n]
+    );
+
+    let ca = CommitAdoptConsensus::new(n, 2);
+    assert_eq!(
+        drive(&ca, &inputs, 30, 9, ca.solo_step_bound()),
+        vec![Some(1); n]
+    );
+
+    let rr = ReadableRacing::new(n, 2);
+    assert_eq!(
+        drive(&rr, &inputs, 30, 9, rr.solo_step_bound()),
+        vec![Some(1); n]
+    );
+
+    let br = BinaryRacing::new(n);
+    assert_eq!(
+        drive(&br, &inputs, 30, 9, br.solo_step_bound()),
+        vec![Some(1); n]
+    );
+}
+
+#[test]
+fn space_accounting_matches_table1_claims() {
+    // The objects each algorithm allocates are exactly what Table 1 reports.
+    assert_eq!(SwapKSet::consensus(9, 2).num_objects(), 8); // n-1
+    assert_eq!(SwapKSet::new(9, 4, 5).num_objects(), 5); // n-k
+    assert_eq!(PairsKSet::new(8, 5, 6).num_objects(), 3); // n-k
+    assert_eq!(CommitAdoptConsensus::new(9, 2).num_objects(), 18); // 2n
+    assert_eq!(RegisterKSet::new(9, 4, 5).num_objects(), 12); // 2(n-k+1)
+    assert_eq!(ReadableRacing::new(9, 2).num_objects(), 8); // n-1
+}
+
+#[test]
+fn histories_use_only_declared_operation_kinds() {
+    use swapcons::objects::OpKind;
+    // Swap-only algorithms never read; register algorithms never swap.
+    let p = SwapKSet::consensus(3, 2);
+    let mut c = Configuration::initial(&p, &[0, 1, 1]).unwrap();
+    let out = runner::run(&p, &mut c, &mut SeededRandom::new(4), 100).unwrap();
+    assert!(out.history.iter().all(|s| s.op.kind() == OpKind::Swap));
+
+    let p = CommitAdoptConsensus::new(3, 2);
+    let mut c = Configuration::initial(&p, &[0, 1, 1]).unwrap();
+    let out = runner::run(&p, &mut c, &mut SeededRandom::new(4), 100).unwrap();
+    assert!(out
+        .history
+        .iter()
+        .all(|s| matches!(s.op.kind(), OpKind::Read | OpKind::Write)));
+}

@@ -1,0 +1,101 @@
+//! Integration: threaded implementations under genuine OS scheduling,
+//! repeatedly and oversubscribed.
+
+use std::collections::HashSet;
+
+use swapcons::core::threaded::{ThreadedKSet, ThreadedPairs};
+use swapcons::core::two_process::ThreadedTwoProcess;
+use swapcons::objects::atomic::AtomicSwap;
+
+fn assert_kset(inputs: &[u64], decisions: &[u64], k: usize) {
+    let distinct: HashSet<u64> = decisions.iter().copied().collect();
+    assert!(distinct.len() <= k, "{decisions:?} exceed k={k}");
+    for d in decisions {
+        assert!(inputs.contains(d), "decision {d} is nobody's input");
+    }
+}
+
+#[test]
+fn repeated_threaded_consensus_rounds() {
+    for round in 0..30u64 {
+        let n = 4;
+        let alg = ThreadedKSet::new(n, 1, 2);
+        let inputs: Vec<u64> = (0..n).map(|i| ((i as u64) + round) % 2).collect();
+        let decisions = alg.run(&inputs);
+        assert_kset(&inputs, &decisions, 1);
+    }
+}
+
+#[test]
+fn oversubscribed_kset() {
+    // More threads than typical core counts.
+    let n = 16;
+    let k = 5;
+    let m = 6;
+    let alg = ThreadedKSet::new(n, k, m);
+    let inputs: Vec<u64> = (0..n).map(|i| (i as u64) % m).collect();
+    let decisions = alg.run(&inputs);
+    assert_kset(&inputs, &decisions, k);
+}
+
+#[test]
+fn pairs_and_two_process_compose() {
+    // The pairs construction is literally n-k two-process objects; check
+    // its building block under contention and the composite.
+    for _ in 0..20 {
+        let obj = std::sync::Arc::new(ThreadedTwoProcess::new());
+        let a = std::sync::Arc::clone(&obj);
+        let t = std::thread::spawn(move || a.propose(5));
+        let mine = obj.propose(7);
+        let theirs = t.join().unwrap();
+        assert_eq!(mine, theirs);
+    }
+    let alg = ThreadedPairs::new(10, 6);
+    let inputs: Vec<u64> = (0..10).map(|i| i as u64).collect();
+    let decisions = alg.run(&inputs);
+    assert_kset(&inputs, &decisions, 6);
+    assert_eq!(alg.space(), 4);
+}
+
+#[test]
+fn atomic_swap_multi_object_exchange() {
+    // A ring of swap objects exercised by many threads: every injected
+    // token is conserved (returned or resident at the end).
+    const THREADS: usize = 8;
+    const OBJECTS: usize = 4;
+    const OPS: usize = 500;
+    let objects: std::sync::Arc<Vec<AtomicSwap<u64>>> =
+        std::sync::Arc::new((0..OBJECTS as u64).map(AtomicSwap::new).collect());
+    let mut handles = Vec::new();
+    for t in 0..THREADS {
+        let objects = std::sync::Arc::clone(&objects);
+        handles.push(std::thread::spawn(move || {
+            let mut received = Vec::with_capacity(OPS);
+            for i in 0..OPS {
+                let token = 1000 + (t * OPS + i) as u64;
+                received.push(objects[(t + i) % OBJECTS].swap(token));
+            }
+            received
+        }));
+    }
+    let mut seen: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
+    let objects = std::sync::Arc::try_unwrap(objects).unwrap_or_else(|_| panic!("sole owner"));
+    for obj in objects {
+        seen.push(obj.into_inner());
+    }
+    let unique: HashSet<u64> = seen.iter().copied().collect();
+    assert_eq!(unique.len(), seen.len(), "token duplicated");
+    assert_eq!(seen.len(), THREADS * OPS + OBJECTS, "token lost");
+}
+
+#[test]
+fn bounded_propose_gives_up_but_unbounded_finishes() {
+    let alg = ThreadedKSet::new(3, 1, 2);
+    assert_eq!(alg.propose_bounded(0, 0, 1), None);
+    // A fresh object decides solo in <= 4 laps.
+    let alg = ThreadedKSet::new(3, 1, 2);
+    assert_eq!(alg.propose_bounded(1, 1, 8), Some(1));
+}
