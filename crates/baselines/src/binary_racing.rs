@@ -268,10 +268,10 @@ mod tests {
             let p = BinaryRacing::new(n);
             let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
             let config = Configuration::initial(&p, &inputs).unwrap();
-            for pid in 0..n {
+            for (pid, &input) in inputs.iter().enumerate() {
                 let (out, _) =
                     solo_run_cloned(&p, &config, ProcessId(pid), p.solo_step_bound()).unwrap();
-                assert_eq!(out.decision, inputs[pid], "n={n} pid={pid}");
+                assert_eq!(out.decision, input, "n={n} pid={pid}");
             }
         }
     }

@@ -359,10 +359,10 @@ mod tests {
             let p = CommitAdoptConsensus::new(n, 3);
             let inputs: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
             let config = Configuration::initial(&p, &inputs).unwrap();
-            for pid in 0..n {
+            for (pid, &input) in inputs.iter().enumerate() {
                 let (out, _) =
                     solo_run_cloned(&p, &config, ProcessId(pid), p.solo_step_bound()).unwrap();
-                assert_eq!(out.decision, inputs[pid]);
+                assert_eq!(out.decision, input);
                 assert!(
                     out.steps <= 2 * n + 2,
                     "one solo round suffices from the start"

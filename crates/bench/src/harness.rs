@@ -3,6 +3,7 @@
 //! regenerates, so `cargo bench` output is the artifact recorded in
 //! EXPERIMENTS.md).
 
+use swapcons_sim::runner::SoloRunError;
 use swapcons_sim::{Configuration, ProcessId, Protocol};
 
 /// A cyclic input assignment `0, 1, …, m-1, 0, 1, …` for `n` processes —
@@ -17,8 +18,17 @@ pub fn cyclic_inputs(n: usize, m: u64) -> Vec<u64> {
 ///
 /// # Panics
 ///
-/// Panics if a solo run exceeds `solo_budget` (an obstruction-freedom
-/// violation) or the inputs are invalid.
+/// Panics if the inputs are rejected by the protocol ([`SimError`] from
+/// [`Configuration::initial`]), if any step violates an object schema
+/// ([`SimError`] from the contention run or [`SoloRunError::Sim`] from a
+/// solo run — a protocol bug either way), or if a solo run exhausts
+/// `solo_budget` without deciding ([`SoloRunError::BudgetExhausted`] — an
+/// obstruction-freedom violation or an undersized budget).
+/// [`SoloRunError::AlreadyDecided`] is *not* a panic: `Configuration::
+/// running` only yields undecided processes and solo runs step no one else,
+/// so it cannot occur here; it is tolerated as a skip for robustness.
+///
+/// [`SimError`]: swapcons_sim::SimError
 pub fn decide_all<P: Protocol>(
     protocol: &P,
     inputs: &[u64],
@@ -26,15 +36,20 @@ pub fn decide_all<P: Protocol>(
     seed: u64,
     solo_budget: usize,
 ) -> (usize, Vec<Option<u64>>) {
-    let mut config = Configuration::initial(protocol, inputs).expect("valid inputs");
+    let mut config = Configuration::initial(protocol, inputs).expect("protocol rejected inputs");
     let mut sched = swapcons_sim::scheduler::SeededRandom::new(seed);
     let out = swapcons_sim::runner::run(protocol, &mut config, &mut sched, contention)
-        .expect("no schema violations");
+        .expect("schema violation during contention phase");
     let mut steps = out.steps;
     for pid in config.running() {
-        let solo = swapcons_sim::runner::solo_run(protocol, &mut config, pid, solo_budget)
-            .expect("obstruction-freedom");
-        steps += solo.steps;
+        match swapcons_sim::runner::solo_run(protocol, &mut config, pid, solo_budget) {
+            Ok(solo) => steps += solo.steps,
+            Err(SoloRunError::AlreadyDecided(_)) => {}
+            Err(e @ SoloRunError::BudgetExhausted { .. }) => {
+                panic!("obstruction-freedom violation for {pid}: {e}")
+            }
+            Err(e @ SoloRunError::Sim(_)) => panic!("schema violation in {pid}'s solo run: {e}"),
+        }
     }
     (steps, config.decisions())
 }
@@ -44,7 +59,12 @@ pub fn decide_all<P: Protocol>(
 ///
 /// # Panics
 ///
-/// Panics if any solo run exceeds `solo_budget`.
+/// Same contract as [`decide_all`]: panics on rejected inputs, schema
+/// violations, or a solo budget exhaustion; a (normally impossible)
+/// [`SoloRunError::AlreadyDecided`] contributes zero steps instead of
+/// panicking. Each solo run here clones the configuration
+/// ([`swapcons_sim::runner::solo_run_cloned`]), so every process is measured
+/// from the *same* perturbed configuration.
 pub fn max_solo_steps<P: Protocol>(
     protocol: &P,
     inputs: &[u64],
@@ -52,15 +72,20 @@ pub fn max_solo_steps<P: Protocol>(
     seed: u64,
     solo_budget: usize,
 ) -> usize {
-    let mut config = Configuration::initial(protocol, inputs).expect("valid inputs");
+    let mut config = Configuration::initial(protocol, inputs).expect("protocol rejected inputs");
     let mut sched = swapcons_sim::scheduler::SeededRandom::new(seed);
     swapcons_sim::runner::run(protocol, &mut config, &mut sched, contention)
-        .expect("no schema violations");
+        .expect("schema violation during contention phase");
     let mut worst = 0;
     for pid in config.running() {
-        let (out, _) = swapcons_sim::runner::solo_run_cloned(protocol, &config, pid, solo_budget)
-            .expect("obstruction-freedom");
-        worst = worst.max(out.steps);
+        match swapcons_sim::runner::solo_run_cloned(protocol, &config, pid, solo_budget) {
+            Ok((out, _)) => worst = worst.max(out.steps),
+            Err(SoloRunError::AlreadyDecided(_)) => {}
+            Err(e @ SoloRunError::BudgetExhausted { .. }) => {
+                panic!("obstruction-freedom violation for {pid}: {e}")
+            }
+            Err(e @ SoloRunError::Sim(_)) => panic!("schema violation in {pid}'s solo run: {e}"),
+        }
     }
     worst
 }
@@ -110,6 +135,14 @@ mod tests {
         let worst = max_solo_steps(&p, &cyclic_inputs(6, 2), 60, 3, p.solo_step_bound());
         assert!(worst <= p.solo_step_bound());
         assert!(worst > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "obstruction-freedom violation")]
+    fn decide_all_panics_on_exhausted_solo_budget() {
+        // A zero solo budget cannot decide anyone who is still running.
+        let p = SwapKSet::consensus(3, 2);
+        let _ = decide_all(&p, &cyclic_inputs(3, 2), 0, 7, 0);
     }
 
     #[test]

@@ -223,10 +223,10 @@ mod tests {
             let p = SwapKSet::consensus(n, 2);
             let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
             let config = Configuration::initial(&p, &inputs).unwrap();
-            for pid in 0..n {
+            for (pid, &input) in inputs.iter().enumerate() {
                 let (out, _) =
                     solo_run_cloned(&p, &config, ProcessId(pid), p.solo_step_bound()).unwrap();
-                assert_eq!(out.decision, inputs[pid], "solo {pid} of n={n}");
+                assert_eq!(out.decision, input, "solo {pid} of n={n}");
             }
         }
     }

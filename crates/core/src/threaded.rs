@@ -47,12 +47,19 @@ pub struct ThreadedKSet {
 impl ThreadedKSet {
     /// An instance for `n` threads, degree `k`, inputs from `{0, …, m-1}`.
     ///
+    /// `k == n` is permitted and degenerates exactly as the paper's space
+    /// bound predicts: `n-k = 0` swap objects, so every process races against
+    /// nobody, never conflicts, and decides its own input — trivial k-set
+    /// agreement for free. (The simulator-side
+    /// [`crate::algorithm1::SwapKSet::new`] keeps the strict `n > k`
+    /// precondition because its adversary machinery is only meaningful with
+    /// at least one object.)
+    ///
     /// # Panics
     ///
-    /// Panics if `n <= k`, `k == 0`, or `m == 0` (same preconditions as
-    /// [`crate::algorithm1::SwapKSet::new`]).
+    /// Panics if `n < k`, `k == 0`, or `m == 0`.
     pub fn new(n: usize, k: usize, m: u64) -> Self {
-        assert!(k > 0 && n > k && m > 0, "require n > k >= 1 and m >= 1");
+        assert!(k > 0 && n >= k && m > 0, "require n >= k >= 1 and m >= 1");
         let objects = (0..n - k)
             .map(|_| AtomicSwap::new(SwapEntry::bot(m as usize)))
             .collect();

@@ -15,7 +15,7 @@
 //!   that fit in a machine word (`u64`), with optional bounded-domain
 //!   enforcement, built on `AtomicU64::{swap, load}`.
 //! * [`AtomicRegister<T>`] — a linearizable multi-reader multi-writer
-//!   register for arbitrary `T: Clone` (via `parking_lot::RwLock`; reads and
+//!   register for arbitrary `T: Clone` (via `std::sync::RwLock`; reads and
 //!   writes are individually atomic, which is the register semantics the
 //!   model assumes).
 //! * [`AtomicTas`] — a test-and-set object on `AtomicBool`.
@@ -24,8 +24,7 @@ use std::fmt;
 use std::marker::PhantomData;
 use std::ptr;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-
-use parking_lot::RwLock;
+use std::sync::RwLock;
 
 use crate::schema::Domain;
 
@@ -188,7 +187,7 @@ impl AtomicWordSwap {
 /// `T: Clone`.
 ///
 /// Individual `read`/`write` calls are atomic (guarded by a
-/// `parking_lot::RwLock`), which is exactly the atomic-register semantics of
+/// `std::sync::RwLock`), which is exactly the atomic-register semantics of
 /// the asynchronous shared-memory model. This is *not* lock-free; the
 /// threaded baselines that use it (racing counters) are baselines for space
 /// accounting and schedule-level behavior, not for lock-freedom.
@@ -207,12 +206,14 @@ impl<T: Clone> AtomicRegister<T> {
 
     /// Return the current value.
     pub fn read(&self) -> T {
-        self.value.read().clone()
+        // A poisoned lock only means a writer panicked mid-`=`; the stored T
+        // was never left partially written, so recover the guard.
+        self.value.read().unwrap_or_else(|e| e.into_inner()).clone()
     }
 
     /// Set the value.
     pub fn write(&self, v: T) {
-        *self.value.write() = v;
+        *self.value.write().unwrap_or_else(|e| e.into_inner()) = v;
     }
 }
 

@@ -277,7 +277,7 @@ mod tests {
         let mut sim = SimulatedHistoryless::new(TestAndSetSpec, false);
         sim.apply(&TasOp::TestAndSet);
         // Value space is exactly {false, true}.
-        assert!(matches!(sim.peek(), true));
+        assert!(sim.peek());
     }
 
     #[test]

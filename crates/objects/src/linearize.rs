@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn shuffled_chain_is_recovered() {
         // 0 -> 3 -> 3 -> 1 -> 0 -> 2 (values may repeat).
-        let ops = vec![op(3, 0), op(3, 3), op(1, 3), op(0, 1), op(2, 0)];
+        let ops = [op(3, 0), op(3, 3), op(1, 3), op(0, 1), op(2, 0)];
         for perm in [
             vec![0usize, 1, 2, 3, 4],
             vec![4, 3, 2, 1, 0],

@@ -39,3 +39,16 @@ pub use swapcons_core as core;
 pub use swapcons_lower as lower;
 pub use swapcons_objects as objects;
 pub use swapcons_sim as sim;
+
+#[cfg(test)]
+mod tests {
+    /// Regression guard for the `core` naming hazard: `pub use swapcons_core
+    /// as core` lives in the crate's type namespace only, so paths to Rust's
+    /// built-in `core` crate must keep resolving alongside it.
+    #[test]
+    fn core_reexport_coexists_with_builtin_core() {
+        let one: ::core::primitive::u64 = 1;
+        let alg = crate::core::threaded::ThreadedKSet::new(2, 1, 2);
+        assert_eq!(alg.space(), one as usize, "n-k = 1 swap object");
+    }
+}

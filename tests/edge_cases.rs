@@ -1,0 +1,100 @@
+//! Edge-of-parameter-space coverage for the threaded Algorithm 1:
+//! `k = n` (trivial agreement from zero swap objects) and `k = 1`
+//! (full consensus), the two endpoints of the paper's `n-k` space bound.
+//!
+//! The `k = 1` races run under a wall-clock guard: obstruction-freedom gives
+//! no deterministic termination bound under contention, so a livelock
+//! regression would otherwise hang the suite instead of failing it.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use swapcons::core::threaded::ThreadedKSet;
+
+/// Generous ceiling for races that complete in milliseconds in practice.
+const GUARD: Duration = Duration::from_secs(60);
+
+/// Run `f` on a fresh thread, failing the test if it outlives `GUARD`.
+fn bounded<T: Send + 'static>(label: &str, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // A send error only means the receiver timed out and the test
+        // already failed; nothing to do from this side.
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(GUARD) {
+        Ok(v) => v,
+        Err(_) => panic!("{label}: no decision within {GUARD:?} (livelock?)"),
+    }
+}
+
+#[test]
+fn k_equals_n_uses_zero_swap_objects() {
+    let alg = ThreadedKSet::new(5, 5, 3);
+    assert_eq!(alg.space(), 0, "n-k = 0 objects");
+    assert_eq!(alg.num_processes(), 5);
+    assert_eq!(alg.degree(), 5);
+}
+
+#[test]
+fn k_equals_n_every_process_decides_its_own_input() {
+    // With no objects there is no communication: validity pins each decision
+    // to the proposer's own input, and n distinct decisions are allowed
+    // because k = n.
+    let inputs = [0u64, 1, 2, 0, 1, 2];
+    let alg = ThreadedKSet::new(6, 6, 3);
+    let decisions = bounded("k=n race", move || alg.run(&inputs));
+    assert_eq!(decisions, inputs.to_vec());
+}
+
+#[test]
+fn k_equals_n_single_process_instance() {
+    // The smallest instance the relaxed precondition admits: n = k = 1.
+    let alg = ThreadedKSet::new(1, 1, 4);
+    assert_eq!(alg.space(), 0);
+    assert_eq!(alg.propose(0, 3), 3);
+}
+
+#[test]
+fn k_equals_n_bounded_propose_needs_no_extra_laps() {
+    // Zero objects means zero conflicts: two laps (build a 2-lap lead)
+    // always suffice.
+    let alg = ThreadedKSet::new(4, 4, 2);
+    assert_eq!(alg.propose_bounded(2, 1, 3), Some(1));
+}
+
+#[test]
+fn k_one_consensus_under_contention_with_time_guard() {
+    for round in 0..5u64 {
+        let decisions = bounded("k=1 consensus race", move || {
+            let alg = ThreadedKSet::new(5, 1, 3);
+            assert_eq!(alg.space(), 4, "n-k = 4 objects");
+            let inputs: Vec<u64> = (0..5).map(|i| (i + round) % 3).collect();
+            (inputs.clone(), alg.run(&inputs))
+        });
+        let (inputs, decisions) = decisions;
+        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        assert_eq!(distinct.len(), 1, "consensus: one decided value");
+        let v = *distinct.iter().next().unwrap();
+        assert!(inputs.contains(&v), "validity: {v} is someone's input");
+    }
+}
+
+#[test]
+fn k_one_two_processes_minimal_consensus() {
+    // The n = 2, k = 1 instance: one swap object, the paper's base case.
+    let decisions = bounded("n=2 consensus race", || {
+        let alg = ThreadedKSet::new(2, 1, 2);
+        assert_eq!(alg.space(), 1);
+        alg.run(&[0, 1])
+    });
+    assert_eq!(decisions[0], decisions[1], "agreement");
+    assert!(decisions[0] < 2, "validity");
+}
+
+#[test]
+#[should_panic(expected = "require n >= k >= 1")]
+fn k_greater_than_n_still_rejected() {
+    let _ = ThreadedKSet::new(3, 4, 2);
+}

@@ -1,0 +1,353 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the bench targets use — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with a deliberately small measurement loop:
+//!
+//! * default mode: warm up once, then time up to `sample_size` iterations
+//!   (bounded by the group's `measurement_time`), printing a mean per
+//!   benchmark to stdout;
+//! * `--test` mode (what `cargo bench -- --test` and CI use): run each
+//!   benchmark body exactly once and print `ok`, so every target is
+//!   execution-checked without paying measurement cost.
+//!
+//! Statistical analysis, plots, and baselines are out of scope; the benches
+//! themselves print the paper's table/figure data, which is the artifact
+//! this workspace records.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a computation whose result is unused.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    default_sample_size: usize,
+    default_measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filter: None,
+            default_sample_size: 10,
+            default_measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build a driver from the process's command-line arguments.
+    ///
+    /// Recognizes `--test` (run each body once) and a positional filter
+    /// substring; other harness flags (`--bench`, `--nocapture`, …) are
+    /// accepted and ignored.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                s if s.starts_with("--") => {}
+                s => c.filter = Some(s.to_string()),
+            }
+        }
+        c
+    }
+
+    fn runs(&self, id: &str) -> bool {
+        match &self.filter {
+            Some(f) => id.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            measurement_time: self.default_measurement_time,
+            criterion: self,
+        }
+    }
+
+    /// Benchmark `f` under `id` with default group settings.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let measurement_time = self.default_measurement_time;
+        self.run_one(id, sample_size, measurement_time, f);
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.runs(id) {
+            return;
+        }
+        let mut b = Bencher {
+            iterations: if self.test_mode {
+                1
+            } else {
+                sample_size as u64
+            },
+            budget: if self.test_mode {
+                Duration::MAX
+            } else {
+                measurement_time
+            },
+            elapsed: Duration::ZERO,
+            performed: 0,
+        };
+        f(&mut b);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else if b.performed > 0 {
+            let mean = b.elapsed / (b.performed as u32);
+            println!("{id:<60} mean {mean:>12.2?} ({} iterations)", b.performed);
+        } else {
+            println!("{id:<60} (no iterations)");
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Iterations to attempt per benchmark (upper bound in this stand-in).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for API compatibility; this stand-in warms up with a single
+    /// untimed iteration regardless.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling mode is ignored.
+    pub fn sampling_mode(&mut self, _mode: SamplingMode) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        let (n, t) = (self.sample_size, self.measurement_time);
+        self.criterion.run_one(&full, n, t, f);
+        self
+    }
+
+    /// Benchmark `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Close the group. (No cross-benchmark reporting in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Flat-vs-auto sampling selector, accepted for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum SamplingMode {
+    /// Criterion's default adaptive sampling.
+    Auto,
+    /// One measurement per sample.
+    Flat,
+    /// Linearly increasing iteration counts.
+    Linear,
+}
+
+/// Runs the measured routine and accumulates timing.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    budget: Duration,
+    elapsed: Duration,
+    performed: u64,
+}
+
+impl Bencher {
+    /// Time `routine`, running it once untimed to warm up and then up to the
+    /// configured iteration count / time budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.performed += 1;
+            if self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+/// A benchmark name with an optional parameter component.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into the string id a benchmark is reported under.
+pub trait IntoBenchmarkId {
+    /// The full id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Declare a group of benchmark functions, mirroring
+/// `criterion::criterion_group!` (both the plain and `config =` forms).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_report() {
+        let mut c = Criterion::default();
+        let mut runs = 0u64;
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .measurement_time(Duration::from_millis(10));
+            group.bench_with_input(BenchmarkId::new("f", 7), &7u64, |b, &x| {
+                b.iter(|| {
+                    runs += 1;
+                    black_box(x * 2)
+                })
+            });
+            group.finish();
+        }
+        // one warmup + up to 3 timed iterations
+        assert!(runs >= 2);
+    }
+
+    #[test]
+    fn test_mode_runs_each_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("once", |b| b.iter(|| runs += 1));
+        // one warmup + one counted iteration
+        assert_eq!(runs, 2);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("yes".into()),
+            ..Criterion::default()
+        };
+        let mut runs = 0u64;
+        c.bench_function("no/never", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 0);
+        c.bench_function("yes/always", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the exact API surface this workspace uses — `rngs::StdRng`,
+//! `SeedableRng::seed_from_u64`, and `Rng::gen_range` over half-open integer
+//! ranges — backed by SplitMix64. Every use in the workspace is explicitly
+//! seeded (schedulers and adversaries must be replayable), so a small, fully
+//! deterministic generator is not just sufficient but preferable: the same
+//! seed yields the same schedule on every platform and toolchain.
+//!
+//! Note the stream differs from real `StdRng` (ChaCha12); seeds recorded by
+//! one implementation do not reproduce the other's schedules.
+
+use std::ops::Range;
+
+/// Low-level generator interface: a source of uniform `u64`s.
+pub trait RngCore {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from `seed`. Identical seeds yield identical
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types `Rng::gen_range` can sample uniformly from a half-open
+/// range.
+pub trait SampleUniform: Copy {
+    /// Width of `lo..hi` as a `u64` (must be nonzero).
+    fn range_width(lo: Self, hi: Self) -> u64;
+    /// `lo + offset`, where `offset < range_width(lo, hi)`.
+    fn offset_from(lo: Self, offset: u64) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn range_width(lo: Self, hi: Self) -> u64 {
+                (hi as i128 - lo as i128) as u64
+            }
+            fn offset_from(lo: Self, offset: u64) -> Self {
+                (lo as i128 + offset as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniform sample from the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty, matching real `rand`.
+    fn gen_range<T: SampleUniform + PartialOrd>(&mut self, range: Range<T>) -> T {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let width = T::range_width(range.start, range.end);
+        // Debiased multiply-shift (Lemire); bias is < 2^-32 for the widths
+        // this workspace samples, but reject the tail anyway for exactness.
+        let zone = u64::MAX - u64::MAX.wrapping_rem(width);
+        loop {
+            let x = self.next_u64();
+            if x < zone || zone == 0 {
+                return T::offset_from(range.start, x % width);
+            }
+        }
+    }
+
+    /// A uniformly random `bool` with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator: SplitMix64 (Steele, Lea & Flood 2014).
+    /// Passes BigCrush on its own and is the canonical seeder for larger
+    /// generators; plenty for schedule sampling.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn gen_range_in_bounds_all_widths() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for width in 1u64..64 {
+            for _ in 0..200 {
+                let x = rng.gen_range(10..10 + width);
+                assert!((10..10 + width).contains(&x));
+            }
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.gen_range(5u64..5);
+    }
+}

@@ -1,0 +1,37 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! schema/trace types are serialization-ready, but never actually serializes
+//! anything (there is no `serde_json`/`bincode` in the dependency tree). In
+//! this offline build environment the real crate is unavailable, so this
+//! stand-in provides the two traits as blanket-implemented markers and
+//! re-exports no-op derive macros. Replacing it with real serde is purely a
+//! manifest change (delete the `[patch.crates-io]` table at the root).
+
+/// Marker for types that real serde could serialize. Blanket-implemented:
+/// any bound `T: Serialize` is satisfied, and the no-op derive needs to emit
+/// nothing.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for types that real serde could deserialize, with the same
+/// lifetime parameter as the real trait so `for<'de>` bounds still parse.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Owned-deserialization alias, mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for common imports.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for common imports.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

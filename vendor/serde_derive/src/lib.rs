@@ -1,0 +1,22 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The stand-in's `Serialize`/`Deserialize` traits are blanket-implemented
+//! markers, so the derives have nothing to generate: they accept any item and
+//! emit an empty token stream. `#[serde(...)]` helper attributes are accepted
+//! (and ignored) so annotated types still compile.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits nothing; the marker trait's
+/// blanket impl already covers the type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits nothing; the marker trait's
+/// blanket impl already covers the type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
