@@ -177,6 +177,10 @@ impl Protocol for BinaryRacing {
         vec![ObjectSchema::readable_swap(Domain::BINARY); self.space()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::readable_swap(Domain::BINARY)
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> u64 {
         0
     }

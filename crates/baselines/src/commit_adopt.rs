@@ -215,6 +215,10 @@ impl Protocol for CommitAdoptConsensus {
         vec![ObjectSchema::register(); self.space()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::register()
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> Stamp {
         Stamp::absent()
     }

@@ -120,6 +120,10 @@ impl Protocol for ReadableRacing {
         vec![ObjectSchema::readable_swap(Domain::Unbounded); self.space()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::readable_swap(Domain::Unbounded)
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> SwapEntry {
         SwapEntry::bot(self.m as usize)
     }

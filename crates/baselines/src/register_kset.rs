@@ -95,6 +95,10 @@ impl Protocol for RegisterKSet {
         self.inner.schemas()
     }
 
+    fn schema(&self, obj: ObjectId) -> ObjectSchema {
+        self.inner.schema(obj)
+    }
+
     fn initial_value(&self, obj: ObjectId) -> Stamp {
         self.inner.initial_value(obj)
     }

@@ -1,0 +1,154 @@
+//! E8 — **exploration throughput**: states/second for the exhaustive
+//! searches, the metric every perf PR to the exploration hot path must move.
+//!
+//! Four workloads, spanning the repo's verification surfaces:
+//!
+//! * `ModelChecker` on Algorithm 1 at n=2 (all 4 input vectors) and n=3
+//!   (the "model-checker scale" regime where state explosion made per-node
+//!   deep clones the bottleneck);
+//! * the same n=3 run with the solo-termination (obstruction-freedom) check
+//!   enabled, which layers a solo run per running process on every visited
+//!   state;
+//! * the Section 5 / Lemma 16 construction on `BinaryRacing` at n=3, whose
+//!   inner loop is the valency oracle's bounded search.
+//!
+//! Each series point is the best of three runs after one warm-up (the
+//! measurement box is a shared single-core VM, so minimum-of-N is the
+//! stable statistic); EXPERIMENTS.md records the trajectory across PRs.
+//!
+//! Run: `cargo bench -p swapcons-bench --bench fig_explore`
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use swapcons_baselines::BinaryRacing;
+use swapcons_bench::harness::render_series;
+use swapcons_core::SwapKSet;
+use swapcons_lower::section5::{lemma16_driver, Budgets};
+use swapcons_sim::explore::ModelChecker;
+
+/// Best-of-3 wall clock (after one untimed warm-up) for `run`, which
+/// returns the number of states (or stages) it processed.
+fn best_of_3(mut run: impl FnMut() -> usize) -> (usize, f64) {
+    let count = run(); // warm-up
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let c = run();
+        best = best.min(start.elapsed().as_secs_f64());
+        assert_eq!(c, count, "deterministic workload");
+    }
+    (count, best)
+}
+
+fn print_series() {
+    println!("\n====== exploration throughput (states/sec, best of 3) ======");
+    let mut points = Vec::new();
+
+    // n=2 Algorithm 1, all input vectors, no solo checking.
+    {
+        let p = SwapKSet::consensus(2, 2);
+        let checker = ModelChecker::new(30, 200_000);
+        let (states, secs) = best_of_3(|| {
+            let report = checker.check_all_inputs(&p);
+            assert!(report.passed(), "{report}");
+            report.states
+        });
+        let rate = states as f64 / secs;
+        println!(
+            "alg1 n=2 all-inputs depth=30   : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+        );
+        points.push((2.0, rate));
+    }
+
+    // n=3 Algorithm 1 — THE acceptance metric for exploration perf PRs.
+    {
+        let p = SwapKSet::consensus(3, 2);
+        let checker = ModelChecker::new(22, 2_000_000);
+        let (states, secs) = best_of_3(|| {
+            let report = checker.check(&p, &[0, 1, 1]);
+            assert!(report.passed(), "{report}");
+            report.states
+        });
+        let rate = states as f64 / secs;
+        println!(
+            "alg1 n=3 [0,1,1]   depth=22    : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+        );
+        points.push((3.0, rate));
+    }
+
+    // n=3 with the solo-termination check on every visited state.
+    {
+        let p = SwapKSet::consensus(3, 2);
+        let checker = ModelChecker::new(12, 2_000_000).with_solo_budget(p.solo_step_bound());
+        let (states, secs) = best_of_3(|| {
+            let report = checker.check(&p, &[0, 1, 1]);
+            assert!(report.passed(), "{report}");
+            report.states
+        });
+        let rate = states as f64 / secs;
+        println!(
+            "alg1 n=3 +solo     depth=12    : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+        );
+        points.push((3.5, rate));
+    }
+
+    // Section 5: the Lemma 16 construction at n=3 (valency-oracle bound).
+    {
+        let p = BinaryRacing::with_track_len(3, 8);
+        let (stages, secs) = best_of_3(|| {
+            let report = lemma16_driver(&p, &[0, 1, 0], &Budgets::small());
+            assert!(report.complete(), "{report}");
+            report.stages.len()
+        });
+        println!("section5 lemma16 n=3           : {stages} stages in {secs:>8.3}s");
+        points.push((4.0, 1.0 / secs));
+    }
+
+    println!(
+        "\n{}",
+        render_series(
+            "exploration throughput (x: workload id)",
+            "workload",
+            "states_per_sec",
+            &points
+        )
+    );
+}
+
+fn bench_explore(c: &mut Criterion) {
+    print_series();
+    let mut group = c.benchmark_group("fig_explore");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.bench_function("model_check/alg1_n2_all_inputs", |b| {
+        let p = SwapKSet::consensus(2, 2);
+        let checker = ModelChecker::new(30, 200_000);
+        b.iter(|| {
+            let report = checker.check_all_inputs(&p);
+            assert!(report.passed());
+            report.states
+        })
+    });
+    group.bench_function("model_check/alg1_n3_depth14", |b| {
+        let p = SwapKSet::consensus(3, 2);
+        let checker = ModelChecker::new(14, 2_000_000);
+        b.iter(|| {
+            let report = checker.check(&p, &[0, 1, 1]);
+            assert!(report.passed());
+            report.states
+        })
+    });
+    group.bench_function("section5/lemma16_n3", |b| {
+        let p = BinaryRacing::with_track_len(3, 8);
+        b.iter(|| {
+            let report = lemma16_driver(&p, &[0, 1, 0], &Budgets::small());
+            assert!(report.complete());
+            report.stages.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_explore);
+criterion_main!(benches);

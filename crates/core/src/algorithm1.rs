@@ -130,6 +130,10 @@ impl Protocol for SwapKSet {
         vec![ObjectSchema::swap(); self.space()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::swap()
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> SwapEntry {
         SwapEntry::bot(self.m as usize)
     }

@@ -117,6 +117,14 @@ impl Protocol for TasConsensus {
         ]
     }
 
+    fn schema(&self, obj: ObjectId) -> ObjectSchema {
+        if obj.index() < 2 {
+            ObjectSchema::register()
+        } else {
+            ObjectSchema::test_and_set()
+        }
+    }
+
     fn initial_value(&self, obj: ObjectId) -> TasValue {
         if obj.index() < 2 {
             TasValue::Proposal(None)

@@ -106,6 +106,10 @@ impl Protocol for PairsKSet {
         vec![ObjectSchema::swap(); self.space()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::swap()
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> Option<u64> {
         None
     }

@@ -35,9 +35,10 @@
 //! early and say so. The paper guarantees the construction always exists;
 //! the drivers *find* it on the small instances the tests and benches run.
 
-use std::collections::{BTreeMap, BTreeSet, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
+use swapcons_sim::search::VisitedSet;
 use swapcons_sim::{Configuration, ObjectId, ProcessId, Protocol, SimValue, StepRecord};
 
 use crate::lemma13::{self, block_update};
@@ -240,14 +241,19 @@ fn critical_step_search<P: Protocol>(
         .chain(std::iter::once(&pi))
         .copied()
         .collect();
-    let mut visited: HashSet<(Configuration<P>, usize)> = HashSet::new();
+    // Visited states, partitioned by mirrored-prefix length `t` (the BFS
+    // key is the pair (configuration, t)): one fingerprint set per level.
+    let mut visited: Vec<VisitedSet<P>> = Vec::new();
     let mut queue: VecDeque<(Configuration<P>, usize)> = VecDeque::new();
     queue.push_back((base.clone(), 0));
     let mut nodes = 0usize;
     let mut candidates = 0usize;
 
     while let Some((config, t)) = queue.pop_front() {
-        if !visited.insert((config.clone(), t)) {
+        if visited.len() <= t {
+            visited.resize_with(t + 1, VisitedSet::new);
+        }
+        if !visited[t].insert(&config) {
             continue;
         }
         nodes += 1;

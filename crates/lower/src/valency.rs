@@ -17,9 +17,11 @@
 //! * otherwise the verdict is the best-effort [`Valency::Unknown`] — the
 //!   Section 5 drivers treat it conservatively and record the cutoff.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
+use std::collections::HashSet;
 use std::fmt;
 
+use swapcons_sim::search::{NodeId, ScheduleArena, VisitedSet};
 use swapcons_sim::{Configuration, ProcessId, Protocol};
 
 /// Three-valued valency verdict for a process group.
@@ -134,10 +136,21 @@ impl ValencyOracle {
                 states: 0,
             };
         }
-        let mut visited: HashSet<Configuration<P>> = HashSet::new();
+        // Fingerprint-keyed visited set + parent-pointer schedule arena:
+        // witness schedules are materialized only when a decision is first
+        // seen, never cloned into stack frames.
+        let mut visited: VisitedSet<P> = VisitedSet::with_capacity(self.max_states.min(1 << 14));
+        let mut arena = ScheduleArena::new();
         let mut exhaustive = true;
-        let mut stack: Vec<(Configuration<P>, Vec<ProcessId>)> = vec![(config.clone(), vec![])];
-        while let Some((c, schedule)) = stack.pop() {
+        // Membership is decided at discovery time: each configuration is
+        // fingerprinted once and the stack never holds duplicates. Candidate
+        // children are generated on a recycled scratch configuration, so
+        // duplicate children allocate nothing.
+        visited.insert(config);
+        let mut child_scratch: Option<Configuration<P>> = None;
+        let mut stack: Vec<(Configuration<P>, NodeId)> =
+            vec![(config.clone(), ScheduleArena::ROOT)];
+        while let Some((c, node)) = stack.pop() {
             if witnesses.len() >= 2 {
                 // Bivalence established; whatever remains unexplored cannot
                 // change the verdict.
@@ -147,10 +160,7 @@ impl ValencyOracle {
                     states: visited.len(),
                 };
             }
-            if !visited.insert(c.clone()) {
-                continue;
-            }
-            if visited.len() > self.max_states || schedule.len() >= self.max_depth {
+            if visited.len() > self.max_states || arena.depth(node) >= self.max_depth {
                 exhaustive = false;
                 continue;
             }
@@ -158,20 +168,34 @@ impl ValencyOracle {
                 if c.decision(pid).is_some() {
                     continue;
                 }
-                let mut child = c.clone();
-                let rec = match child.step(protocol, pid) {
-                    Ok(rec) => rec,
+                let child = match &mut child_scratch {
+                    Some(s) => {
+                        s.clone_state_from(&c);
+                        s
+                    }
+                    None => child_scratch.insert(c.clone()),
+                };
+                let decided = match child.step_quiet(protocol, pid) {
+                    Ok(decided) => decided,
                     Err(_) => {
                         exhaustive = false;
                         continue;
                     }
                 };
-                let mut sched = schedule.clone();
-                sched.push(pid);
-                if let Some(v) = rec.decided {
-                    witnesses.entry(v).or_insert_with(|| sched.clone());
+                // Witnesses are recorded for every generated edge (even one
+                // leading to an already-known configuration), as before.
+                let is_new = visited.insert(child);
+                if decided.is_some() || is_new {
+                    let child_node = arena.child(node, pid);
+                    if let Some(v) = decided {
+                        witnesses
+                            .entry(v)
+                            .or_insert_with(|| arena.schedule(child_node));
+                    }
+                    if is_new {
+                        stack.push((child.clone(), child_node));
+                    }
                 }
-                stack.push((child, sched));
             }
         }
         ValencyResult {

@@ -91,6 +91,16 @@ impl<V> HistorylessOp<V> {
         }
     }
 
+    /// Consume the operation, yielding the payload of a nontrivial
+    /// operation — the clone-free path for callers that apply the operation
+    /// and do not keep it.
+    pub fn into_payload(self) -> Option<V> {
+        match self {
+            HistorylessOp::Read => None,
+            HistorylessOp::Write(v) | HistorylessOp::Swap(v) => Some(v),
+        }
+    }
+
     /// Map the payload type, preserving the operation kind.
     pub fn map<U>(self, f: impl FnOnce(V) -> U) -> HistorylessOp<U> {
         match self {

@@ -5,11 +5,23 @@
 //! step: the scheduled process applies its poised operation to an object,
 //! obtains the response determined by the object's current value, performs
 //! its local computation, and either continues or decides.
+//!
+//! # Copy-on-write representation
+//!
+//! The exhaustive searches (the model checker, the valency oracle, the
+//! Section 5 adversaries) clone configurations at every explored node, then
+//! mutate only a fraction of them. Object and process storage is therefore
+//! [`Arc`]-backed: [`Configuration::clone`] is three refcount bumps, and
+//! [`Configuration::step`] / [`Configuration::poke_object`] copy the
+//! affected vector only when it is actually shared ([`Arc::make_mut`]).
+//! Observable behaviour is identical to deep cloning — the copy-on-write
+//! property tests replay every lineage from scratch to prove it.
 
 use std::collections::HashSet;
 use std::fmt;
+use std::sync::Arc;
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, SchemaError};
+use swapcons_objects::{HistorylessOp, ObjectSchema, OpKind, Response, SchemaError};
 
 use crate::history::StepRecord;
 use crate::ids::{ObjectId, ProcessId};
@@ -46,27 +58,60 @@ impl<S> ProcStatus<S> {
 /// and the inputs that produced the initial configuration (kept for validity
 /// checking).
 pub struct Configuration<P: Protocol> {
-    objects: Vec<P::Value>,
-    procs: Vec<ProcStatus<P::State>>,
-    inputs: Vec<u64>,
+    // `Arc<[T]>` rather than `Arc<Vec<T>>`: the control block and the
+    // elements live in ONE allocation, so a copy-on-write detach is a single
+    // malloc + memcpy per vector instead of two.
+    objects: Arc<[P::Value]>,
+    procs: Arc<[ProcStatus<P::State>]>,
+    inputs: Arc<[u64]>,
+}
+
+/// Copy-on-write access: detach (one allocation) only if `arc` is shared.
+fn cow_slice<T: Clone>(arc: &mut Arc<[T]>) -> &mut [T] {
+    if Arc::get_mut(arc).is_none() {
+        *arc = arc.iter().cloned().collect();
+    }
+    Arc::get_mut(arc).expect("uniquely owned after detach")
+}
+
+/// Overwrite `dst` with `src`'s elements, reusing `dst`'s allocation when it
+/// is uniquely owned and the right length; falls back to sharing `src`.
+fn clone_slice_from<T: Clone>(dst: &mut Arc<[T]>, src: &Arc<[T]>) {
+    if Arc::ptr_eq(dst, src) {
+        return;
+    }
+    match Arc::get_mut(dst) {
+        Some(slice) if slice.len() == src.len() => {
+            for (d, s) in slice.iter_mut().zip(src.iter()) {
+                d.clone_from(s);
+            }
+        }
+        _ => *dst = Arc::clone(src),
+    }
 }
 
 // Manual impls: the derive would demand `P: Clone`/`P: Hash` etc., but only
 // `P::Value` and `P::State` appear in fields, and the `Protocol` trait
-// already requires Clone + Eq + Hash of both.
+// already requires Clone + Eq + Hash of both. Clone is the copy-on-write
+// fast path: no object or process state is copied until a mutation hits a
+// shared vector.
 impl<P: Protocol> Clone for Configuration<P> {
     fn clone(&self) -> Self {
         Configuration {
-            objects: self.objects.clone(),
-            procs: self.procs.clone(),
-            inputs: self.inputs.clone(),
+            objects: Arc::clone(&self.objects),
+            procs: Arc::clone(&self.procs),
+            inputs: Arc::clone(&self.inputs),
         }
     }
 }
 
 impl<P: Protocol> PartialEq for Configuration<P> {
     fn eq(&self, other: &Self) -> bool {
-        self.objects == other.objects && self.procs == other.procs && self.inputs == other.inputs
+        // Pointer equality short-circuits content comparison for clones that
+        // have not diverged (the common case in visited sets).
+        (Arc::ptr_eq(&self.objects, &other.objects) || self.objects == other.objects)
+            && (Arc::ptr_eq(&self.procs, &other.procs) || self.procs == other.procs)
+            && (Arc::ptr_eq(&self.inputs, &other.inputs) || self.inputs == other.inputs)
     }
 }
 
@@ -115,9 +160,9 @@ impl<P: Protocol> Configuration<P> {
             )
             .collect();
         Ok(Configuration {
-            objects,
+            objects: objects.into(),
             procs,
-            inputs: inputs.to_vec(),
+            inputs: inputs.into(),
         })
     }
 
@@ -181,12 +226,30 @@ impl<P: Protocol> Configuration<P> {
 
     /// Ids of processes that have not yet decided.
     pub fn running(&self) -> Vec<ProcessId> {
-        self.procs
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| matches!(s, ProcStatus::Running(_)))
-            .map(|(i, _)| ProcessId(i))
-            .collect()
+        let mut ids = Vec::new();
+        self.running_into(&mut ids);
+        ids
+    }
+
+    /// Fill `buf` with the ids of processes that have not yet decided —
+    /// the allocation-free form of [`Configuration::running`] for callers
+    /// (runners, the model checker) that query it every step and can reuse a
+    /// scratch buffer. `buf` is cleared first.
+    pub fn running_into(&self, buf: &mut Vec<ProcessId>) {
+        buf.clear();
+        buf.extend(
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, ProcStatus::Running(_)))
+                .map(|(i, _)| ProcessId(i)),
+        );
+    }
+
+    /// Decisions of all processes as a non-allocating iterator — pair with
+    /// [`crate::task::KSetTask::check_decisions`] on hot paths.
+    pub fn decisions_iter(&self) -> impl Iterator<Item = Option<u64>> + Clone + '_ {
+        self.procs.iter().map(|s| s.decision())
     }
 
     /// Whether every process has decided.
@@ -222,16 +285,50 @@ impl<P: Protocol> Configuration<P> {
     /// Panics if `pid` is out of range, or if the protocol's poised
     /// operation targets an out-of-range object (both are protocol bugs).
     pub fn step(&mut self, protocol: &P, pid: ProcessId) -> Result<StepRecord<P::Value>, SimError> {
+        let (obj, op) = self.validated_poised(protocol, pid)?;
+        // Apply phase. For a nontrivial op the previous value is moved out
+        // of the (copy-on-write-detached) object slot rather than cloned —
+        // for `Swap` that displaced value *is* the response. The record
+        // keeps the operation, so its payload is cloned into the object.
+        let response = match op.next_value(&self.objects[obj.index()]) {
+            Some(next) => {
+                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                match op.kind() {
+                    OpKind::Write => Response::Ack,
+                    _ => Response::Value(prev),
+                }
+            }
+            None => op.response(&self.objects[obj.index()]),
+        };
+        let decided = self.absorb(protocol, pid, response.clone());
+        Ok(StepRecord {
+            pid,
+            object: obj,
+            op,
+            response,
+            decided,
+        })
+    }
+
+    /// Validation phase shared by [`Configuration::step`] and
+    /// [`Configuration::step_quiet`]: resolve the poised operation and check
+    /// it against the target object's schema. Mutates nothing, so schema
+    /// rejections leave the configuration untouched.
+    fn validated_poised(
+        &self,
+        protocol: &P,
+        pid: ProcessId,
+    ) -> Result<(ObjectId, HistorylessOp<P::Value>), SimError> {
         let state = match &self.procs[pid.index()] {
-            ProcStatus::Running(s) => s.clone(),
+            ProcStatus::Running(s) => s,
             ProcStatus::Decided(_) => return Err(SimError::ProcessDecided(pid)),
         };
-        let (obj, op) = protocol.poised(&state);
+        let (obj, op) = protocol.poised(state);
         assert!(
             obj.index() < self.objects.len(),
             "{pid:?} poised on out-of-range object {obj:?}"
         );
-        let schema = protocol.schemas()[obj.index()];
+        let schema = protocol.schema(obj);
         schema
             .check_op_kind(op.kind())
             .map_err(|e| SimError::Schema {
@@ -246,28 +343,68 @@ impl<P: Protocol> Configuration<P> {
                 error: e,
             })?;
         }
-        let current = &self.objects[obj.index()];
-        let response = op.response(current);
-        if let Some(next) = op.next_value(current) {
-            self.objects[obj.index()] = next;
-        }
-        let decided = match protocol.observe(state, response.clone()) {
+        Ok((obj, op))
+    }
+
+    /// Apply-phase tail shared by [`Configuration::step`] and
+    /// [`Configuration::step_quiet`]: move `pid`'s state out of its
+    /// (copy-on-write-detached) slot instead of cloning it for `observe`,
+    /// store the successor status, and return the decision, if any.
+    fn absorb(
+        &mut self,
+        protocol: &P,
+        pid: ProcessId,
+        response: Response<P::Value>,
+    ) -> Option<u64> {
+        let procs = cow_slice(&mut self.procs);
+        let state = match std::mem::replace(&mut procs[pid.index()], ProcStatus::Decided(0)) {
+            ProcStatus::Running(s) => s,
+            ProcStatus::Decided(_) => unreachable!("validated_poised checked Running"),
+        };
+        match protocol.observe(state, response) {
             Transition::Continue(next_state) => {
-                self.procs[pid.index()] = ProcStatus::Running(next_state);
+                procs[pid.index()] = ProcStatus::Running(next_state);
                 None
             }
             Transition::Decide(v) => {
-                self.procs[pid.index()] = ProcStatus::Decided(v);
+                procs[pid.index()] = ProcStatus::Decided(v);
                 Some(v)
             }
+        }
+    }
+
+    /// [`Configuration::step`] without the record: applies the step and
+    /// returns only the decision it produced (if any).
+    ///
+    /// The exploration engines and solo runners discard the [`StepRecord`],
+    /// so this path also skips the copies that exist only to populate it:
+    /// the operation payload is *moved* into the object and the displaced
+    /// value is *moved* into the response handed to `observe` — zero value
+    /// clones on a swap step.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Configuration::step`].
+    ///
+    /// # Panics
+    ///
+    /// Identical to [`Configuration::step`].
+    pub fn step_quiet(&mut self, protocol: &P, pid: ProcessId) -> Result<Option<u64>, SimError> {
+        let (obj, op) = self.validated_poised(protocol, pid)?;
+        let kind = op.kind();
+        let response = match op.into_payload() {
+            // Nontrivial: move the payload in, move the old value out.
+            Some(next) => {
+                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                match kind {
+                    OpKind::Write => Response::Ack,
+                    _ => Response::Value(prev),
+                }
+            }
+            // Trivial: the object keeps its value; the response clones it.
+            None => Response::Value(self.objects[obj.index()].clone()),
         };
-        Ok(StepRecord {
-            pid,
-            object: obj,
-            op,
-            response,
-            decided,
-        })
+        Ok(self.absorb(protocol, pid, response))
     }
 
     /// Whether this configuration is indistinguishable from `other` to every
@@ -288,11 +425,12 @@ impl<P: Protocol> Configuration<P> {
     }
 
     /// A compact fingerprint of the configuration (object values + process
-    /// statuses), used by the model checker's visited set.
+    /// statuses), used by the exploration engines' visited sets. Computed
+    /// with FxHash — fast and deterministic, but *not* injective;
+    /// [`crate::search::VisitedSet`] layers an exact-state fallback on top.
     pub fn fingerprint(&self) -> u64 {
-        use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
-        let mut h = DefaultHasher::new();
+        let mut h = fxhash::FxHasher::default();
         self.objects.hash(&mut h);
         self.procs.hash(&mut h);
         h.finish()
@@ -302,7 +440,37 @@ impl<P: Protocol> Configuration<P> {
     /// adversary constructions to build hypothetical configurations; not
     /// reachable by any process step.
     pub fn poke_object(&mut self, obj: ObjectId, value: P::Value) {
-        self.objects[obj.index()] = value;
+        cow_slice(&mut self.objects)[obj.index()] = value;
+    }
+
+    /// Make this configuration's state equal to `other`'s, reusing this
+    /// configuration's storage when it is uniquely owned (no allocation).
+    ///
+    /// This is the scratch-buffer pattern for hot loops that repeatedly run
+    /// hypothetical executions from many base configurations (the model
+    /// checker's solo-termination check): resetting a scratch configuration
+    /// costs element copies only, and the subsequent in-place mutations
+    /// never trigger a copy-on-write detach.
+    pub fn clone_state_from(&mut self, other: &Self) {
+        clone_slice_from(&mut self.objects, &other.objects);
+        clone_slice_from(&mut self.procs, &other.procs);
+        if !Arc::ptr_eq(&self.inputs, &other.inputs) {
+            self.inputs = Arc::clone(&other.inputs);
+        }
+    }
+
+    /// Whether `self` and `other` share the same physical object storage —
+    /// i.e. neither side has mutated since one was cloned from the other.
+    /// Diagnostic hook for the copy-on-write tests; `true` implies (but is
+    /// not implied by) equal object values.
+    pub fn shares_object_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.objects, &other.objects)
+    }
+
+    /// [`Configuration::shares_object_storage`], for the process-status
+    /// vector.
+    pub fn shares_process_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.procs, &other.procs)
     }
 }
 
@@ -449,6 +617,88 @@ mod tests {
         let mut c = init(&[0, 1]);
         c.poke_object(ObjectId(0), TwoProcConsensusValue::Input(1));
         assert_eq!(c.value(ObjectId(0)), &TwoProcConsensusValue::Input(1));
+    }
+
+    #[test]
+    fn clone_is_copy_on_write_not_deep() {
+        // The acceptance test for the CoW representation: cloning bumps
+        // refcounts and copies no object or process state.
+        let a = init(&[0, 1]);
+        let b = a.clone();
+        assert!(
+            a.shares_object_storage(&b),
+            "clone must alias object storage"
+        );
+        assert!(
+            a.shares_process_storage(&b),
+            "clone must alias process storage"
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_unshares_only_what_it_mutates() {
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        // The step wrote an object and a process status: both vectors must
+        // have been unshared, and the original must be untouched.
+        assert!(!a.shares_object_storage(&b));
+        assert!(!a.shares_process_storage(&b));
+        assert_eq!(a.decision(ProcessId(0)), None, "original unaffected");
+        assert_eq!(b.decision(ProcessId(0)), Some(0));
+        // Further steps on the now-unique clone keep storage unique without
+        // copying again (make_mut fast path) — behaviourally: still correct.
+        b.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert!(b.all_decided());
+        assert!(!a.all_decided());
+    }
+
+    #[test]
+    fn poke_object_is_copy_on_write() {
+        use crate::testing::TwoProcConsensusValue;
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.poke_object(ObjectId(0), TwoProcConsensusValue::Input(9));
+        assert!(!a.shares_object_storage(&b));
+        assert!(
+            a.shares_process_storage(&b),
+            "poke touches no process state"
+        );
+        assert_eq!(a.value(ObjectId(0)), &TwoProcConsensusValue::Bot);
+        assert_eq!(b.value(ObjectId(0)), &TwoProcConsensusValue::Input(9));
+    }
+
+    #[test]
+    fn equality_survives_divergent_storage() {
+        // Two configurations reached by different histories but with equal
+        // content must compare equal even though no storage is shared.
+        let mut a = init(&[1, 1]);
+        let mut b = init(&[1, 1]);
+        a.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert!(!a.shares_object_storage(&b));
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn running_into_reuses_buffer() {
+        let mut c = init(&[0, 1]);
+        let mut buf = vec![ProcessId(99)]; // stale content must be cleared
+        c.running_into(&mut buf);
+        assert_eq!(buf, vec![ProcessId(0), ProcessId(1)]);
+        c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        c.running_into(&mut buf);
+        assert_eq!(buf, vec![ProcessId(1)]);
+        assert_eq!(c.running(), buf, "running() and running_into agree");
+    }
+
+    #[test]
+    fn decisions_iter_matches_decisions() {
+        let mut c = init(&[0, 1]);
+        c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert_eq!(c.decisions_iter().collect::<Vec<_>>(), c.decisions());
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod ids;
 mod protocol;
 pub mod runner;
 pub mod scheduler;
+pub mod search;
 pub mod task;
 pub mod testing;
 

@@ -100,6 +100,17 @@ pub trait Protocol {
         self.schemas().len()
     }
 
+    /// Capability schema of a single object — semantically
+    /// `self.schemas()[obj.index()]`.
+    ///
+    /// [`crate::Configuration::step`] consults this once per simulated step,
+    /// so protocols should override it to return the schema directly: the
+    /// default implementation materializes the whole schema vector, which is
+    /// a heap allocation on the hottest path in the workspace.
+    fn schema(&self, obj: ObjectId) -> ObjectSchema {
+        self.schemas()[obj.index()]
+    }
+
     /// Initial value of object `obj` (the paper's initial configuration
     /// defines object values before any steps).
     fn initial_value(&self, obj: ObjectId) -> Self::Value;
@@ -141,6 +152,9 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     }
     fn schemas(&self) -> Vec<ObjectSchema> {
         (**self).schemas()
+    }
+    fn schema(&self, obj: ObjectId) -> ObjectSchema {
+        (**self).schema(obj)
     }
     fn initial_value(&self, obj: ObjectId) -> Self::Value {
         (**self).initial_value(obj)

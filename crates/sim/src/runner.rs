@@ -7,7 +7,7 @@ use crate::config::{Configuration, SimError};
 use crate::history::History;
 use crate::ids::ProcessId;
 use crate::protocol::Protocol;
-use crate::scheduler::{Scheduler, Solo};
+use crate::scheduler::Scheduler;
 
 /// Result of [`run`].
 #[derive(Clone, Debug)]
@@ -36,8 +36,11 @@ pub fn run<P: Protocol, S: Scheduler>(
 ) -> Result<RunOutcome<P::Value>, SimError> {
     let mut history = History::new();
     let mut steps = 0;
+    // Scratch buffer: the running set is recomputed every step but the
+    // allocation is paid once.
+    let mut running: Vec<ProcessId> = Vec::new();
     while steps < max_steps {
-        let running = config.running();
+        config.running_into(&mut running);
         if running.is_empty() {
             break;
         }
@@ -116,22 +119,17 @@ pub fn solo_run<P: Protocol>(
     if let Some(v) = config.decision(pid) {
         return Err(SoloRunError::AlreadyDecided(v));
     }
+    // Solo semantics without the scheduler machinery: only `pid` ever
+    // steps, so there is no running set to materialize, and the record-free
+    // `step_quiet` path makes the loop allocation- and clone-free (this is
+    // the model checker's innermost loop).
     let mut steps = 0;
-    let mut sched = Solo(pid);
     while steps < max_steps {
-        let running = config.running();
-        let Some(p) = sched.pick(&running, steps) else {
-            // pid decided: Solo returns None once pid leaves the running set.
-            break;
-        };
-        let rec = config.step(protocol, p)?;
+        let decided = config.step_quiet(protocol, pid)?;
         steps += 1;
-        if let Some(v) = rec.decided {
+        if let Some(v) = decided {
             return Ok(SoloOutcome { decision: v, steps });
         }
-    }
-    if let Some(v) = config.decision(pid) {
-        return Ok(SoloOutcome { decision: v, steps });
     }
     Err(SoloRunError::BudgetExhausted { budget: max_steps })
 }

@@ -1,0 +1,334 @@
+//! Shared infrastructure for the exhaustive searches: a fingerprint-keyed
+//! visited set and a parent-pointer arena for schedule reconstruction.
+//!
+//! Both the model checker ([`crate::explore::ModelChecker`]) and the
+//! lower-bound valency oracle explore graphs whose nodes are
+//! [`Configuration`]s. Two costs dominated the naive implementations:
+//!
+//! * **hashing** — `HashSet<Configuration>` SipHashes the entire object and
+//!   process state on every probe. [`VisitedSet`] keys on a 64-bit FxHash
+//!   fingerprint computed once per configuration, and keeps full
+//!   configurations (cheap copy-on-write clones) only as collision buckets,
+//!   so exactness never depends on fingerprint quality;
+//! * **schedule cloning** — storing `Vec<ProcessId>` schedules in every
+//!   stack/queue frame is `O(depth)` memory traffic per explored edge.
+//!   [`ScheduleArena`] stores one `(parent, pid)` node per edge and
+//!   materializes a schedule only when a witness is actually needed (a
+//!   violation or a decision), which is the rare path.
+
+use crate::config::Configuration;
+use crate::ids::ProcessId;
+use crate::protocol::Protocol;
+
+/// Pass-through hasher for keys that are already hashes: the visited map's
+/// keys are FxHash fingerprints, so re-hashing them buys nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PrehashedKey(u64);
+
+impl std::hash::Hasher for PrehashedKey {
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PrehashedKey only accepts u64 keys");
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        // One multiply to spread entropy into the low bits the hash table
+        // indexes by (FxHash's final multiply leaves them weaker).
+        self.0 = key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+type PrehashedMap<V> =
+    std::collections::HashMap<u64, V, std::hash::BuildHasherDefault<PrehashedKey>>;
+
+/// A set of visited configurations, keyed by fingerprint with an exact-state
+/// fallback.
+///
+/// Distinct configurations sharing a fingerprint land in the same bucket and
+/// are told apart by full equality — the set is exact even under adversarial
+/// collisions (see [`VisitedSet::with_fingerprint_mask`], which the tests
+/// use to force every configuration into one bucket).
+pub struct VisitedSet<P: Protocol> {
+    buckets: PrehashedMap<Bucket<P>>,
+    len: usize,
+    mask: u64,
+    fallback_comparisons: usize,
+}
+
+/// One fingerprint's worth of configurations: the first occupant is stored
+/// inline (no allocation on the no-collision fast path); genuine collisions
+/// spill into `rest`, which stays unallocated while empty.
+struct Bucket<P: Protocol> {
+    first: Configuration<P>,
+    rest: Vec<Configuration<P>>,
+}
+
+impl<P: Protocol> Default for VisitedSet<P> {
+    fn default() -> Self {
+        VisitedSet {
+            buckets: PrehashedMap::default(),
+            len: 0,
+            mask: u64::MAX,
+            fallback_comparisons: 0,
+        }
+    }
+}
+
+impl<P: Protocol> VisitedSet<P> {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set pre-sized for roughly `expected` configurations, so the
+    /// hot insert path does not pay incremental rehashing. Callers with a
+    /// state budget pass a clamped fraction of it.
+    pub fn with_capacity(expected: usize) -> Self {
+        let mut set = Self::default();
+        set.buckets.reserve(expected);
+        set
+    }
+
+    /// An empty set whose fingerprints are masked with `mask` before use —
+    /// a diagnostic hook that makes collisions arbitrarily likely (mask `0`
+    /// sends every configuration to a single bucket), so tests can prove the
+    /// exact-state fallback path is correct.
+    pub fn with_fingerprint_mask(mask: u64) -> Self {
+        VisitedSet {
+            mask,
+            ..Self::default()
+        }
+    }
+
+    fn key(&self, config: &Configuration<P>) -> u64 {
+        config.fingerprint() & self.mask
+    }
+
+    /// Insert `config`, returning `true` if it was not already present.
+    /// Stores a copy-on-write clone (refcount bumps, no state copied), and
+    /// fingerprints the configuration exactly once.
+    pub fn insert(&mut self, config: &Configuration<P>) -> bool {
+        use std::collections::hash_map::Entry;
+        let key = self.key(config);
+        match self.buckets.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(Bucket {
+                    first: config.clone(),
+                    rest: Vec::new(),
+                });
+                self.len += 1;
+                true
+            }
+            Entry::Occupied(mut slot) => {
+                let bucket = slot.get_mut();
+                self.fallback_comparisons += 1 + bucket.rest.len();
+                if &bucket.first == config || bucket.rest.iter().any(|c| c == config) {
+                    return false;
+                }
+                bucket.rest.push(config.clone());
+                self.len += 1;
+                true
+            }
+        }
+    }
+
+    /// Whether `config` is already present.
+    pub fn contains(&self, config: &Configuration<P>) -> bool {
+        match self.buckets.get(&self.key(config)) {
+            Some(bucket) => &bucket.first == config || bucket.rest.iter().any(|c| c == config),
+            None => false,
+        }
+    }
+
+    /// Number of distinct configurations inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// How many exact-equality comparisons the fallback path has performed —
+    /// nonzero only when fingerprints collided (or a duplicate was probed).
+    pub fn fallback_comparisons(&self) -> usize {
+        self.fallback_comparisons
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for VisitedSet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VisitedSet")
+            .field("len", &self.len)
+            .field("buckets", &self.buckets.len())
+            .field("fallback_comparisons", &self.fallback_comparisons)
+            .finish()
+    }
+}
+
+/// Index of a node in a [`ScheduleArena`]. The root (empty schedule) is
+/// [`ScheduleArena::ROOT`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct NodeId(u32);
+
+/// A parent-pointer tree of schedule extensions.
+///
+/// Each explored edge `parent --pid--> child` records one arena node; the
+/// schedule reaching a node is reconstructed by walking parent pointers,
+/// paying `O(depth)` exactly once per *witness* instead of once per *edge*.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_sim::search::ScheduleArena;
+/// use swapcons_sim::ProcessId;
+///
+/// let mut arena = ScheduleArena::new();
+/// let a = arena.child(ScheduleArena::ROOT, ProcessId(0));
+/// let b = arena.child(a, ProcessId(1));
+/// assert_eq!(arena.depth(b), 2);
+/// assert_eq!(arena.schedule(b), vec![ProcessId(0), ProcessId(1)]);
+/// assert_eq!(arena.schedule(ScheduleArena::ROOT), vec![]);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ScheduleArena {
+    /// `(parent, pid, depth)` per node, packed to 12 bytes; depth is cached
+    /// so the hot path (depth cutoff tests) never walks the chain.
+    nodes: Vec<(NodeId, u32, u32)>,
+}
+
+impl ScheduleArena {
+    /// The root node: the empty schedule.
+    pub const ROOT: NodeId = NodeId(u32::MAX);
+
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the edge `parent --pid-->` and return the child's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena exceeds `u32::MAX - 1` nodes or `pid` exceeds
+    /// `u32::MAX` (far beyond any explorable instance).
+    pub fn child(&mut self, parent: NodeId, pid: ProcessId) -> NodeId {
+        let depth = self.depth(parent) as u32 + 1;
+        let pid32 = u32::try_from(pid.index()).expect("process id fits u32");
+        self.nodes.push((parent, pid32, depth));
+        let id = u32::try_from(self.nodes.len() - 1).expect("arena fits u32");
+        assert!(id != u32::MAX, "arena full");
+        NodeId(id)
+    }
+
+    /// Schedule length at `node` (0 for the root).
+    pub fn depth(&self, node: NodeId) -> usize {
+        if node == Self::ROOT {
+            0
+        } else {
+            self.nodes[node.0 as usize].2 as usize
+        }
+    }
+
+    /// Materialize the schedule from the root to `node` — the cold path,
+    /// called only when a witness must be reported.
+    pub fn schedule(&self, node: NodeId) -> Vec<ProcessId> {
+        let mut out = Vec::with_capacity(self.depth(node));
+        let mut cur = node;
+        while cur != Self::ROOT {
+            let (parent, pid, _) = self.nodes[cur.0 as usize];
+            out.push(ProcessId(pid as usize));
+            cur = parent;
+        }
+        out.reverse();
+        out
+    }
+
+    /// Number of recorded edges.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no edge has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ProcessId;
+    use crate::testing::TwoProcessSwapConsensus;
+
+    fn init(inputs: &[u64]) -> Configuration<TwoProcessSwapConsensus> {
+        Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
+    }
+
+    #[test]
+    fn visited_set_dedups_equal_configurations() {
+        let mut set = VisitedSet::new();
+        let a = init(&[0, 1]);
+        assert!(set.insert(&a));
+        assert!(!set.insert(&a.clone()), "clone is the same configuration");
+        let mut b = init(&[0, 1]);
+        assert!(!set.insert(&b), "equal content, different storage");
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert!(set.insert(&b), "stepped configuration is new");
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&a) && set.contains(&b));
+    }
+
+    #[test]
+    fn collision_guard_exact_fallback_is_exercised() {
+        // Mask 0 forces EVERY configuration into one bucket: the set must
+        // still distinguish distinct states, via full-equality comparisons.
+        let mut set = VisitedSet::with_fingerprint_mask(0);
+        let a = init(&[0, 1]);
+        let mut b = init(&[0, 1]);
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        let mut c = b.clone();
+        c.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert!(set.insert(&a));
+        assert!(set.insert(&b), "colliding fingerprints, distinct states");
+        assert!(set.insert(&c));
+        assert_eq!(set.len(), 3);
+        assert!(!set.insert(&a) && !set.insert(&b) && !set.insert(&c));
+        assert!(
+            set.fallback_comparisons() > 0,
+            "the exact-state fallback path must have been taken"
+        );
+        assert!(set.contains(&a) && set.contains(&b) && set.contains(&c));
+    }
+
+    #[test]
+    fn unmasked_probes_rarely_fall_back() {
+        // With real 64-bit fingerprints, distinct small states should not
+        // collide; fallback comparisons come only from duplicate probes.
+        let mut set = VisitedSet::new();
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert!(set.insert(&a));
+        assert!(set.insert(&b));
+        assert_eq!(set.fallback_comparisons(), 0);
+    }
+
+    #[test]
+    fn arena_reconstructs_schedules() {
+        let mut arena = ScheduleArena::new();
+        assert!(arena.is_empty());
+        let a = arena.child(ScheduleArena::ROOT, ProcessId(1));
+        let b = arena.child(a, ProcessId(0));
+        let c = arena.child(a, ProcessId(2)); // sibling branch
+        assert_eq!(arena.depth(ScheduleArena::ROOT), 0);
+        assert_eq!(arena.depth(b), 2);
+        assert_eq!(arena.schedule(b), vec![ProcessId(1), ProcessId(0)]);
+        assert_eq!(arena.schedule(c), vec![ProcessId(1), ProcessId(2)]);
+        assert_eq!(arena.len(), 3);
+    }
+}

@@ -133,8 +133,67 @@ impl KSetTask {
     ///
     /// Returns the first violated predicate.
     pub fn check(&self, inputs: &[u64], decisions: &[Option<u64>]) -> Result<(), TaskViolation> {
-        self.check_agreement(decisions)?;
-        self.check_validity(inputs, decisions)
+        self.check_decisions(inputs, decisions.iter().copied())
+    }
+
+    /// [`KSetTask::check`] over an iterator of decisions — the hot-path form
+    /// used by the model checker on every visited configuration. Allocates
+    /// nothing on the success path: distinct decided values are tracked in
+    /// an inline buffer (spilling to a heap set only past 16 distinct
+    /// values) and validity is a linear scan of `inputs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated predicate, like [`KSetTask::check`]
+    /// (agreement before validity).
+    pub fn check_decisions<I>(&self, inputs: &[u64], decisions: I) -> Result<(), TaskViolation>
+    where
+        I: Iterator<Item = Option<u64>> + Clone,
+    {
+        const INLINE: usize = 16;
+        let mut inline = [0u64; INLINE];
+        let mut count = 0usize;
+        let mut spill: Option<HashSet<u64>> = None;
+        for v in decisions.clone().flatten() {
+            match &mut spill {
+                Some(set) => {
+                    set.insert(v);
+                }
+                None if inline[..count].contains(&v) => {}
+                None if count < INLINE => {
+                    inline[count] = v;
+                    count += 1;
+                }
+                None => {
+                    let mut set: HashSet<u64> = inline.iter().copied().collect();
+                    set.insert(v);
+                    spill = Some(set);
+                }
+            }
+        }
+        let distinct = spill.as_ref().map_or(count, |s| s.len());
+        if distinct > self.k {
+            let mut values: Vec<u64> = match spill {
+                Some(set) => set.into_iter().collect(),
+                None => inline[..count].to_vec(),
+            };
+            values.sort_unstable();
+            return Err(TaskViolation::Agreement {
+                k: self.k,
+                decided: values,
+            });
+        }
+        for (i, d) in decisions.enumerate() {
+            if let Some(v) = d {
+                if !inputs.contains(&v) {
+                    return Err(TaskViolation::Validity {
+                        process: i,
+                        decided: v,
+                    });
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -299,6 +358,51 @@ mod tests {
     fn undecided_processes_do_not_violate() {
         let t = KSetTask::consensus(3);
         assert!(t.check(&[0, 1, 0], &[None, None, None]).is_ok());
+    }
+
+    #[test]
+    fn check_decisions_matches_check() {
+        let t = KSetTask::new(4, 2, 3);
+        for decisions in [
+            vec![Some(0), Some(1), Some(0), None],
+            vec![Some(0), Some(1), Some(2), None],
+            vec![None, None, None, None],
+            vec![Some(2), None, None, None],
+        ] {
+            assert_eq!(
+                t.check(&[0, 1, 2, 0], &decisions),
+                t.check_decisions(&[0, 1, 2, 0], decisions.iter().copied()),
+                "{decisions:?}"
+            );
+        }
+        // Validity violation, same error as the slice path.
+        let decisions = [Some(9u64), None, None, None];
+        assert_eq!(
+            t.check_decisions(&[0, 1, 2, 0], decisions.iter().copied()),
+            Err(TaskViolation::Validity {
+                process: 0,
+                decided: 9
+            })
+        );
+    }
+
+    #[test]
+    fn check_decisions_spills_past_inline_capacity() {
+        // More than 16 distinct decided values forces the heap fallback of
+        // the inline distinct-value buffer; the verdict must stay exact.
+        let t = KSetTask::new(20, 18, 32);
+        let inputs: Vec<u64> = (0..20).collect();
+        let ok: Vec<Option<u64>> = (0..18).map(Some).chain([None, None]).collect();
+        assert!(t.check_decisions(&inputs, ok.iter().copied()).is_ok());
+        let bad: Vec<Option<u64>> = (0..19).map(Some).chain([None]).collect();
+        let err = t.check_decisions(&inputs, bad.iter().copied()).unwrap_err();
+        match err {
+            TaskViolation::Agreement { k, decided } => {
+                assert_eq!(k, 18);
+                assert_eq!(decided, (0..19).collect::<Vec<u64>>(), "sorted, complete");
+            }
+            other => panic!("expected agreement violation, got {other:?}"),
+        }
     }
 
     #[test]

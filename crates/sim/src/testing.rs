@@ -59,6 +59,10 @@ impl Protocol for TwoProcessSwapConsensus {
         vec![ObjectSchema::swap()]
     }
 
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::swap()
+    }
+
     fn initial_value(&self, _obj: ObjectId) -> TwoProcConsensusValue {
         TwoProcConsensusValue::Bot
     }
@@ -116,6 +120,10 @@ impl Protocol for SelfishConsensus {
 
     fn schemas(&self) -> Vec<ObjectSchema> {
         vec![ObjectSchema::register()]
+    }
+
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::register()
     }
 
     fn initial_value(&self, _obj: ObjectId) -> u64 {

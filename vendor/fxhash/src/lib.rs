@@ -1,0 +1,155 @@
+//! Offline stand-in for the `fxhash` crate: the FxHash algorithm used by
+//! rustc and Firefox, a fast non-cryptographic hash for hot-path hash maps.
+//!
+//! FxHash consumes input one `usize` word at a time, folding each word into
+//! the state with a rotate-xor-multiply. It is **not** DoS-resistant — never
+//! use it for attacker-controlled keys — but it is several times faster than
+//! SipHash on the short, trusted keys interior to a program, which is exactly
+//! the visited-set / fingerprint workload the exploration engines here have.
+//!
+//! Provided surface (matching the real crate where this workspace uses it):
+//! [`FxHasher`], [`FxBuildHasher`], [`FxHashMap`], [`FxHashSet`], and the
+//! convenience [`hash64`].
+
+#![warn(missing_docs)]
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+/// The multiplier from the Firefox hash (a 64-bit golden-ratio constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A [`Hasher`] implementing the FxHash word-at-a-time algorithm.
+///
+/// # Example
+///
+/// ```
+/// use std::hash::{Hash, Hasher};
+/// let mut h = fxhash::FxHasher::default();
+/// 42u64.hash(&mut h);
+/// let a = h.finish();
+/// let mut h = fxhash::FxHasher::default();
+/// 42u64.hash(&mut h);
+/// assert_eq!(a, h.finish(), "deterministic");
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let tail = chunks.remainder();
+        if !tail.is_empty() {
+            let mut word = [0u8; 8];
+            word[..tail.len()].copy_from_slice(tail);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A [`std::hash::BuildHasher`] producing [`FxHasher`]s.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A [`HashMap`] keyed with FxHash instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A [`HashSet`] hashed with FxHash instead of SipHash.
+pub type FxHashSet<V> = HashSet<V, FxBuildHasher>;
+
+/// Hash a single `Hash` value to 64 bits with FxHash.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(fxhash::hash64(&"abc"), fxhash::hash64(&"abc"));
+/// assert_ne!(fxhash::hash64(&"abc"), fxhash::hash64(&"abd"));
+/// ```
+pub fn hash64<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut h = FxHasher::default();
+    value.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_input_sensitive() {
+        assert_eq!(hash64(&[1u64, 2, 3]), hash64(&[1u64, 2, 3]));
+        assert_ne!(hash64(&[1u64, 2, 3]), hash64(&[1u64, 2, 4]));
+        assert_ne!(hash64(&0u64), hash64(&1u64));
+    }
+
+    #[test]
+    fn byte_tail_handled() {
+        // Lengths straddling the 8-byte word boundary hash distinctly.
+        let a: Vec<u8> = (0..7).collect();
+        let b: Vec<u8> = (0..8).collect();
+        let c: Vec<u8> = (0..9).collect();
+        assert_ne!(hash64(&a), hash64(&b));
+        assert_ne!(hash64(&b), hash64(&c));
+    }
+
+    #[test]
+    fn map_and_set_aliases_work() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+
+    #[test]
+    fn zero_state_collision_shape() {
+        // FxHash of the empty input is 0; a single zero word also maps to 0.
+        // Callers layering exactness on top (fingerprint sets with an exact
+        // fallback) must not assume injectivity; this test documents it.
+        assert_eq!(hash64(&()), 0);
+    }
+}
