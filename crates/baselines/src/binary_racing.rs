@@ -48,7 +48,7 @@
 //! [`BinaryRacing::space`] — what Table 1 measures — is `2L + O(1) = Θ(n)`.
 
 use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Symmetry, Transition};
 
 /// Binary consensus from `2L` binary readable swap objects (two monotone
 /// unary tracks).
@@ -249,6 +249,15 @@ impl Protocol for BinaryRacing {
             }
         }
     }
+
+    // States carry no process id at all (pref + scan phase only), so any
+    // process permutation is a symmetry with the default identity rename
+    // hooks. The two *input values* are not interchangeable without also
+    // swapping the two tracks — an object permutation keyed on a value
+    // renaming, deliberately left undeclared.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(self.n)
+    }
 }
 
 #[cfg(test)]
@@ -344,6 +353,34 @@ mod tests {
         let p = BinaryRacing::with_track_len(2, 8);
         let report = ModelChecker::new(30, 250_000).check_all_inputs(&p);
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        swapcons_sim::canon::assert_equivariant(
+            &BinaryRacing::with_track_len(3, 8),
+            &[1, 1, 1],
+            10,
+            5,
+        );
+        swapcons_sim::canon::assert_equivariant(
+            &BinaryRacing::with_track_len(3, 8),
+            &[0, 1, 0],
+            10,
+            5,
+        );
+    }
+
+    #[test]
+    fn reduced_model_check_matches_full() {
+        let p = BinaryRacing::with_track_len(3, 8);
+        let full = ModelChecker::new(12, 250_000).check(&p, &[1, 1, 1]);
+        let reduced = ModelChecker::new(12, 250_000)
+            .with_symmetry_reduction()
+            .check(&p, &[1, 1, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert_eq!(reduced.symmetry_group, 6, "unanimous inputs admit S3");
+        assert!(reduced.states * 3 <= full.states, "{full} vs {reduced}");
     }
 
     #[test]

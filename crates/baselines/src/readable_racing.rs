@@ -26,7 +26,7 @@
 
 use swapcons_core::lap::{LapVec, SwapEntry};
 use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 /// Consensus from `n-1` readable swap objects (Algorithm 1 plus a read-only
 /// confirmation pass).
@@ -201,6 +201,29 @@ impl Protocol for ReadableRacing {
             }
         }
     }
+
+    // Same group as Algorithm 1: all processes interchangeable, values not
+    // (the inherited line-15 tie-break orders them). The confirmation pass
+    // adds no process-id dependence.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(self.n)
+    }
+
+    fn rename_state(&self, state: &RacingState, renaming: &Renaming) -> RacingState {
+        RacingState {
+            pid: renaming.pid(state.pid),
+            u: state.u.clone(),
+            pos: state.pos,
+            mode: state.mode.clone(),
+        }
+    }
+
+    fn rename_value(&self, _obj: ObjectId, value: &SwapEntry, renaming: &Renaming) -> SwapEntry {
+        SwapEntry {
+            laps: value.laps.clone(),
+            id: value.id.map(|p| renaming.pid(p)),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,5 +336,23 @@ mod tests {
         let p = ReadableRacing::new(3, 2);
         let report = ModelChecker::new(14, 200_000).check(&p, &[0, 1, 1]);
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        swapcons_sim::canon::assert_equivariant(&ReadableRacing::new(3, 2), &[1, 1, 1], 12, 5);
+        swapcons_sim::canon::assert_equivariant(&ReadableRacing::new(3, 2), &[0, 1, 1], 12, 5);
+    }
+
+    #[test]
+    fn reduced_model_check_matches_full() {
+        let p = ReadableRacing::new(3, 2);
+        let full = ModelChecker::new(12, 200_000).check(&p, &[1, 1, 1]);
+        let reduced = ModelChecker::new(12, 200_000)
+            .with_symmetry_reduction()
+            .check(&p, &[1, 1, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert_eq!(reduced.symmetry_group, 6);
+        assert!(reduced.states * 3 <= full.states, "{full} vs {reduced}");
     }
 }

@@ -12,7 +12,7 @@
 //! measured `2(n-k+1)`.
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 use crate::commit_adopt::{CaState, CommitAdoptConsensus, Stamp};
 
@@ -122,6 +122,26 @@ impl Protocol for RegisterKSet {
     fn observe(&self, state: CaState, response: Response<Stamp>) -> Transition<CaState> {
         self.inner.observe(state, response)
     }
+
+    // The k-1 immediate deciders are stateless and objectless — freely
+    // interchangeable. The consensus participants inherit the inner
+    // commit–adopt's constraint (scan order pins them), and values inherit
+    // its full interchangeability.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::process_classes(vec![(self.participants()..self.n).map(ProcessId).collect()])
+            .with_interchangeable_values()
+    }
+
+    fn rename_state(&self, state: &CaState, renaming: &Renaming) -> CaState {
+        // Participants are fixed by every admitted renaming, so delegating
+        // to the inner protocol (which renames prefs/proposals by σ) is
+        // exactly right.
+        self.inner.rename_state(state, renaming)
+    }
+
+    fn rename_value(&self, obj: ObjectId, value: &Stamp, renaming: &Renaming) -> Stamp {
+        self.inner.rename_value(obj, value, renaming)
+    }
 }
 
 #[cfg(test)]
@@ -188,5 +208,36 @@ mod tests {
             .with_solo_budget(p.solo_step_bound())
             .check(&p, &[0, 1, 2]);
         assert!(report.passed(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        // n=4, k=2: participants {0,1,2} fixed, p3 in the immediate class;
+        // the group is nontrivial only through value renamings tied to
+        // permutations of the (single-member) class — still worth pinning:
+        // a 5-process instance has two interchangeable deciders.
+        swapcons_sim::canon::assert_equivariant(
+            &RegisterKSet::new(5, 3, 4),
+            &[0, 1, 2, 3, 1],
+            10,
+            4,
+        );
+        swapcons_sim::canon::assert_equivariant(
+            &RegisterKSet::new(5, 3, 4),
+            &[2, 2, 1, 0, 3],
+            10,
+            4,
+        );
+    }
+
+    #[test]
+    fn reduced_check_matches_full() {
+        let p = RegisterKSet::new(3, 2, 2);
+        let full = ModelChecker::new(14, 150_000).check_all_inputs(&p);
+        let reduced = ModelChecker::new(14, 150_000)
+            .with_symmetry_reduction()
+            .check_all_inputs(&p);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert!(reduced.states < full.states, "{full} vs {reduced}");
     }
 }

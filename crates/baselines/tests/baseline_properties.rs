@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
-use swapcons_sim::scheduler::SeededRandom;
+use swapcons_sim::scheduler::{LapLeadChasing, SeededRandom};
 use swapcons_sim::{runner, Configuration, Protocol};
 
 fn drive<P: Protocol>(
@@ -109,4 +109,85 @@ proptest! {
             *hw = v;
         }
     }
+
+    /// The lap-lead-chasing adversary (adaptive, state-inspecting) followed
+    /// by solo finishes: every baseline stays safe and every solo run
+    /// respects its stated step bound. This is the same contract as the
+    /// seeded-random suite above, under a strictly nastier scheduler.
+    #[test]
+    fn commit_adopt_safe_under_lap_lead_chasing(
+        n in 1usize..6,
+        contention in 0usize..80,
+    ) {
+        let p = CommitAdoptConsensus::new(n, 3);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 3) as u64).collect();
+        let decisions = drive_chased(&p, &inputs, contention, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+        let distinct: std::collections::HashSet<_> =
+            decisions.iter().flatten().collect();
+        prop_assert_eq!(distinct.len(), 1, "consensus: exactly one value");
+    }
+
+    #[test]
+    fn binary_racing_safe_under_lap_lead_chasing(
+        n in 2usize..5,
+        contention in 0usize..80,
+    ) {
+        let p = BinaryRacing::new(n);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let decisions = drive_chased(&p, &inputs, contention, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+    }
+
+    #[test]
+    fn readable_racing_safe_under_lap_lead_chasing(
+        n in 2usize..6,
+        contention in 0usize..60,
+    ) {
+        let p = ReadableRacing::new(n, 2);
+        let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+        let decisions = drive_chased(&p, &inputs, contention, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+        let distinct: std::collections::HashSet<_> =
+            decisions.iter().flatten().collect();
+        prop_assert_eq!(distinct.len(), 1);
+    }
+
+    #[test]
+    fn register_kset_safe_under_lap_lead_chasing(
+        n in 3usize..7,
+        k_off in 0usize..3,
+    ) {
+        let k = (2 + k_off).min(n - 1);
+        let m = (k + 1) as u64;
+        let p = RegisterKSet::new(n, k, m);
+        let inputs: Vec<u64> = (0..n).map(|i| (i as u64) % m).collect();
+        let decisions = drive_chased(&p, &inputs, 10 * n, p.solo_step_bound())?;
+        prop_assert!(p.task().check(&inputs, &decisions).is_ok());
+    }
+}
+
+/// [`drive`] under the adaptive lap-lead-chasing adversary instead of a
+/// seeded-random schedule (the scheduler is deterministic, so no seed).
+fn drive_chased<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    contention: usize,
+    solo_budget: usize,
+) -> Result<Vec<Option<u64>>, TestCaseError> {
+    let mut config =
+        Configuration::initial(protocol, inputs).map_err(|e| TestCaseError::fail(e.to_string()))?;
+    runner::run(
+        protocol,
+        &mut config,
+        &mut LapLeadChasing::new(),
+        contention,
+    )
+    .map_err(|e| TestCaseError::fail(e.to_string()))?;
+    for pid in config.running() {
+        let out = runner::solo_run(protocol, &mut config, pid, solo_budget)
+            .map_err(|e| TestCaseError::fail(format!("{pid}: {e}")))?;
+        prop_assert!(out.steps <= solo_budget);
+    }
+    Ok(config.decisions())
 }

@@ -1,31 +1,39 @@
 //! E8 — **exploration throughput**: states/second for the exhaustive
 //! searches, the metric every perf PR to the exploration hot path must move.
 //!
-//! Four workloads, spanning the repo's verification surfaces:
+//! Workloads span the repo's verification surfaces:
 //!
 //! * `ModelChecker` on Algorithm 1 at n=2 (all 4 input vectors) and n=3
 //!   (the "model-checker scale" regime where state explosion made per-node
-//!   deep clones the bottleneck);
+//!   deep clones the bottleneck), each in **full** and **symmetry-reduced**
+//!   mode — the reduced rows report states-explored side by side with the
+//!   full rows, which is the PR 3 headline (same verdicts, ≥3x fewer states
+//!   on the unanimous-input n=3 row);
 //! * the same n=3 run with the solo-termination (obstruction-freedom) check
-//!   enabled, which layers a solo run per running process on every visited
-//!   state;
+//!   enabled, with and without the solo-outcome memo;
 //! * the Section 5 / Lemma 16 construction on `BinaryRacing` at n=3, whose
-//!   inner loop is the valency oracle's bounded search.
+//!   inner loop is the valency oracle's bounded search, full and reduced.
 //!
 //! Each series point is the best of three runs after one warm-up (the
 //! measurement box is a shared single-core VM, so minimum-of-N is the
 //! stable statistic); EXPERIMENTS.md records the trajectory across PRs.
+//!
+//! This target doubles as the CI consistency gate: it asserts — in `--test`
+//! mode too — that reduced and full searches reach identical verdicts on
+//! the n=2 protocol zoo, so a broken symmetry declaration fails the bench
+//! smoke, not just unit tests.
 //!
 //! Run: `cargo bench -p swapcons-bench --bench fig_explore`
 
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use swapcons_baselines::BinaryRacing;
+use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing};
 use swapcons_bench::harness::render_series;
 use swapcons_core::SwapKSet;
 use swapcons_lower::section5::{lemma16_driver, Budgets};
-use swapcons_sim::explore::ModelChecker;
+use swapcons_sim::explore::{CheckReport, ModelChecker};
+use swapcons_sim::testing::TwoProcessSwapConsensus;
 
 /// Best-of-3 wall clock (after one untimed warm-up) for `run`, which
 /// returns the number of states (or stages) it processed.
@@ -41,59 +49,181 @@ fn best_of_3(mut run: impl FnMut() -> usize) -> (usize, f64) {
     (count, best)
 }
 
+/// One full-vs-reduced model-check row: assert identical verdicts, print
+/// both state counts and rates, return the pair of reports.
+fn reduced_row(
+    label: &str,
+    checker: ModelChecker,
+    run: &dyn Fn(ModelChecker) -> CheckReport,
+) -> (f64, f64) {
+    let (full_states, full_secs) = best_of_3(|| {
+        let report = run(checker);
+        assert!(report.passed(), "{report}");
+        report.states
+    });
+    let reduced_checker = checker.with_symmetry_reduction();
+    let (reduced_states, reduced_secs) = best_of_3(|| {
+        let report = run(reduced_checker);
+        assert!(report.passed(), "{report}");
+        report.states
+    });
+    let full = run(checker);
+    let reduced = run(reduced_checker);
+    assert!(
+        full.same_verdict(&reduced),
+        "{label}: reduced verdict diverged: {full} vs {reduced}"
+    );
+    let full_rate = full_states as f64 / full_secs;
+    let reduced_rate = reduced_states as f64 / reduced_secs;
+    println!(
+        "{label:<30} : full {full_states:>8} states {full_secs:>7.3}s ({full_rate:>10.0}/s) | \
+         reduced {reduced_states:>8} states {reduced_secs:>7.3}s ({reduced_rate:>10.0}/s) | \
+         {:.2}x fewer states, {:.2}x wall",
+        full_states as f64 / reduced_states as f64,
+        full_secs / reduced_secs,
+    );
+    (full_rate, reduced_rate)
+}
+
+/// The CI gate: reduced and full verdicts must agree on the whole n=2 zoo
+/// (plus the Table 1 witness sweep, which covers the k-set rows at n=3/4).
+fn verify_reduction_consistency() {
+    println!("\n====== reduced-vs-full verdict gate (n=2 zoo + Table 1 witnesses) ======");
+    let checks: Vec<(&str, CheckReport, CheckReport)> = vec![
+        {
+            let p = TwoProcessSwapConsensus;
+            let c = ModelChecker::new(10, 50_000).with_solo_budget(2);
+            (
+                "two_process_swap all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+        {
+            let p = SwapKSet::consensus(2, 2);
+            let c = ModelChecker::new(30, 200_000).with_solo_budget(p.solo_step_bound());
+            (
+                "alg1 n=2 all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+        {
+            let p = CommitAdoptConsensus::new(2, 2);
+            let c = ModelChecker::new(14, 200_000).with_solo_budget(p.solo_step_bound());
+            (
+                "commit_adopt n=2 all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+        {
+            let p = BinaryRacing::with_track_len(2, 8);
+            let c = ModelChecker::new(16, 200_000);
+            (
+                "binary_racing n=2 all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+        {
+            let p = ReadableRacing::new(2, 2);
+            let c = ModelChecker::new(16, 150_000).with_solo_budget(p.solo_step_bound());
+            (
+                "readable_racing n=2 all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+    ];
+    for (label, full, reduced) in checks {
+        assert!(
+            full.same_verdict(&reduced),
+            "{label}: reduced verdict diverged: {full} vs {reduced}"
+        );
+        assert!(full.passed(), "{label}: {full}");
+        println!(
+            "{label:<30} : verdict match ✓  ({} -> {} states)",
+            full.states, reduced.states
+        );
+    }
+    for (row, full, reduced) in swapcons_lower::table1::verify_witnesses() {
+        assert!(
+            full.same_verdict(&reduced),
+            "table1 {row}: reduced verdict diverged: {full} vs {reduced}"
+        );
+        assert!(full.passed(), "table1 {row}: {full}");
+        println!(
+            "table1 {row:<48} : verdict match ✓  ({} -> {} states)",
+            full.states, reduced.states
+        );
+    }
+}
+
 fn print_series() {
+    verify_reduction_consistency();
     println!("\n====== exploration throughput (states/sec, best of 3) ======");
     let mut points = Vec::new();
 
     // n=2 Algorithm 1, all input vectors, no solo checking.
     {
         let p = SwapKSet::consensus(2, 2);
-        let checker = ModelChecker::new(30, 200_000);
-        let (states, secs) = best_of_3(|| {
-            let report = checker.check_all_inputs(&p);
-            assert!(report.passed(), "{report}");
-            report.states
-        });
-        let rate = states as f64 / secs;
-        println!(
-            "alg1 n=2 all-inputs depth=30   : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+        let (full_rate, _) = reduced_row(
+            "alg1 n=2 all-inputs depth=30",
+            ModelChecker::new(30, 200_000),
+            &|c| c.check_all_inputs(&p),
         );
-        points.push((2.0, rate));
+        points.push((2.0, full_rate));
     }
 
     // n=3 Algorithm 1 — THE acceptance metric for exploration perf PRs.
     {
         let p = SwapKSet::consensus(3, 2);
-        let checker = ModelChecker::new(22, 2_000_000);
-        let (states, secs) = best_of_3(|| {
-            let report = checker.check(&p, &[0, 1, 1]);
-            assert!(report.passed(), "{report}");
-            report.states
-        });
-        let rate = states as f64 / secs;
-        println!(
-            "alg1 n=3 [0,1,1]   depth=22    : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+        let (full_rate, _) = reduced_row(
+            "alg1 n=3 [0,1,1]   depth=22",
+            ModelChecker::new(22, 2_000_000),
+            &|c| c.check(&p, &[0, 1, 1]),
         );
-        points.push((3.0, rate));
+        points.push((3.0, full_rate));
     }
 
-    // n=3 with the solo-termination check on every visited state.
+    // n=3 unanimous inputs: the full S3 group — the PR 3 headline row.
     {
         let p = SwapKSet::consensus(3, 2);
-        let checker = ModelChecker::new(12, 2_000_000).with_solo_budget(p.solo_step_bound());
+        let (_, reduced_rate) = reduced_row(
+            "alg1 n=3 [1,1,1]   depth=22",
+            ModelChecker::new(22, 2_000_000),
+            &|c| c.check(&p, &[1, 1, 1]),
+        );
+        points.push((3.25, reduced_rate));
+    }
+
+    // n=3 with the solo-termination check on every visited state — memoized
+    // (the default) vs not, same verdicts by construction.
+    {
+        let p = SwapKSet::consensus(3, 2);
+        let memo_checker = ModelChecker::new(12, 2_000_000).with_solo_budget(p.solo_step_bound());
         let (states, secs) = best_of_3(|| {
-            let report = checker.check(&p, &[0, 1, 1]);
+            let report = memo_checker.check(&p, &[0, 1, 1]);
             assert!(report.passed(), "{report}");
             report.states
         });
         let rate = states as f64 / secs;
+        let (nm_states, nm_secs) = best_of_3(|| {
+            let report = memo_checker.without_solo_memo().check(&p, &[0, 1, 1]);
+            assert!(report.passed(), "{report}");
+            report.states
+        });
+        assert_eq!(states, nm_states, "memo must not change the explored set");
         println!(
-            "alg1 n=3 +solo     depth=12    : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s"
+            "alg1 n=3 +solo     depth=12    : {states:>9} states in {secs:>8.3}s = {rate:>12.0} states/s (no-memo {nm_secs:>7.3}s, {:.2}x)",
+            nm_secs / secs
         );
         points.push((3.5, rate));
     }
 
-    // Section 5: the Lemma 16 construction at n=3 (valency-oracle bound).
+    // Section 5: the Lemma 16 construction at n=3 (valency-oracle bound),
+    // full and reduced-oracle budgets.
     {
         let p = BinaryRacing::with_track_len(3, 8);
         let (stages, secs) = best_of_3(|| {
@@ -101,7 +231,16 @@ fn print_series() {
             assert!(report.complete(), "{report}");
             report.stages.len()
         });
-        println!("section5 lemma16 n=3           : {stages} stages in {secs:>8.3}s");
+        let (red_stages, red_secs) = best_of_3(|| {
+            let report = lemma16_driver(&p, &[0, 1, 0], &Budgets::small_reduced());
+            assert!(report.complete(), "{report}");
+            report.stages.len()
+        });
+        assert_eq!(stages, red_stages);
+        println!(
+            "section5 lemma16 n=3           : {stages} stages in {secs:>8.3}s (reduced oracle {red_secs:>8.3}s, {:.2}x)",
+            secs / red_secs
+        );
         points.push((4.0, 1.0 / secs));
     }
 
@@ -133,6 +272,15 @@ fn bench_explore(c: &mut Criterion) {
     group.bench_function("model_check/alg1_n3_depth14", |b| {
         let p = SwapKSet::consensus(3, 2);
         let checker = ModelChecker::new(14, 2_000_000);
+        b.iter(|| {
+            let report = checker.check(&p, &[0, 1, 1]);
+            assert!(report.passed());
+            report.states
+        })
+    });
+    group.bench_function("model_check/alg1_n3_depth14_reduced", |b| {
+        let p = SwapKSet::consensus(3, 2);
+        let checker = ModelChecker::new(14, 2_000_000).with_symmetry_reduction();
         b.iter(|| {
             let report = checker.check(&p, &[0, 1, 1]);
             assert!(report.passed());

@@ -23,7 +23,7 @@
 //! [`SwapKSet::solo_step_bound`] and asserted in tests.
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 use crate::lap::{LapVec, SwapEntry};
 
@@ -192,6 +192,30 @@ impl Protocol for SwapKSet {
             // Line 20.
             state.u.increment(v as usize);
             Transition::Continue(state)
+        }
+    }
+
+    // Every process runs identical code against the same object sequence, so
+    // all n are interchangeable. Input values are NOT: line 15 breaks lap
+    // ties toward the smallest value, so relabeling values changes which
+    // value a tied racer backs — value symmetry would be unsound here.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(self.n)
+    }
+
+    fn rename_state(&self, state: &Alg1State, renaming: &Renaming) -> Alg1State {
+        Alg1State {
+            pid: renaming.pid(state.pid),
+            u: state.u.clone(),
+            pos: state.pos,
+            conflict: state.conflict,
+        }
+    }
+
+    fn rename_value(&self, _obj: ObjectId, value: &SwapEntry, renaming: &Renaming) -> SwapEntry {
+        SwapEntry {
+            laps: value.laps.clone(),
+            id: value.id.map(|p| renaming.pid(p)),
         }
     }
 }
@@ -379,6 +403,70 @@ mod tests {
         // no promise under contention); safety must hold regardless.
         assert!(p.task().check(&[0, 1], &config.decisions()).is_ok());
         let _ = out;
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        // Brute-force the equivariance contract: renaming commutes with
+        // every step along random executions (process ids are embedded in
+        // both states and swap entries, so this exercises both hooks).
+        swapcons_sim::canon::assert_equivariant(&SwapKSet::consensus(3, 2), &[1, 1, 1], 12, 6);
+        swapcons_sim::canon::assert_equivariant(&SwapKSet::consensus(3, 2), &[0, 1, 1], 12, 6);
+        swapcons_sim::canon::assert_equivariant(&SwapKSet::new(4, 2, 3), &[0, 1, 2, 1], 10, 4);
+    }
+
+    #[test]
+    fn reduced_model_check_same_verdict_3x_fewer_states() {
+        // The acceptance row: at n=3 with unanimous inputs the run group is
+        // the full S3, and almost every reachable configuration has a
+        // trivial stabilizer — the quotient is close to 6x smaller. Both
+        // searches are deterministic, so the counts are stable.
+        let p = SwapKSet::consensus(3, 2);
+        let full = ModelChecker::new(16, 400_000).check(&p, &[1, 1, 1]);
+        let reduced = ModelChecker::new(16, 400_000)
+            .with_symmetry_reduction()
+            .check(&p, &[1, 1, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert_eq!(reduced.symmetry_group, 6);
+        assert!(
+            reduced.states * 3 <= full.states,
+            "expected >=3x reduction: {} vs {}",
+            full.states,
+            reduced.states
+        );
+        // Mixed inputs: the group drops to the stabilizer of the input
+        // assignment (order 2) — verdicts still agree, fewer states still.
+        let full = ModelChecker::new(14, 400_000).check(&p, &[0, 1, 1]);
+        let reduced = ModelChecker::new(14, 400_000)
+            .with_symmetry_reduction()
+            .check(&p, &[0, 1, 1]);
+        assert!(full.same_verdict(&reduced));
+        assert_eq!(reduced.symmetry_group, 2);
+        assert!(reduced.states < full.states);
+    }
+
+    #[test]
+    fn lap_lead_chaser_livelocks_the_race_but_safety_holds() {
+        use swapcons_sim::scheduler::LapLeadChasing;
+        // The adaptive adversary feeds every process the freshest foreign
+        // entry: conflicts on every pass, no lap ever completes cleanly.
+        for n in [2usize, 3, 4] {
+            let p = SwapKSet::consensus(n, 2);
+            let inputs: Vec<u64> = (0..n).map(|i| (i % 2) as u64).collect();
+            let mut config = Configuration::initial(&p, &inputs).unwrap();
+            let out = runner::run(&p, &mut config, &mut LapLeadChasing::new(), 3_000).unwrap();
+            assert!(
+                !out.all_decided,
+                "the chaser must keep the race alive at n={n}"
+            );
+            assert!(p.task().check(&inputs, &config.decisions()).is_ok());
+            // Obstruction-freedom recovers the moment the adversary stops.
+            for pid in config.running() {
+                runner::solo_run(&p, &mut config, pid, p.solo_step_bound()).unwrap();
+            }
+            assert!(config.all_decided());
+            assert_eq!(config.decided_values().len(), 1, "agreement at n={n}");
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 //!   Algorithm 1 solves n-process consensus from n-1 swap objects.
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, SimValue, Transition};
+use swapcons_sim::{
+    KSetTask, ObjectId, ProcessId, Protocol, Renaming, SimValue, Symmetry, Transition,
+};
 
 /// Object values for [`TasConsensus`]: register contents or the TAS bit.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
@@ -183,6 +185,38 @@ impl Protocol for TasConsensus {
             }
         }
     }
+
+    // Swapping the two processes is a symmetry *provided* their
+    // single-writer proposal registers swap with them (`rename_object`);
+    // the TAS flag is role-free and stays put. Inputs are only published
+    // and copied, never inspected — full value symmetry.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(2).with_interchangeable_values()
+    }
+
+    fn rename_state(&self, state: &TasState, renaming: &Renaming) -> TasState {
+        TasState {
+            pid: renaming.pid(state.pid),
+            input: renaming.value(state.input),
+            phase: state.phase.clone(),
+        }
+    }
+
+    fn rename_value(&self, _obj: ObjectId, value: &TasValue, renaming: &Renaming) -> TasValue {
+        match value {
+            TasValue::Proposal(v) => TasValue::Proposal(v.map(|x| renaming.value(x))),
+            // The flag is a control bit, not an input value.
+            TasValue::Flag(b) => TasValue::Flag(*b),
+        }
+    }
+
+    fn rename_object(&self, obj: ObjectId, renaming: &Renaming) -> ObjectId {
+        if obj.index() < 2 {
+            ObjectId(renaming.pid(ProcessId(obj.index())).index())
+        } else {
+            obj
+        }
+    }
 }
 
 #[cfg(test)]
@@ -210,6 +244,29 @@ mod tests {
             .with_solo_budget(3)
             .check_all_inputs(&p);
         assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        // Exercises all three hooks at once: pid-embedded states, the
+        // proposal/flag value split, and the single-writer object swap.
+        swapcons_sim::canon::assert_equivariant(&TasConsensus, &[3, 8], 6, 8);
+        swapcons_sim::canon::assert_equivariant(&TasConsensus, &[5, 5], 6, 8);
+    }
+
+    #[test]
+    fn reduced_check_matches_full_across_all_inputs() {
+        let p = TasConsensus;
+        let full = ModelChecker::new(12, 500_000)
+            .with_solo_budget(3)
+            .check_all_inputs(&p);
+        let reduced = ModelChecker::new(12, 500_000)
+            .with_solo_budget(3)
+            .with_symmetry_reduction()
+            .check_all_inputs(&p);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert!(reduced.proves_safety());
+        assert!(reduced.states * 3 <= full.states, "{full} vs {reduced}");
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! the unpaired processes) — but it only applies in the `k ≥ ⌈n/2⌉` regime.
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Transition};
+use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 /// The pairing construction: processes `2i` and `2i+1` (for `i < n-k`) run
 /// 2-process consensus on swap object `i`; processes `2(n-k), …, n-1` decide
@@ -139,6 +139,37 @@ impl Protocol for PairsKSet {
             Some(theirs) => Transition::Decide(theirs),
         }
     }
+
+    // Partners within a pair are interchangeable (they share one object and
+    // run identical code), and so are the unpaired immediate deciders.
+    // Distinct pairs are NOT one class: swapping p0 with p2 would have to
+    // drag object 0 along to object 1, i.e. a coupled object permutation the
+    // declaration deliberately leaves out. Values are passed through
+    // uninspected, so the whole value domain is interchangeable.
+    fn symmetry(&self) -> Symmetry {
+        let mut classes: Vec<Vec<ProcessId>> = (0..self.space())
+            .map(|pair| vec![ProcessId(2 * pair), ProcessId(2 * pair + 1)])
+            .collect();
+        classes.push((2 * self.space()..self.n).map(ProcessId).collect());
+        Symmetry::process_classes(classes).with_interchangeable_values()
+    }
+
+    fn rename_state(&self, state: &PairState, renaming: &Renaming) -> PairState {
+        // Within-pair swaps keep the assigned object; no pid is embedded.
+        PairState {
+            input: renaming.value(state.input),
+            object: state.object,
+        }
+    }
+
+    fn rename_value(
+        &self,
+        _obj: ObjectId,
+        value: &Option<u64>,
+        renaming: &Renaming,
+    ) -> Option<u64> {
+        value.map(|v| renaming.value(v))
+    }
 }
 
 #[cfg(test)]
@@ -214,6 +245,33 @@ mod tests {
             .with_solo_budget(1)
             .check_all_inputs(&p);
         assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn symmetry_declaration_is_equivariant() {
+        swapcons_sim::canon::assert_equivariant(&PairsKSet::new(4, 2, 3), &[0, 1, 2, 2], 6, 6);
+        swapcons_sim::canon::assert_equivariant(&PairsKSet::new(5, 3, 4), &[0, 1, 2, 3, 1], 6, 6);
+        swapcons_sim::canon::assert_equivariant(&PairsKSet::new(4, 3, 4), &[2, 2, 1, 0], 6, 6);
+    }
+
+    #[test]
+    fn reduced_model_check_matches_full() {
+        let p = PairsKSet::new(4, 2, 3);
+        let full = ModelChecker::new(10, 100_000)
+            .with_solo_budget(1)
+            .check_all_inputs(&p);
+        let reduced = ModelChecker::new(10, 100_000)
+            .with_solo_budget(1)
+            .with_symmetry_reduction()
+            .check_all_inputs(&p);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert!(reduced.proves_safety(), "{reduced}");
+        assert!(
+            reduced.states * 3 <= full.states,
+            "pair swaps + value renaming collapse most of the grid: {} vs {}",
+            full.states,
+            reduced.states
+        );
     }
 
     #[test]

@@ -70,6 +70,17 @@ impl Budgets {
             oracle: ValencyOracle::new(150, 60_000),
         }
     }
+
+    /// [`Budgets::small`] with the valency oracle — the drivers' inner loop —
+    /// running symmetry-reduced. Stage outcomes are unchanged (the oracle's
+    /// verdicts are); the bivalence certifications just explore fewer
+    /// configurations each.
+    pub fn small_reduced() -> Self {
+        Budgets {
+            oracle: ValencyOracle::new(150, 60_000).with_symmetry_reduction(),
+            ..Self::small()
+        }
+    }
 }
 
 /// How the critical object was accounted at a stage.
@@ -713,6 +724,23 @@ mod tests {
             .copied()
             .collect();
         assert_eq!(all.len(), 2, "distinct evidence objects: {report}");
+    }
+
+    #[test]
+    fn reduced_oracle_drives_lemma16_to_identical_stages() {
+        // Thread the symmetry-reduced oracle through the whole Section 5
+        // engine: every stage outcome (process, critical object, case) must
+        // match the unreduced run bit for bit.
+        let p = BinaryRacing::with_track_len(3, 8);
+        let full = lemma16_driver(&p, &[0, 1, 0], &Budgets::small());
+        let reduced = lemma16_driver(&p, &[0, 1, 0], &Budgets::small_reduced());
+        assert!(full.complete() && reduced.complete(), "{full} vs {reduced}");
+        assert_eq!(full.stages.len(), reduced.stages.len());
+        for (a, b) in full.stages.iter().zip(&reduced.stages) {
+            assert_eq!((a.process, a.object, a.case), (b.process, b.object, b.case));
+            assert!(b.invariants_ok);
+        }
+        assert_eq!(full.accounting, reduced.accounting);
     }
 
     #[test]

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
 use swapcons_core::pairs::PairsKSet;
 use swapcons_core::SwapKSet;
+use swapcons_sim::explore::{CheckReport, ModelChecker};
 use swapcons_sim::Protocol;
 
 use crate::bounds::Table1Row;
@@ -167,6 +168,84 @@ pub fn render(entries: &[Table1Entry]) -> String {
     out
 }
 
+/// Bounded model-check of every row's witness implementation at a small
+/// instance, run **twice** — once with exact dedup, once symmetry-reduced —
+/// returning `(row, full report, reduced report)` triples. The bench
+/// harness and CI smoke assert the two verdicts agree for every row, so a
+/// broken symmetry declaration in any witness fails the build, not just the
+/// protocol's own unit tests.
+///
+/// Budgets are sized for a single-core CI box: depth-bounded on the racing
+/// rows (their reachable spaces are infinite), exhaustive on the wait-free
+/// ones.
+pub fn verify_witnesses() -> Vec<(Table1Row, CheckReport, CheckReport)> {
+    // (row, protocol instance parameters, depth, states, solo budget).
+    let mut out = Vec::new();
+    let mut verify =
+        |row: Table1Row, checker: ModelChecker, run: &dyn Fn(ModelChecker) -> CheckReport| {
+            let full = run(checker);
+            let reduced = run(checker.with_symmetry_reduction());
+            out.push((row, full, reduced));
+        };
+    {
+        let p = CommitAdoptConsensus::new(2, 2);
+        verify(
+            Table1Row::ConsensusRegisters,
+            ModelChecker::new(14, 150_000).with_solo_budget(p.solo_step_bound()),
+            &|c| c.check_all_inputs(&p),
+        );
+    }
+    {
+        let p = SwapKSet::consensus(3, 2);
+        verify(
+            Table1Row::ConsensusSwap,
+            ModelChecker::new(12, 300_000).with_solo_budget(p.solo_step_bound()),
+            &|c| c.check(&p, &[1, 1, 1]),
+        );
+    }
+    {
+        let p = BinaryRacing::with_track_len(2, 8);
+        verify(
+            Table1Row::ConsensusReadableBinarySwap,
+            ModelChecker::new(16, 150_000),
+            &|c| c.check_all_inputs(&p),
+        );
+    }
+    {
+        let p = ReadableRacing::new(2, 2);
+        verify(
+            Table1Row::ConsensusReadableSwapUnbounded,
+            ModelChecker::new(16, 150_000).with_solo_budget(p.solo_step_bound()),
+            &|c| c.check_all_inputs(&p),
+        );
+    }
+    {
+        let p = RegisterKSet::new(3, 2, 2);
+        verify(
+            Table1Row::KSetRegisters,
+            ModelChecker::new(12, 150_000),
+            &|c| c.check_all_inputs(&p),
+        );
+    }
+    {
+        let p = SwapKSet::new(3, 2, 3);
+        verify(
+            Table1Row::KSetSwap,
+            ModelChecker::new(12, 150_000).with_solo_budget(p.solo_step_bound()),
+            &|c| c.check(&p, &[0, 1, 2]),
+        );
+    }
+    {
+        let p = PairsKSet::new(4, 2, 3);
+        verify(
+            Table1Row::KSetReadableSwapUnbounded,
+            ModelChecker::new(10, 150_000).with_solo_budget(1),
+            &|c| c.check_all_inputs(&p),
+        );
+    }
+    out
+}
+
 /// Cross-validation: no implementation in this repository may use fewer
 /// objects than the paper's lower bound for its row. Returns the offending
 /// entries (empty = all consistent).
@@ -240,6 +319,21 @@ mod tests {
         let (count, name) = witness(Table1Row::KSetReadableSwapUnbounded, 6, 2, 2).unwrap();
         assert_eq!(count, 4);
         assert!(name.contains("Algorithm 1"), "{name}");
+    }
+
+    #[test]
+    fn witness_verification_reduced_matches_full() {
+        for (row, full, reduced) in verify_witnesses() {
+            assert!(full.passed(), "{row}: {full}");
+            assert!(
+                full.same_verdict(&reduced),
+                "{row}: reduced verdict diverged: {full} vs {reduced}"
+            );
+            assert!(
+                reduced.states <= full.states,
+                "{row}: reduction may never explore more: {full} vs {reduced}"
+            );
+        }
     }
 
     #[test]

@@ -21,8 +21,9 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 use std::fmt;
 
-use swapcons_sim::search::{NodeId, ScheduleArena, VisitedSet};
-use swapcons_sim::{Configuration, ProcessId, Protocol};
+use swapcons_sim::canon::DedupSet;
+use swapcons_sim::search::{NodeId, ScheduleArena};
+use swapcons_sim::{Canonicalizer, Configuration, ProcessId, Protocol};
 
 /// Three-valued valency verdict for a process group.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -91,6 +92,11 @@ pub struct ValencyOracle {
     pub max_depth: usize,
     /// Maximum distinct configurations visited per query.
     pub max_states: usize,
+    /// Deduplicate group-only configurations modulo the protocol's declared
+    /// symmetry, restricted to the value-preserving renamings that stabilize
+    /// the queried group (so decided-value witnesses transfer verbatim
+    /// between orbit-equal configurations).
+    pub reduce: bool,
 }
 
 impl ValencyOracle {
@@ -99,7 +105,14 @@ impl ValencyOracle {
         ValencyOracle {
             max_depth,
             max_states,
+            reduce: false,
         }
+    }
+
+    /// Enable symmetry-reduced dedup (see [`ValencyOracle::reduce`]).
+    pub fn with_symmetry_reduction(mut self) -> Self {
+        self.reduce = true;
+        self
     }
 
     /// Explore `group`-only executions from `config`, collecting every value
@@ -138,15 +151,26 @@ impl ValencyOracle {
         }
         // Fingerprint-keyed visited set + parent-pointer schedule arena:
         // witness schedules are materialized only when a decision is first
-        // seen, never cloned into stack frames.
-        let mut visited: VisitedSet<P> = VisitedSet::with_capacity(self.max_states.min(1 << 14));
+        // seen, never cloned into stack frames. Under reduction, membership
+        // is per symmetry orbit — restricted to renamings with σ = id that
+        // stabilize the group, so "some group member decides v" transfers
+        // verbatim between orbit-equal configurations.
+        let capacity = self.max_states.min(1 << 14);
+        let mut visited: DedupSet<P> = if self.reduce {
+            let mut canon = Canonicalizer::for_inputs(protocol, config.inputs());
+            canon.retain(|g| g.is_value_identity() && g.stabilizes(group));
+            DedupSet::reduced(canon, capacity)
+        } else {
+            DedupSet::exact(capacity)
+        };
         let mut arena = ScheduleArena::new();
         let mut exhaustive = true;
         // Membership is decided at discovery time: each configuration is
         // fingerprinted once and the stack never holds duplicates. Candidate
-        // children are generated on a recycled scratch configuration, so
-        // duplicate children allocate nothing.
-        visited.insert(config);
+        // children are generated on a recycled scratch configuration and
+        // delta-restored when they turn out to be duplicates, so rejected
+        // children cost O(1) element writes.
+        visited.insert(protocol, config);
         let mut child_scratch: Option<Configuration<P>> = None;
         let mut stack: Vec<(Configuration<P>, NodeId)> =
             vec![(config.clone(), ScheduleArena::ROOT)];
@@ -164,19 +188,23 @@ impl ValencyOracle {
                 exhaustive = false;
                 continue;
             }
+            let mut scratch_synced = false;
             for &pid in group {
                 if c.decision(pid).is_some() {
                     continue;
                 }
                 let child = match &mut child_scratch {
-                    Some(s) => {
-                        s.clone_state_from(&c);
-                        s
-                    }
+                    Some(s) => s,
                     None => child_scratch.insert(c.clone()),
                 };
-                let decided = match child.step_quiet(protocol, pid) {
-                    Ok(decided) => decided,
+                if !scratch_synced {
+                    child.clone_state_from(&c);
+                }
+                scratch_synced = true;
+                // A schema rejection mutates nothing, so the scratch stays
+                // synced with `c` on the error path.
+                let (decided, undo) = match child.step_quiet_undoable(protocol, pid) {
+                    Ok(stepped) => stepped,
                     Err(_) => {
                         exhaustive = false;
                         continue;
@@ -184,7 +212,7 @@ impl ValencyOracle {
                 };
                 // Witnesses are recorded for every generated edge (even one
                 // leading to an already-known configuration), as before.
-                let is_new = visited.insert(child);
+                let is_new = visited.insert(protocol, child);
                 if decided.is_some() || is_new {
                     let child_node = arena.child(node, pid);
                     if let Some(v) = decided {
@@ -194,8 +222,11 @@ impl ValencyOracle {
                     }
                     if is_new {
                         stack.push((child.clone(), child_node));
+                        scratch_synced = false;
+                        continue;
                     }
                 }
+                child.undo_step(undo);
             }
         }
         ValencyResult {
@@ -277,6 +308,65 @@ mod tests {
         let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
         assert!(result.can_decide(1));
         assert!(!result.can_decide(0), "validity: 0 is nobody's input");
+    }
+
+    #[test]
+    fn reduced_oracle_agrees_with_full_oracle() {
+        // Exact-agreement half: the wait-free pairs construction has a
+        // finite group-only space, so both searches are exhaustive and the
+        // verdict, witness-value set, and exhaustiveness must match.
+        let p = swapcons_core::pairs::PairsKSet::new(4, 2, 3);
+        let c = Configuration::initial(&p, &[0, 1, 2, 1]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let full = ValencyOracle::new(20, 30_000).query(&p, &c, &group);
+        let reduced = ValencyOracle::new(20, 30_000)
+            .with_symmetry_reduction()
+            .query(&p, &c, &group);
+        // (Bivalent queries early-exit with `exhaustive == false` by
+        // design; the space is finite and depth 20 covers it, so the
+        // witness-value sets are complete either way.)
+        assert_eq!(full.verdict(), reduced.verdict());
+        assert_eq!(
+            full.witnesses
+                .keys()
+                .collect::<std::collections::BTreeSet<_>>(),
+            reduced
+                .witnesses
+                .keys()
+                .collect::<std::collections::BTreeSet<_>>()
+        );
+        assert!(reduced.states <= full.states, "{full:?} vs {reduced:?}");
+
+        // Bounded half: Algorithm 1's racing space is infinite, so both
+        // searches are depth-truncated and their bounded regions may
+        // legitimately differ with discovery order — assert only the
+        // order-insensitive claims: fewer states, and every reduced
+        // witness replays to a real decision.
+        let p = SwapKSet::consensus(3, 2);
+        let group = [ProcessId(1), ProcessId(2)];
+        let mut c = Configuration::initial(&p, &[1, 0, 0]).unwrap();
+        runner::solo_run(&p, &mut c, ProcessId(0), p.solo_step_bound()).unwrap();
+        let full = ValencyOracle::new(40, 150_000).query(&p, &c, &group);
+        let reduced = ValencyOracle::new(40, 150_000)
+            .with_symmetry_reduction()
+            .query(&p, &c, &group);
+        assert!(reduced.states < full.states, "{full:?} vs {reduced:?}");
+        assert!(reduced.can_decide(1), "agreement forces p0's value");
+        assert!(!reduced.can_decide(0), "agreement violation witnessed");
+        for (&v, schedule) in &reduced.witnesses {
+            let mut replay = c.clone();
+            let h = runner::replay(&p, &mut replay, schedule).unwrap();
+            assert!(h.decisions().iter().any(|&(_, d)| d == v));
+        }
+    }
+
+    #[test]
+    fn reduced_oracle_preserves_bivalence_verdicts() {
+        let p = BinaryRacing::with_track_len(4, 10);
+        let c = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        let oracle = ValencyOracle::new(60, 60_000).with_symmetry_reduction();
+        let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
+        assert_eq!(result.verdict(), Valency::Bivalent, "{result:?}");
     }
 
     #[test]

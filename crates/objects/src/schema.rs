@@ -214,6 +214,31 @@ impl ObjectSchema {
         }
     }
 
+    /// Validate a value by its *domain point* — the integer a simulator
+    /// value denotes, or `None` for composite values that embed into no
+    /// integer domain. Bounded domains require an in-range point; unbounded
+    /// domains admit everything. This is the one rule both the simulator's
+    /// step validation and the canonicalization layer's relabeling checks
+    /// enforce (a renamed value must still inhabit its destination object's
+    /// domain).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchemaError::ValueOutOfDomain`] when the point is outside a
+    /// bounded domain, or when a composite value (`point == None`) is
+    /// offered to a bounded-domain object (reported with the sentinel value
+    /// `u64::MAX`).
+    pub fn check_domain_point(&self, point: Option<u64>) -> Result<(), SchemaError> {
+        match (self.domain, point) {
+            (Domain::Unbounded, _) => Ok(()),
+            (Domain::Bounded(_), Some(x)) => self.check_value(x),
+            (domain @ Domain::Bounded(_), None) => Err(SchemaError::ValueOutOfDomain {
+                value: u64::MAX,
+                domain,
+            }),
+        }
+    }
+
     /// Validate that an operation kind is permitted.
     ///
     /// # Errors
@@ -314,6 +339,22 @@ mod tests {
         assert!(s.check_value(u64::MAX).is_ok());
         assert_eq!(s.domain().size(), None);
         assert_eq!(Domain::Bounded(5).size(), Some(5));
+    }
+
+    #[test]
+    fn domain_points_checked_per_schema() {
+        let binary = ObjectSchema::readable_binary_swap();
+        assert!(binary.check_domain_point(Some(1)).is_ok());
+        assert!(matches!(
+            binary.check_domain_point(Some(2)),
+            Err(SchemaError::ValueOutOfDomain { value: 2, .. })
+        ));
+        // Composite values (no point) cannot inhabit bounded domains…
+        assert!(binary.check_domain_point(None).is_err());
+        // …but unbounded domains admit anything.
+        let swap = ObjectSchema::swap();
+        assert!(swap.check_domain_point(None).is_ok());
+        assert!(swap.check_domain_point(Some(u64::MAX)).is_ok());
     }
 
     #[test]

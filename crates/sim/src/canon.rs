@@ -1,0 +1,947 @@
+//! Symmetry declarations and canonicalization — quotient-space search.
+//!
+//! The paper's arguments are stated *up to renaming* of processes and input
+//! values (valency, the Lemma 9/14b coverings, the Section 5 adversaries all
+//! survive consistent relabeling), yet a naive explorer enumerates every
+//! permuted twin of every configuration. This module lets a protocol declare
+//! its symmetry group ([`Symmetry`], via [`crate::Protocol::symmetry`]) and
+//! gives the exploration engines an orbit-keyed visited set so they search
+//! **one representative per orbit** instead of the whole orbit.
+//!
+//! # The group of a run
+//!
+//! A [`Renaming`] is a simultaneous permutation `π` of process ids and `σ`
+//! of task input values. It acts on a configuration by moving process `i`'s
+//! status to slot `π(i)` (rewriting embedded ids and values via the
+//! protocol's [`rename_state`]/[`rename_value`]/[`rename_object`] hooks) and
+//! rewriting decisions `v ↦ σ(v)`. For the action to map a *fixed run* —
+//! `ModelChecker::check(protocol, inputs)` explores from one concrete input
+//! vector — onto itself, the renaming must stabilize the input assignment:
+//! `σ(inputs[i]) = inputs[π(i)]` for every `i`. [`Canonicalizer::for_inputs`]
+//! enumerates exactly these renamings: `π` ranges over the protocol's
+//! declared interchangeable process classes, and `σ` is *derived* from `π`
+//! and the inputs (identity for protocols without value symmetry).
+//!
+//! # Soundness
+//!
+//! Dedup-by-orbit is sound for the properties the engines check because all
+//! of them are renaming-invariant: agreement counts distinct decisions (a
+//! bijection `σ` preserves the count), validity compares decisions against
+//! the input *multiset* (stabilized by construction), and solo termination
+//! is step-for-step equivariant. Crucially the searches keep exploring
+//! **real** configurations (the first-discovered representative of each
+//! orbit) — witness schedules remain genuine, replayable schedules — and
+//! membership is *exact*: [`CanonicalVisitedSet`] keys on the minimum
+//! fingerprint over the orbit but falls back to full orbit comparison on
+//! every bucket hit, mirroring [`VisitedSet`]'s discipline, so soundness
+//! never rests on hash quality.
+//!
+//! The hooks come with an equivariance contract (see [`crate::Protocol`]);
+//! [`assert_equivariant`] brute-force checks it on random executions and is
+//! called from every protocol's test suite.
+//!
+//! [`rename_state`]: crate::Protocol::rename_state
+//! [`rename_value`]: crate::Protocol::rename_value
+//! [`rename_object`]: crate::Protocol::rename_object
+//! [`VisitedSet`]: crate::search::VisitedSet
+
+use std::sync::Arc;
+
+use crate::config::Configuration;
+use crate::ids::{ObjectId, ProcessId};
+use crate::protocol::{Protocol, SimValue};
+use crate::search::{PrehashedMap, VisitedSet};
+use crate::ProcStatus;
+
+/// Largest renaming group [`Canonicalizer::for_inputs`] will enumerate
+/// (7! — far beyond the instance sizes the explorers handle). Protocols
+/// whose class structure would exceed it degrade soundly to no reduction.
+const MAX_GROUP_ORDER: usize = 5040;
+
+/// A protocol's declared symmetry group.
+///
+/// Two independent components, compounded by [`Canonicalizer::for_inputs`]:
+///
+/// * **process classes** — disjoint sets of interchangeable process ids.
+///   Processes in the same class may be permuted arbitrarily (given a
+///   consistent input relabeling); processes in no class are fixed.
+/// * **interchangeable values** — whether the protocol is oblivious to the
+///   identity of task input values (it moves and compares them but never
+///   orders, indexes by, or arithmetically combines them), so any
+///   permutation of `{0, …, m-1}` maps executions to executions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Symmetry {
+    classes: Vec<Vec<ProcessId>>,
+    values_interchangeable: bool,
+}
+
+impl Symmetry {
+    /// No declared symmetry: canonicalization is the identity and reduction
+    /// is a no-op. The safe default for any protocol.
+    pub fn none() -> Self {
+        Symmetry {
+            classes: Vec::new(),
+            values_interchangeable: false,
+        }
+    }
+
+    /// All `n` processes are interchangeable (protocols whose code never
+    /// special-cases a process id's *role*; ids embedded in states or object
+    /// values are fine — the rename hooks rewrite them).
+    pub fn full_process(n: usize) -> Self {
+        Symmetry {
+            classes: vec![ProcessId::all(n).collect()],
+            values_interchangeable: false,
+        }
+    }
+
+    /// Interchangeability restricted to the given disjoint classes
+    /// (e.g. the pairing construction: partners within a pair are
+    /// interchangeable, pairs are not).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the classes overlap.
+    pub fn process_classes(classes: Vec<Vec<ProcessId>>) -> Self {
+        let mut seen = std::collections::BTreeSet::new();
+        for class in &classes {
+            for &p in class {
+                assert!(seen.insert(p), "process classes must be disjoint: {p}");
+            }
+        }
+        Symmetry {
+            classes,
+            values_interchangeable: false,
+        }
+    }
+
+    /// Additionally declare the input-value domain fully interchangeable.
+    #[must_use]
+    pub fn with_interchangeable_values(mut self) -> Self {
+        self.values_interchangeable = true;
+        self
+    }
+
+    /// The declared process classes.
+    pub fn classes(&self) -> &[Vec<ProcessId>] {
+        &self.classes
+    }
+
+    /// Whether input values are declared interchangeable.
+    pub fn values_interchangeable(&self) -> bool {
+        self.values_interchangeable
+    }
+
+    /// Whether the declaration admits no nontrivial renaming at all.
+    pub fn is_trivial(&self) -> bool {
+        !self.values_interchangeable && self.classes.iter().all(|c| c.len() < 2)
+    }
+}
+
+/// A simultaneous renaming `(π, σ)` of process ids and input values.
+///
+/// Obtained from [`Canonicalizer::for_inputs`]; protocols receive it in
+/// their rename hooks and apply [`Renaming::pid`] to every embedded process
+/// id and [`Renaming::value`] to every embedded *task input value* (and to
+/// nothing else — lap counts, rounds, scan positions, flags are untouched).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Renaming {
+    /// `pid_map[i]` is the image of `ProcessId(i)`.
+    pid_map: Vec<ProcessId>,
+    /// `value_map[v]` is the image of input value `v` (length = task `m`).
+    value_map: Vec<u64>,
+}
+
+impl Renaming {
+    /// The identity renaming for `n` processes and `m` values.
+    pub fn identity(n: usize, m: u64) -> Self {
+        Renaming {
+            pid_map: ProcessId::all(n).collect(),
+            value_map: (0..m).collect(),
+        }
+    }
+
+    /// Image of a process id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range for the renaming's instance.
+    pub fn pid(&self, p: ProcessId) -> ProcessId {
+        self.pid_map[p.index()]
+    }
+
+    /// Image of a task input value. Values outside `{0, …, m-1}` are fixed
+    /// (they cannot be input values, so no renaming touches them).
+    pub fn value(&self, v: u64) -> u64 {
+        self.value_map.get(v as usize).copied().unwrap_or(v)
+    }
+
+    /// Whether both components are the identity.
+    pub fn is_identity(&self) -> bool {
+        self.is_value_identity() && self.pid_map.iter().enumerate().all(|(i, p)| p.index() == i)
+    }
+
+    /// Whether the value component is the identity (`σ = id`). The valency
+    /// oracle only uses such renamings, so decided-value witnesses transfer
+    /// verbatim between orbit-equal configurations.
+    pub fn is_value_identity(&self) -> bool {
+        self.value_map
+            .iter()
+            .enumerate()
+            .all(|(v, &w)| v as u64 == w)
+    }
+
+    /// Whether `π` maps the given process set into itself (hence, being a
+    /// bijection, onto itself) — required for group-restricted searches.
+    pub fn stabilizes(&self, group: &[ProcessId]) -> bool {
+        group.iter().all(|&p| group.contains(&self.pid(p)))
+    }
+}
+
+/// Apply a renaming to a configuration, producing the renamed twin.
+///
+/// Process `i`'s status moves to slot `π(i)`: running states are rewritten
+/// by [`Protocol::rename_state`], decisions by `σ`. Object `o`'s value moves
+/// to slot [`Protocol::rename_object`]`(o)`, rewritten by
+/// [`Protocol::rename_value`]. The input vector is unchanged — renamings
+/// from [`Canonicalizer::for_inputs`] stabilize it by construction (debug
+/// asserted).
+///
+/// # Panics
+///
+/// Panics if the protocol's `rename_object` is not a permutation (two
+/// objects mapped to the same slot) — a broken symmetry declaration.
+pub fn apply_renaming<P: Protocol>(
+    protocol: &P,
+    g: &Renaming,
+    config: &Configuration<P>,
+) -> Configuration<P> {
+    let n = config.num_processes();
+    let b = config.num_objects();
+    let mut objects: Vec<Option<P::Value>> = (0..b).map(|_| None).collect();
+    for i in 0..b {
+        let src = ObjectId(i);
+        let dst = protocol.rename_object(src, g);
+        let renamed = protocol.rename_value(src, config.value(src), g);
+        // Schema discipline: a relabeled value must still inhabit the
+        // *destination* object's declared domain (renaming never launders an
+        // out-of-domain value into a bounded object).
+        debug_assert!(
+            protocol
+                .schema(dst)
+                .check_domain_point(renamed.domain_point())
+                .is_ok(),
+            "rename_value pushed {src} out of the domain of {dst}"
+        );
+        let slot = &mut objects[dst.index()];
+        assert!(
+            slot.is_none(),
+            "rename_object is not a permutation: {dst} hit twice"
+        );
+        *slot = Some(renamed);
+    }
+    let mut procs: Vec<Option<ProcStatus<P::State>>> = (0..n).map(|_| None).collect();
+    for i in 0..n {
+        let src = ProcessId(i);
+        let dst = g.pid(src);
+        let renamed = match config.status(src) {
+            ProcStatus::Running(s) => ProcStatus::Running(protocol.rename_state(s, g)),
+            ProcStatus::Decided(v) => ProcStatus::Decided(g.value(*v)),
+        };
+        let slot = &mut procs[dst.index()];
+        assert!(slot.is_none(), "pid renaming is not a permutation: {dst}");
+        *slot = Some(renamed);
+    }
+    debug_assert!(
+        config
+            .inputs()
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| g.value(v) == config.inputs()[g.pid(ProcessId(i)).index()]),
+        "renaming does not stabilize the run's input assignment"
+    );
+    Configuration::from_parts(
+        objects
+            .into_iter()
+            .map(|o| o.expect("permutation"))
+            .collect(),
+        procs.into_iter().map(|p| p.expect("permutation")).collect(),
+        Arc::clone(config.inputs_handle()),
+    )
+}
+
+/// The renaming group of one run: every `(π, σ)` compatible with the
+/// protocol's declared [`Symmetry`] *and* the run's concrete input vector.
+///
+/// Plain data (no configuration state): build once per `check`/`query` and
+/// hand to a [`CanonicalVisitedSet`].
+#[derive(Clone, Debug, Default)]
+pub struct Canonicalizer {
+    /// The non-identity group elements (the identity is implicit).
+    renamings: Vec<Renaming>,
+}
+
+impl Canonicalizer {
+    /// A trivial canonicalizer (identity group): reduction is a no-op.
+    pub fn trivial() -> Self {
+        Canonicalizer::default()
+    }
+
+    /// Enumerate the renaming group of a run of `protocol` from `inputs`.
+    ///
+    /// For every permutation `π` drawn from the declared process classes,
+    /// the value map `σ` is forced by `σ(inputs[i]) = inputs[π(i)]`:
+    /// protocols without value symmetry require `σ = id` (so `π` must
+    /// preserve inputs exactly); value-symmetric protocols accept any `π`
+    /// for which the forced map is well-defined and injective, extended by
+    /// the identity off the appearing values.
+    ///
+    /// Class structures whose group would exceed [`MAX_GROUP_ORDER`] (or a
+    /// symmetry declaration inconsistent with the instance) degrade to the
+    /// trivial group — always sound, never wrong, just unreduced.
+    pub fn for_inputs<P: Protocol>(protocol: &P, inputs: &[u64]) -> Self {
+        let sym = protocol.symmetry();
+        let task = protocol.task();
+        if sym.is_trivial() || inputs.len() != task.n {
+            return Canonicalizer::trivial();
+        }
+        if sym
+            .classes()
+            .iter()
+            .any(|c| c.iter().any(|p| p.index() >= task.n))
+        {
+            return Canonicalizer::trivial();
+        }
+        let Some(pid_maps) = enumerate_pid_maps(&sym, task.n) else {
+            return Canonicalizer::trivial();
+        };
+        let mut renamings = Vec::new();
+        for pid_map in pid_maps {
+            if pid_map.iter().enumerate().all(|(i, p)| p.index() == i) {
+                continue; // the identity is implicit
+            }
+            if let Some(value_map) =
+                derive_value_map(inputs, &pid_map, sym.values_interchangeable(), task.m)
+            {
+                renamings.push(Renaming { pid_map, value_map });
+            }
+        }
+        Canonicalizer { renamings }
+    }
+
+    /// Order of the group, including the identity.
+    pub fn group_order(&self) -> usize {
+        self.renamings.len() + 1
+    }
+
+    /// Whether only the identity survived (no reduction possible).
+    pub fn is_trivial(&self) -> bool {
+        self.renamings.is_empty()
+    }
+
+    /// The non-identity group elements.
+    pub fn renamings(&self) -> &[Renaming] {
+        &self.renamings
+    }
+
+    /// Keep only the renamings satisfying `keep` (the valency oracle
+    /// restricts to `σ = id` renamings stabilizing its process group).
+    pub fn retain(&mut self, keep: impl FnMut(&Renaming) -> bool) {
+        self.renamings.retain(keep);
+    }
+}
+
+/// All permutations of `0..k` (k! of them), as index vectors.
+fn index_permutations(k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut current = Vec::with_capacity(k);
+    let mut used = vec![false; k];
+    fn recurse(k: usize, used: &mut [bool], current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if current.len() == k {
+            out.push(current.clone());
+            return;
+        }
+        for i in 0..k {
+            if !used[i] {
+                used[i] = true;
+                current.push(i);
+                recurse(k, used, current, out);
+                current.pop();
+                used[i] = false;
+            }
+        }
+    }
+    recurse(k, &mut used, &mut current, &mut out);
+    out
+}
+
+/// All pid maps drawn from the class structure: the product over classes of
+/// the full symmetric group on each class, identity elsewhere. `None` if the
+/// product would exceed [`MAX_GROUP_ORDER`].
+fn enumerate_pid_maps(sym: &Symmetry, n: usize) -> Option<Vec<Vec<ProcessId>>> {
+    let mut order: usize = 1;
+    for class in sym.classes() {
+        for i in 2..=class.len() {
+            order = order.checked_mul(i)?;
+            if order > MAX_GROUP_ORDER {
+                return None;
+            }
+        }
+    }
+    let mut maps: Vec<Vec<ProcessId>> = vec![ProcessId::all(n).collect()];
+    for class in sym.classes() {
+        if class.len() < 2 {
+            continue;
+        }
+        let perms = index_permutations(class.len());
+        let mut next = Vec::with_capacity(maps.len() * perms.len());
+        for map in &maps {
+            for perm in &perms {
+                let mut composed = map.clone();
+                for (i, &j) in perm.iter().enumerate() {
+                    composed[class[i].index()] = map[class[j].index()];
+                }
+                next.push(composed);
+            }
+        }
+        maps = next;
+    }
+    Some(maps)
+}
+
+/// The value map forced by `σ(inputs[i]) = inputs[π(i)]`, or `None` if `π`
+/// is incompatible with the input assignment.
+fn derive_value_map(
+    inputs: &[u64],
+    pid_map: &[ProcessId],
+    values_interchangeable: bool,
+    m: u64,
+) -> Option<Vec<u64>> {
+    if !values_interchangeable {
+        // σ must be the identity: π has to preserve inputs exactly.
+        return inputs
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| inputs[pid_map[i].index()] == v)
+            .then(|| (0..m).collect());
+    }
+    let mut partial: Vec<Option<u64>> = vec![None; m as usize];
+    for (i, &a) in inputs.iter().enumerate() {
+        let b = inputs[pid_map[i].index()];
+        match partial[a as usize] {
+            None => partial[a as usize] = Some(b),
+            Some(x) if x == b => {}
+            Some(_) => return None, // inconsistent: no σ exists for this π
+        }
+    }
+    // Injectivity on the appearing values (images are appearing values, so
+    // the identity extension below stays a permutation of {0, …, m-1}).
+    let mut hit = vec![false; m as usize];
+    for image in partial.iter().flatten() {
+        if std::mem::replace(&mut hit[*image as usize], true) {
+            return None;
+        }
+    }
+    Some(
+        partial
+            .iter()
+            .enumerate()
+            .map(|(v, w)| w.unwrap_or(v as u64))
+            .collect(),
+    )
+}
+
+/// The canonical representative of an input vector's orbit under the
+/// declared symmetry: the lexicographic minimum over class permutations of
+/// the permuted vector, value-normalized by first occurrence when values are
+/// interchangeable. `check_all_inputs` under reduction visits exactly the
+/// vectors that are their own canonical form.
+pub fn canonical_input_vector(sym: &Symmetry, inputs: &[u64]) -> Vec<u64> {
+    let n = inputs.len();
+    let maps = enumerate_pid_maps(sym, n).unwrap_or_else(|| vec![ProcessId::all(n).collect()]);
+    let mut best: Option<Vec<u64>> = None;
+    for map in &maps {
+        let mut candidate = vec![0u64; n];
+        for (i, &v) in inputs.iter().enumerate() {
+            candidate[map[i].index()] = v;
+        }
+        if sym.values_interchangeable() {
+            normalize_first_occurrence(&mut candidate);
+        }
+        if best.as_ref().is_none_or(|b| candidate < *b) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("the identity permutation always yields a candidate")
+}
+
+/// Whether `inputs` is the canonical representative of its orbit.
+pub fn inputs_are_canonical(sym: &Symmetry, inputs: &[u64]) -> bool {
+    canonical_input_vector(sym, inputs) == inputs
+}
+
+/// Rename values to `0, 1, 2, …` in order of first appearance.
+fn normalize_first_occurrence(v: &mut [u64]) {
+    let mut map: Vec<(u64, u64)> = Vec::new();
+    for x in v.iter_mut() {
+        let renamed = match map.iter().find(|(from, _)| from == x) {
+            Some(&(_, to)) => to,
+            None => {
+                let to = map.len() as u64;
+                map.push((*x, to));
+                to
+            }
+        };
+        *x = renamed;
+    }
+}
+
+/// A visited set over symmetry *orbits* with an exact-fallback discipline.
+///
+/// Keys are the minimum fingerprint over a configuration's orbit (an orbit
+/// invariant); every bucket hit falls back to full orbit comparison, so —
+/// exactly as with [`VisitedSet`] — exactness never depends on fingerprint
+/// quality. Stored representatives are cheap copy-on-write clones of the
+/// *real* configurations the search visited.
+pub struct CanonicalVisitedSet<P: Protocol> {
+    renamings: Vec<Renaming>,
+    buckets: PrehashedMap<Vec<Configuration<P>>>,
+    len: usize,
+    mask: u64,
+    compaction: bool,
+    fallback_comparisons: usize,
+    orbit_scratch: Vec<Configuration<P>>,
+}
+
+impl<P: Protocol> CanonicalVisitedSet<P> {
+    /// An empty set deduplicating modulo `canon`'s group.
+    pub fn new(canon: Canonicalizer) -> Self {
+        CanonicalVisitedSet {
+            renamings: canon.renamings,
+            buckets: PrehashedMap::default(),
+            len: 0,
+            mask: u64::MAX,
+            compaction: false,
+            fallback_comparisons: 0,
+            orbit_scratch: Vec::new(),
+        }
+    }
+
+    /// Pre-size for roughly `expected` orbits.
+    #[must_use]
+    pub fn with_capacity(mut self, expected: usize) -> Self {
+        self.buckets.reserve(expected);
+        self
+    }
+
+    /// Mask fingerprints before use — the collision-forcing diagnostic hook,
+    /// mirroring [`VisitedSet::with_fingerprint_mask`].
+    #[must_use]
+    pub fn with_fingerprint_mask(mut self, mask: u64) -> Self {
+        self.mask = mask;
+        self
+    }
+
+    /// Switch to fingerprint-only membership. **Unsound**: orbit-fingerprint
+    /// collisions silently merge distinct states, so any verdict becomes
+    /// probabilistic. Opt-in only; reported via `CheckReport`.
+    #[must_use]
+    pub fn unsound_hash_compaction(mut self) -> Self {
+        self.compaction = true;
+        self
+    }
+
+    /// Order of the dedup group (1 = no reduction).
+    pub fn group_order(&self) -> usize {
+        self.renamings.len() + 1
+    }
+
+    /// Materialize `config`'s non-identity orbit into `orbit` (cleared
+    /// first) and return the orbit's bucket key: the minimum fingerprint
+    /// across the whole orbit, masked. Shared by [`Self::insert`] (which
+    /// reuses a scratch vector) and [`Self::contains`] (rare path, local
+    /// vector).
+    fn orbit_key(
+        &self,
+        protocol: &P,
+        config: &Configuration<P>,
+        orbit: &mut Vec<Configuration<P>>,
+    ) -> u64 {
+        orbit.clear();
+        let mut key = config.fingerprint();
+        for g in &self.renamings {
+            let image = apply_renaming(protocol, g, config);
+            key = key.min(image.fingerprint());
+            orbit.push(image);
+        }
+        key & self.mask
+    }
+
+    /// Whether any member of the orbit (`config` itself or a materialized
+    /// image) equals a stored representative in `bucket`.
+    fn orbit_hits_bucket(
+        bucket: &[Configuration<P>],
+        config: &Configuration<P>,
+        orbit: &[Configuration<P>],
+    ) -> bool {
+        bucket
+            .iter()
+            .any(|stored| stored == config || orbit.iter().any(|img| img == stored))
+    }
+
+    /// Insert `config`'s orbit, returning `true` if no member of the orbit
+    /// was already present.
+    pub fn insert(&mut self, protocol: &P, config: &Configuration<P>) -> bool {
+        use std::collections::hash_map::Entry;
+        let mut orbit = std::mem::take(&mut self.orbit_scratch);
+        let key = self.orbit_key(protocol, config, &mut orbit);
+        let fresh = match self.buckets.entry(key) {
+            Entry::Vacant(slot) => {
+                slot.insert(if self.compaction {
+                    Vec::new()
+                } else {
+                    vec![config.clone()]
+                });
+                self.len += 1;
+                true
+            }
+            Entry::Occupied(mut slot) => {
+                if self.compaction {
+                    false
+                } else {
+                    let bucket = slot.get_mut();
+                    self.fallback_comparisons += bucket.len();
+                    if Self::orbit_hits_bucket(bucket, config, &orbit) {
+                        false
+                    } else {
+                        bucket.push(config.clone());
+                        self.len += 1;
+                        true
+                    }
+                }
+            }
+        };
+        self.orbit_scratch = orbit;
+        fresh
+    }
+
+    /// Whether some member of `config`'s orbit is present. (A rare-path
+    /// probe — the engines call it only once a budget is exhausted — so it
+    /// materializes the orbit into a local vector and does not contribute
+    /// to [`Self::fallback_comparisons`], which counts insert probes.)
+    pub fn contains(&self, protocol: &P, config: &Configuration<P>) -> bool {
+        let mut orbit = Vec::new();
+        let key = self.orbit_key(protocol, config, &mut orbit);
+        match self.buckets.get(&key) {
+            None => false,
+            Some(bucket) => self.compaction || Self::orbit_hits_bucket(bucket, config, &orbit),
+        }
+    }
+
+    /// Number of distinct orbits inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact-equality comparisons performed by the fallback path.
+    pub fn fallback_comparisons(&self) -> usize {
+        self.fallback_comparisons
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for CanonicalVisitedSet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CanonicalVisitedSet")
+            .field("len", &self.len)
+            .field("group_order", &self.group_order())
+            .field("compaction", &self.compaction)
+            .field("fallback_comparisons", &self.fallback_comparisons)
+            .finish()
+    }
+}
+
+/// The dedup front-end shared by the exploration engines: exact, reduced,
+/// or (opt-in, unsound) fingerprint-compacted — one insert/contains surface
+/// so `ModelChecker` and `ValencyOracle` stay mode-agnostic.
+pub enum DedupSet<P: Protocol> {
+    /// Plain exact visited set (the default).
+    Exact(VisitedSet<P>),
+    /// Orbit-keyed set: one representative explored per symmetry orbit.
+    Reduced(CanonicalVisitedSet<P>),
+}
+
+impl<P: Protocol> DedupSet<P> {
+    /// An exact set pre-sized for `expected` configurations.
+    pub fn exact(expected: usize) -> Self {
+        DedupSet::Exact(VisitedSet::with_capacity(expected))
+    }
+
+    /// A reduced set for `canon`'s group; degrades to exact when the group
+    /// is trivial (so the orbit machinery costs nothing when it buys
+    /// nothing).
+    pub fn reduced(canon: Canonicalizer, expected: usize) -> Self {
+        if canon.is_trivial() {
+            DedupSet::exact(expected)
+        } else {
+            DedupSet::Reduced(CanonicalVisitedSet::new(canon).with_capacity(expected))
+        }
+    }
+
+    /// Switch to fingerprint-only membership (unsound; see
+    /// [`CanonicalVisitedSet::unsound_hash_compaction`]).
+    #[must_use]
+    pub fn unsound_hash_compaction(self) -> Self {
+        match self {
+            DedupSet::Exact(set) => DedupSet::Exact(set.unsound_hash_compaction()),
+            DedupSet::Reduced(set) => DedupSet::Reduced(set.unsound_hash_compaction()),
+        }
+    }
+
+    /// Insert, returning `true` if the configuration (or its orbit) is new.
+    pub fn insert(&mut self, protocol: &P, config: &Configuration<P>) -> bool {
+        match self {
+            DedupSet::Exact(set) => set.insert(config),
+            DedupSet::Reduced(set) => set.insert(protocol, config),
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, protocol: &P, config: &Configuration<P>) -> bool {
+        match self {
+            DedupSet::Exact(set) => set.contains(config),
+            DedupSet::Reduced(set) => set.contains(protocol, config),
+        }
+    }
+
+    /// Distinct configurations (orbits) inserted.
+    pub fn len(&self) -> usize {
+        match self {
+            DedupSet::Exact(set) => set.len(),
+            DedupSet::Reduced(set) => set.len(),
+        }
+    }
+
+    /// Whether nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Order of the dedup group (1 for the exact modes).
+    pub fn group_order(&self) -> usize {
+        match self {
+            DedupSet::Exact(_) => 1,
+            DedupSet::Reduced(set) => set.group_order(),
+        }
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for DedupSet<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DedupSet::Exact(set) => f.debug_tuple("Exact").field(set).finish(),
+            DedupSet::Reduced(set) => f.debug_tuple("Reduced").field(set).finish(),
+        }
+    }
+}
+
+/// Brute-force check of a protocol's symmetry declaration: for every
+/// renaming in the run group of `inputs`, verify that the renaming fixes the
+/// initial configuration and commutes with every step along seeded-random
+/// executions (`g · step(C, p) = step(g·C, π(p))`). Panics with a diagnostic
+/// on the first violation — call it from protocol test suites whenever a
+/// symmetry declaration or a rename hook changes.
+///
+/// # Panics
+///
+/// Panics if the declaration is not equivariant (or `inputs` are invalid).
+pub fn assert_equivariant<P: Protocol>(protocol: &P, inputs: &[u64], steps: usize, seeds: u64) {
+    use rand::{Rng, SeedableRng};
+    let canon = Canonicalizer::for_inputs(protocol, inputs);
+    let initial = Configuration::initial(protocol, inputs).expect("valid inputs");
+    for g in canon.renamings() {
+        assert!(
+            apply_renaming(protocol, g, &initial) == initial,
+            "renaming {g:?} does not fix the initial configuration for inputs {inputs:?}"
+        );
+    }
+    let mut running = Vec::new();
+    for seed in 0..seeds {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut config = initial.clone();
+        for step in 0..steps {
+            config.running_into(&mut running);
+            if running.is_empty() {
+                break;
+            }
+            let p = running[rng.gen_range(0..running.len())];
+            for g in canon.renamings() {
+                let mut renamed_then_stepped = apply_renaming(protocol, g, &config);
+                renamed_then_stepped
+                    .step_quiet(protocol, g.pid(p))
+                    .expect("renamed step must be legal");
+                let mut original = config.clone();
+                original
+                    .step_quiet(protocol, p)
+                    .expect("step must be legal");
+                let stepped_then_renamed = apply_renaming(protocol, g, &original);
+                assert!(
+                    renamed_then_stepped == stepped_then_renamed,
+                    "equivariance violated at seed {seed}, step {step}, \
+                     process {p}, renaming {g:?}"
+                );
+            }
+            config.step_quiet(protocol, p).expect("step must be legal");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::TwoProcessSwapConsensus;
+
+    fn init(inputs: &[u64]) -> Configuration<TwoProcessSwapConsensus> {
+        Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
+    }
+
+    #[test]
+    fn symmetry_constructors() {
+        assert!(Symmetry::none().is_trivial());
+        let full = Symmetry::full_process(3);
+        assert!(!full.is_trivial());
+        assert_eq!(full.classes().len(), 1);
+        assert!(Symmetry::process_classes(vec![vec![ProcessId(0)]]).is_trivial());
+        assert!(Symmetry::process_classes(vec![])
+            .with_interchangeable_values()
+            .values_interchangeable());
+    }
+
+    #[test]
+    #[should_panic(expected = "disjoint")]
+    fn overlapping_classes_rejected() {
+        let _ = Symmetry::process_classes(vec![
+            vec![ProcessId(0), ProcessId(1)],
+            vec![ProcessId(1), ProcessId(2)],
+        ]);
+    }
+
+    #[test]
+    fn identity_renaming_is_identity() {
+        let id = Renaming::identity(3, 4);
+        assert!(id.is_identity());
+        assert!(id.is_value_identity());
+        assert_eq!(id.pid(ProcessId(2)), ProcessId(2));
+        assert_eq!(id.value(3), 3);
+        assert_eq!(id.value(99), 99, "out-of-domain values are fixed");
+    }
+
+    #[test]
+    fn group_of_unanimous_inputs_is_full_symmetric() {
+        // TwoProcessSwapConsensus declares full process + value symmetry;
+        // with equal inputs every process transposition is compatible.
+        let canon = Canonicalizer::for_inputs(&TwoProcessSwapConsensus, &[5, 5]);
+        assert_eq!(canon.group_order(), 2);
+        // With distinct inputs the transposition needs the value swap, which
+        // value symmetry supplies.
+        let canon = Canonicalizer::for_inputs(&TwoProcessSwapConsensus, &[0, 1]);
+        assert_eq!(canon.group_order(), 2);
+        let g = &canon.renamings()[0];
+        assert!(!g.is_value_identity());
+        assert_eq!(g.value(0), 1);
+        assert_eq!(g.value(1), 0);
+        assert_eq!(g.value(7), 7, "non-appearing values are fixed");
+    }
+
+    #[test]
+    fn orbit_collapse_two_process() {
+        // After one step by either process the two results are orbit-equal.
+        let canon = Canonicalizer::for_inputs(&TwoProcessSwapConsensus, &[0, 1]);
+        let mut a = init(&[0, 1]);
+        let mut b = init(&[0, 1]);
+        a.step_quiet(&TwoProcessSwapConsensus, ProcessId(0))
+            .unwrap();
+        b.step_quiet(&TwoProcessSwapConsensus, ProcessId(1))
+            .unwrap();
+        assert_ne!(a, b, "genuinely different configurations");
+        let g = &canon.renamings()[0];
+        assert_eq!(apply_renaming(&TwoProcessSwapConsensus, g, &a), b);
+        let mut set = CanonicalVisitedSet::new(canon);
+        assert!(set.insert(&TwoProcessSwapConsensus, &a));
+        assert!(!set.insert(&TwoProcessSwapConsensus, &b), "same orbit");
+        assert_eq!(set.len(), 1);
+        assert!(set.contains(&TwoProcessSwapConsensus, &b));
+    }
+
+    #[test]
+    fn canonical_set_exact_under_forced_collisions() {
+        // Mask 0 sends every orbit to one bucket; distinct orbits must still
+        // be told apart by the exact orbit-comparison fallback.
+        let canon = Canonicalizer::for_inputs(&TwoProcessSwapConsensus, &[0, 1]);
+        let mut set = CanonicalVisitedSet::new(canon).with_fingerprint_mask(0);
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.step_quiet(&TwoProcessSwapConsensus, ProcessId(0))
+            .unwrap();
+        let mut c = b.clone();
+        c.step_quiet(&TwoProcessSwapConsensus, ProcessId(1))
+            .unwrap();
+        assert!(set.insert(&TwoProcessSwapConsensus, &a));
+        assert!(set.insert(&TwoProcessSwapConsensus, &b));
+        assert!(set.insert(&TwoProcessSwapConsensus, &c));
+        assert_eq!(set.len(), 3);
+        assert!(!set.insert(&TwoProcessSwapConsensus, &a));
+        assert!(set.fallback_comparisons() > 0);
+    }
+
+    #[test]
+    fn hash_compaction_is_fingerprint_only() {
+        let canon = Canonicalizer::for_inputs(&TwoProcessSwapConsensus, &[0, 1]);
+        // Mask 0 + compaction: everything merges into one bucket — the
+        // documented unsoundness, verified to actually behave that way.
+        let mut set = CanonicalVisitedSet::new(canon)
+            .with_fingerprint_mask(0)
+            .unsound_hash_compaction();
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.step_quiet(&TwoProcessSwapConsensus, ProcessId(0))
+            .unwrap();
+        assert!(set.insert(&TwoProcessSwapConsensus, &a));
+        assert!(
+            !set.insert(&TwoProcessSwapConsensus, &b),
+            "colliding fingerprints silently merge under compaction"
+        );
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn canonical_input_vectors() {
+        let sym = Symmetry::full_process(3).with_interchangeable_values();
+        assert_eq!(canonical_input_vector(&sym, &[2, 2, 0]), vec![0, 0, 1]);
+        assert!(inputs_are_canonical(&sym, &[0, 0, 1]));
+        assert!(!inputs_are_canonical(&sym, &[1, 0, 0]));
+        // Process symmetry only: values keep their identity, order is free.
+        let sym = Symmetry::full_process(3);
+        assert_eq!(canonical_input_vector(&sym, &[2, 0, 1]), vec![0, 1, 2]);
+        // No symmetry: everything is canonical.
+        assert!(inputs_are_canonical(&Symmetry::none(), &[3, 1, 2]));
+    }
+
+    #[test]
+    fn dedup_set_degrades_to_exact_for_trivial_groups() {
+        let set: DedupSet<TwoProcessSwapConsensus> = DedupSet::reduced(Canonicalizer::trivial(), 8);
+        assert!(matches!(set, DedupSet::Exact(_)));
+        assert_eq!(set.group_order(), 1);
+    }
+
+    #[test]
+    fn two_process_consensus_is_equivariant() {
+        assert_equivariant(&TwoProcessSwapConsensus, &[0, 1], 2, 4);
+        assert_equivariant(&TwoProcessSwapConsensus, &[7, 7], 2, 4);
+        assert_equivariant(&TwoProcessSwapConsensus, &[3, 9], 2, 4);
+    }
+}

@@ -166,6 +166,32 @@ impl<P: Protocol> Configuration<P> {
         })
     }
 
+    /// Assemble a configuration from raw parts — crate-internal, used by the
+    /// canonicalization layer to materialize renamed twins.
+    pub(crate) fn from_parts(
+        objects: Vec<P::Value>,
+        procs: Vec<ProcStatus<P::State>>,
+        inputs: Arc<[u64]>,
+    ) -> Self {
+        Configuration {
+            objects: objects.into(),
+            procs: procs.into(),
+            inputs,
+        }
+    }
+
+    /// The shared input-vector storage (crate-internal; renamed twins alias
+    /// it, since every admitted renaming stabilizes the inputs).
+    pub(crate) fn inputs_handle(&self) -> &Arc<[u64]> {
+        &self.inputs
+    }
+
+    /// The shared object-vector storage (crate-internal; the solo-outcome
+    /// memo keys on it without copying any values).
+    pub(crate) fn objects_handle(&self) -> &Arc<[P::Value]> {
+        &self.objects
+    }
+
     /// Number of processes.
     pub fn num_processes(&self) -> usize {
         self.procs.len()
@@ -407,6 +433,66 @@ impl<P: Protocol> Configuration<P> {
         Ok(self.absorb(protocol, pid, response))
     }
 
+    /// [`Configuration::step_quiet`] plus an undo token: the returned
+    /// [`StepUndo`] restores exactly the (at most) two mutated slots — the
+    /// target object and the stepping process — via
+    /// [`Configuration::undo_step`].
+    ///
+    /// This is the delta-restore pattern for the exploration engines'
+    /// candidate-child loops: a child that turns out to be a duplicate is
+    /// rolled back in `O(1)` element writes instead of re-copying the whole
+    /// scratch state from the parent. Costs two extra small clones (the
+    /// displaced object value and the pre-step process status) relative to
+    /// `step_quiet`.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`Configuration::step`].
+    ///
+    /// # Panics
+    ///
+    /// Identical to [`Configuration::step`].
+    pub fn step_quiet_undoable(
+        &mut self,
+        protocol: &P,
+        pid: ProcessId,
+    ) -> Result<(Option<u64>, StepUndo<P>), SimError> {
+        let (obj, op) = self.validated_poised(protocol, pid)?;
+        let kind = op.kind();
+        let prior_status = self.procs[pid.index()].clone();
+        let (response, prior_object) = match op.into_payload() {
+            Some(next) => {
+                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                let saved = prev.clone();
+                let response = match kind {
+                    OpKind::Write => Response::Ack,
+                    _ => Response::Value(prev),
+                };
+                (response, Some((obj, saved)))
+            }
+            None => (Response::Value(self.objects[obj.index()].clone()), None),
+        };
+        let decided = self.absorb(protocol, pid, response);
+        Ok((
+            decided,
+            StepUndo {
+                object: prior_object,
+                process: (pid, prior_status),
+            },
+        ))
+    }
+
+    /// Roll back a step recorded by [`Configuration::step_quiet_undoable`].
+    /// Only valid on the configuration that produced the token, with no
+    /// intervening mutation.
+    pub fn undo_step(&mut self, undo: StepUndo<P>) {
+        if let Some((obj, value)) = undo.object {
+            cow_slice(&mut self.objects)[obj.index()] = value;
+        }
+        let (pid, status) = undo.process;
+        cow_slice(&mut self.procs)[pid.index()] = status;
+    }
+
     /// Whether this configuration is indistinguishable from `other` to every
     /// process in `pids` — the paper's `C1 ~P C2` (equal local states; note
     /// that indistinguishability of *configurations* constrains only process
@@ -484,16 +570,26 @@ impl<P: Protocol> fmt::Debug for Configuration<P> {
 }
 
 fn check_domain<V: SimValue>(schema: &ObjectSchema, value: &V) -> Result<(), SchemaError> {
-    match (schema.domain(), value.domain_point()) {
-        (swapcons_objects::Domain::Unbounded, _) => Ok(()),
-        (swapcons_objects::Domain::Bounded(_), Some(x)) => schema.check_value(x),
-        (domain @ swapcons_objects::Domain::Bounded(_), None) => {
-            // A composite value cannot inhabit a bounded integer domain.
-            Err(SchemaError::ValueOutOfDomain {
-                value: u64::MAX,
-                domain,
-            })
-        }
+    schema.check_domain_point(value.domain_point())
+}
+
+/// Undo token for one step, produced by
+/// [`Configuration::step_quiet_undoable`]: the pre-step contents of the (at
+/// most) two slots the step mutated.
+pub struct StepUndo<P: Protocol> {
+    /// The target object's displaced value (`None` for a trivial operation,
+    /// which changes no object).
+    object: Option<(ObjectId, P::Value)>,
+    /// The stepping process's pre-step status.
+    process: (ProcessId, ProcStatus<P::State>),
+}
+
+impl<P: Protocol> fmt::Debug for StepUndo<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("StepUndo")
+            .field("object", &self.object)
+            .field("process", &self.process)
+            .finish()
     }
 }
 
@@ -699,6 +795,44 @@ mod tests {
         let mut c = init(&[0, 1]);
         c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
         assert_eq!(c.decisions_iter().collect::<Vec<_>>(), c.decisions());
+    }
+
+    #[test]
+    fn undo_step_restores_the_exact_state() {
+        let reference = init(&[0, 1]);
+        let mut c = reference.clone();
+        // Detach from the reference first so the undo path exercises the
+        // in-place element restore, not a copy-on-write detach.
+        let (decided, undo) = c
+            .step_quiet_undoable(&TwoProcessSwapConsensus, ProcessId(0))
+            .unwrap();
+        assert_eq!(decided, Some(0));
+        assert_ne!(c, reference);
+        c.undo_step(undo);
+        assert_eq!(c, reference, "undo restores the pre-step configuration");
+        assert_eq!(c.fingerprint(), reference.fingerprint());
+        // The restored configuration steps exactly like a fresh one.
+        let rec = c.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert_eq!(rec.decided, Some(1));
+    }
+
+    #[test]
+    fn undo_step_on_shared_storage_detaches_correctly() {
+        let mut c = init(&[0, 1]);
+        let (_, undo) = c
+            .step_quiet_undoable(&TwoProcessSwapConsensus, ProcessId(0))
+            .unwrap();
+        // Share the stepped state (as the explorer does when it keeps a
+        // child), then undo: the clone must keep the stepped state while the
+        // original rolls back.
+        let kept = c.clone();
+        c.undo_step(undo);
+        assert_eq!(c, init(&[0, 1]));
+        assert_eq!(
+            kept.decision(ProcessId(0)),
+            Some(0),
+            "kept child unaffected"
+        );
     }
 
     #[test]

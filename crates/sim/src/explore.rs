@@ -27,12 +27,14 @@
 //! mutation, not a deep copy of the whole state.
 
 use std::fmt;
+use std::sync::Arc;
 
+use crate::canon::{self, Canonicalizer, DedupSet};
 use crate::config::Configuration;
 use crate::ids::ProcessId;
 use crate::protocol::Protocol;
 use crate::runner::{solo_run, SoloRunError};
-use crate::search::{NodeId, ScheduleArena, VisitedSet};
+use crate::search::{NodeId, PrehashedMap, ScheduleArena};
 use crate::task::TaskViolation;
 
 /// Bounded-exhaustive schedule explorer.
@@ -49,6 +51,18 @@ pub struct ModelChecker {
     /// If set, verify from every visited configuration that every running
     /// process decides within this many solo steps (obstruction-freedom).
     pub solo_budget: Option<usize>,
+    /// Search the quotient state space modulo the protocol's declared
+    /// symmetry group: explore one representative per orbit (sound for
+    /// every property the checker tests — see [`crate::canon`]).
+    pub symmetry_reduction: bool,
+    /// Fingerprint-only visited membership. **Unsound** (probabilistic);
+    /// only settable via [`ModelChecker::unsound_hash_compaction`], always
+    /// reported in the [`CheckReport`], and never accepted by
+    /// [`CheckReport::proves_safety`].
+    pub hash_compaction: bool,
+    /// Memoize solo-termination outcomes keyed on (local state, object
+    /// values) — sound, on by default; disable for A/B measurement.
+    pub solo_memo: bool,
 }
 
 impl ModelChecker {
@@ -60,6 +74,9 @@ impl ModelChecker {
             max_states,
             max_frontier: usize::MAX,
             solo_budget: None,
+            symmetry_reduction: false,
+            hash_compaction: false,
+            solo_memo: true,
         }
     }
 
@@ -78,6 +95,33 @@ impl ModelChecker {
         self
     }
 
+    /// Search the quotient space modulo the protocol's declared symmetry
+    /// group ([`Protocol::symmetry`]): visited-set membership is decided per
+    /// *orbit*, so permuted twins of an explored configuration are never
+    /// re-explored. Verdicts are unchanged (the checked properties are
+    /// renaming-invariant and witness schedules remain real schedules);
+    /// state counts shrink by up to the group order.
+    pub fn with_symmetry_reduction(mut self) -> Self {
+        self.symmetry_reduction = true;
+        self
+    }
+
+    /// Opt in to fingerprint-only visited membership. **Unsound**: a
+    /// fingerprint collision silently merges two distinct states, so a
+    /// passing report is probabilistic evidence, not proof — the report
+    /// records the mode and [`CheckReport::proves_safety`] rejects it.
+    pub fn unsound_hash_compaction(mut self) -> Self {
+        self.hash_compaction = true;
+        self
+    }
+
+    /// Disable the (sound, default-on) solo-outcome memo — for A/B
+    /// measurement of the memo itself.
+    pub fn without_solo_memo(mut self) -> Self {
+        self.solo_memo = false;
+        self
+    }
+
     /// Explore all schedules from the initial configuration for `inputs`.
     ///
     /// # Panics
@@ -85,12 +129,34 @@ impl ModelChecker {
     /// Panics if the initial configuration cannot be constructed (bad inputs
     /// are a usage error in test code).
     pub fn check<P: Protocol>(&self, protocol: &P, inputs: &[u64]) -> CheckReport {
+        let mut memo = SoloMemo::new();
+        self.check_with_memo(protocol, inputs, &mut memo)
+    }
+
+    /// [`ModelChecker::check`] with a caller-provided solo memo, so
+    /// [`ModelChecker::check_all_inputs`] shares one memo across every input
+    /// vector (solo outcomes depend only on local state and object values,
+    /// never on the input vector).
+    fn check_with_memo<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        memo: &mut SoloMemo<P>,
+    ) -> CheckReport {
         let initial =
             Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
         let task = protocol.task();
         // Pre-size the visited set toward the state budget (clamped: tiny
         // protocols should not pay megabytes up front).
-        let mut visited: VisitedSet<P> = VisitedSet::with_capacity(self.max_states.min(1 << 14));
+        let capacity = self.max_states.min(1 << 14);
+        let mut visited: DedupSet<P> = if self.symmetry_reduction {
+            DedupSet::reduced(Canonicalizer::for_inputs(protocol, inputs), capacity)
+        } else {
+            DedupSet::exact(capacity)
+        };
+        if self.hash_compaction {
+            visited = visited.unsound_hash_compaction();
+        }
         let mut arena = ScheduleArena::new();
         let mut report = CheckReport {
             states: 0,
@@ -98,15 +164,18 @@ impl ModelChecker {
             complete: true,
             deepest: 0,
             peak_frontier: 1,
+            symmetry_group: visited.group_order(),
+            hash_compaction: self.hash_compaction,
+            solo_memo_hits: 0,
             violation: None,
         };
         // Scratch buffers reused across nodes: the running-process ids, a
         // scratch configuration recycled between hypothetical solo runs, and
-        // one recycled between candidate children — a child is generated by
-        // copying elements into the scratch's (usually unique) storage and
-        // stepping in place, so duplicate children allocate nothing; only a
-        // child that turns out to be a new state is kept (by cheap
-        // copy-on-write clone, which re-shares the scratch).
+        // one recycled between candidate children. A candidate child is
+        // generated by stepping the scratch in place and — when it turns out
+        // to be a duplicate — *delta-restored*: the step's undo token rolls
+        // back exactly the two mutated slots, so duplicate children cost
+        // O(1) element writes instead of a whole-state re-copy.
         let mut running: Vec<ProcessId> = Vec::new();
         let mut solo_scratch: Option<Configuration<P>> = None;
         let mut child_scratch: Option<Configuration<P>> = None;
@@ -114,7 +183,7 @@ impl ModelChecker {
         // reconstructed from parent pointers only when a witness is needed).
         // Membership is decided at *discovery* time — each configuration is
         // fingerprinted exactly once, and the stack never holds duplicates.
-        visited.insert(&initial);
+        visited.insert(protocol, &initial);
         let mut stack: Vec<(Configuration<P>, NodeId)> = vec![(initial, ScheduleArena::ROOT)];
         while let Some((config, node)) = stack.pop() {
             report.states += 1;
@@ -129,29 +198,50 @@ impl ModelChecker {
                 return report;
             }
             config.running_into(&mut running);
-            // Obstruction-freedom: every running process decides solo (on
-            // the recycled scratch configuration, not a fresh clone).
+            // Obstruction-freedom: every running process decides solo. The
+            // outcome depends only on the process's local state and the
+            // object values, so it is memoized on exactly that key (with the
+            // visited set's exact-fallback discipline); misses run on the
+            // recycled scratch configuration, not a fresh clone.
             if let Some(budget) = self.solo_budget {
                 for &pid in &running {
-                    let scratch = match &mut solo_scratch {
-                        Some(s) => {
-                            s.clone_state_from(&config);
-                            s
+                    let state = config.state(pid).expect("running implies a state");
+                    let outcome = match self.solo_memo.then(|| memo.get(state, &config)).flatten() {
+                        Some(cached) => {
+                            report.solo_memo_hits += 1;
+                            cached
                         }
-                        None => solo_scratch.insert(config.clone()),
+                        None => {
+                            let scratch = match &mut solo_scratch {
+                                Some(s) => {
+                                    s.clone_state_from(&config);
+                                    s
+                                }
+                                None => solo_scratch.insert(config.clone()),
+                            };
+                            let outcome = match solo_run(protocol, scratch, pid, budget) {
+                                Ok(_) => SoloVerdict::Decides,
+                                Err(SoloRunError::BudgetExhausted { .. }) => SoloVerdict::Stuck,
+                                Err(e) => SoloVerdict::Error(Arc::from(e.to_string().as_str())),
+                            };
+                            if self.solo_memo {
+                                memo.put(state.clone(), &config, outcome.clone());
+                            }
+                            outcome
+                        }
                     };
-                    match solo_run(protocol, scratch, pid, budget) {
-                        Ok(_) => {}
-                        Err(SoloRunError::BudgetExhausted { .. }) => {
+                    match outcome {
+                        SoloVerdict::Decides => {}
+                        SoloVerdict::Stuck => {
                             report.violation = Some(FoundViolation {
                                 kind: ViolationKind::SoloTermination { pid, budget },
                                 schedule: arena.schedule(node),
                             });
                             return report;
                         }
-                        Err(e) => {
+                        SoloVerdict::Error(msg) => {
                             report.violation = Some(FoundViolation {
-                                kind: ViolationKind::Internal(e.to_string()),
+                                kind: ViolationKind::Internal(msg.to_string()),
                                 schedule: arena.schedule(node),
                             });
                             return report;
@@ -167,16 +257,21 @@ impl ModelChecker {
                 report.complete = false;
                 continue;
             }
+            // `true` while the child scratch holds exactly `config`'s state
+            // (so the next candidate can step it directly); cleared when a
+            // kept child leaves the scratch sharing storage with the stack.
+            let mut scratch_synced = false;
             for &pid in &running {
                 let child = match &mut child_scratch {
-                    Some(s) => {
-                        s.clone_state_from(&config);
-                        s
-                    }
+                    Some(s) => s,
                     None => child_scratch.insert(config.clone()),
                 };
-                match child.step_quiet(protocol, pid) {
-                    Ok(_) => {
+                if !scratch_synced {
+                    child.clone_state_from(&config);
+                }
+                scratch_synced = true;
+                match child.step_quiet_undoable(protocol, pid) {
+                    Ok((_, undo)) => {
                         if visited.len() >= self.max_states || stack.len() >= self.max_frontier {
                             // A budget is exhausted: a child that is already
                             // known costs nothing to discard, but an
@@ -184,15 +279,20 @@ impl ModelChecker {
                             // (A search whose post-budget children are all
                             // duplicates drained exactly at the bound and is
                             // still exhaustive.)
-                            if !visited.contains(child) {
+                            if !visited.contains(protocol, child) {
                                 report.complete = false;
                             }
+                            child.undo_step(undo);
                             continue;
                         }
-                        if !visited.insert(child) {
+                        if !visited.insert(protocol, child) {
+                            // Duplicate: delta-restore instead of re-copying
+                            // the parent on the next iteration.
+                            child.undo_step(undo);
                             continue;
                         }
                         stack.push((child.clone(), arena.child(node, pid)));
+                        scratch_synced = false;
                     }
                     Err(e) => {
                         let mut schedule = arena.schedule(node);
@@ -211,29 +311,41 @@ impl ModelChecker {
     }
 
     /// Check every input assignment of the protocol's task (all `m^n`
-    /// vectors). Returns the first failing report, or the last successful
-    /// one with aggregate counts.
+    /// vectors; under symmetry reduction, one representative per input-orbit
+    /// — validity and agreement are invariant under the protocol's declared
+    /// renamings, so the skipped vectors cannot change the verdict). Returns
+    /// the first failing report, or the last successful one with aggregate
+    /// counts.
     pub fn check_all_inputs<P: Protocol>(&self, protocol: &P) -> CheckReport {
         let task = protocol.task();
+        let symmetry = protocol.symmetry();
+        let mut memo = SoloMemo::new();
         let mut aggregate = CheckReport {
             states: 0,
             terminal_states: 0,
             complete: true,
             deepest: 0,
             peak_frontier: 0,
+            symmetry_group: 1,
+            hash_compaction: self.hash_compaction,
+            solo_memo_hits: 0,
             violation: None,
         };
         let mut inputs = vec![0u64; task.n];
         loop {
-            let report = self.check(protocol, &inputs);
-            aggregate.states += report.states;
-            aggregate.terminal_states += report.terminal_states;
-            aggregate.complete &= report.complete;
-            aggregate.deepest = aggregate.deepest.max(report.deepest);
-            aggregate.peak_frontier = aggregate.peak_frontier.max(report.peak_frontier);
-            if report.violation.is_some() {
-                aggregate.violation = report.violation;
-                return aggregate;
+            if !self.symmetry_reduction || canon::inputs_are_canonical(&symmetry, &inputs) {
+                let report = self.check_with_memo(protocol, &inputs, &mut memo);
+                aggregate.states += report.states;
+                aggregate.terminal_states += report.terminal_states;
+                aggregate.complete &= report.complete;
+                aggregate.deepest = aggregate.deepest.max(report.deepest);
+                aggregate.peak_frontier = aggregate.peak_frontier.max(report.peak_frontier);
+                aggregate.symmetry_group = aggregate.symmetry_group.max(report.symmetry_group);
+                aggregate.solo_memo_hits += report.solo_memo_hits;
+                if report.violation.is_some() {
+                    aggregate.violation = report.violation;
+                    return aggregate;
+                }
             }
             // Advance the input vector like an odometer in base m.
             let mut i = 0;
@@ -252,6 +364,67 @@ impl ModelChecker {
     }
 }
 
+/// Memoized outcome of one solo run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum SoloVerdict {
+    /// Decided within the budget.
+    Decides,
+    /// Exhausted the budget (an obstruction-freedom violation within the
+    /// explored region).
+    Stuck,
+    /// The simulator rejected a step (protocol bug); shared message.
+    Error(Arc<str>),
+}
+
+/// Memo of solo-run outcomes keyed on `(local state, object values)` — the
+/// complete determinants of a solo execution (the paper's solo runs read
+/// nothing else), so the cache is sound by construction. Same discipline as
+/// the visited sets: an FxHash fingerprint selects a bucket, exact equality
+/// on the key decides a hit, so correctness never rests on hash quality.
+/// Object vectors are stored as copy-on-write handles (refcount bumps, no
+/// value copies).
+/// One memo entry: the solo-determining key plus the cached verdict.
+type SoloMemoEntry<P> = (
+    <P as Protocol>::State,
+    Arc<[<P as Protocol>::Value]>,
+    SoloVerdict,
+);
+
+struct SoloMemo<P: Protocol> {
+    buckets: PrehashedMap<Vec<SoloMemoEntry<P>>>,
+}
+
+impl<P: Protocol> SoloMemo<P> {
+    fn new() -> Self {
+        SoloMemo {
+            buckets: PrehashedMap::default(),
+        }
+    }
+
+    fn key(state: &P::State, config: &Configuration<P>) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = fxhash::FxHasher::default();
+        state.hash(&mut h);
+        config.object_values().hash(&mut h);
+        h.finish()
+    }
+
+    fn get(&self, state: &P::State, config: &Configuration<P>) -> Option<SoloVerdict> {
+        let bucket = self.buckets.get(&Self::key(state, config))?;
+        bucket
+            .iter()
+            .find(|(s, objects, _)| s == state && objects[..] == *config.object_values())
+            .map(|(_, _, verdict)| verdict.clone())
+    }
+
+    fn put(&mut self, state: P::State, config: &Configuration<P>, verdict: SoloVerdict) {
+        self.buckets
+            .entry(Self::key(&state, config))
+            .or_default()
+            .push((state, Arc::clone(config.objects_handle()), verdict));
+    }
+}
+
 /// Result of a model-checking run.
 #[derive(Clone, Debug)]
 pub struct CheckReport {
@@ -267,6 +440,14 @@ pub struct CheckReport {
     pub deepest: usize,
     /// Largest pending-frontier size observed (memory high-water mark).
     pub peak_frontier: usize,
+    /// Order of the symmetry group the visited set deduplicated by (1 = no
+    /// reduction; `states` then counts orbits, not raw configurations).
+    pub symmetry_group: usize,
+    /// Whether the (unsound, opt-in) hash-compaction mode was active — if
+    /// so, a passing verdict is probabilistic and never a safety proof.
+    pub hash_compaction: bool,
+    /// Solo-termination checks answered from the memo instead of re-run.
+    pub solo_memo_hits: usize,
     /// The first violation found, if any, with a witnessing schedule.
     pub violation: Option<FoundViolation>,
 }
@@ -277,9 +458,28 @@ impl CheckReport {
         self.violation.is_none()
     }
 
-    /// Whether the check passed *and* explored the full reachable space.
+    /// Whether the check passed *and* explored the full reachable space
+    /// *and* used exact state dedup — a hash-compacted run can never prove
+    /// safety, no matter how it went.
     pub fn proves_safety(&self) -> bool {
-        self.passed() && self.complete
+        self.passed() && self.complete && !self.hash_compaction
+    }
+
+    /// Whether two runs reached the same *verdict*: same pass/fail, same
+    /// exhaustiveness, and (when violating) the same kind of violation.
+    /// State counts are deliberately excluded — a symmetry-reduced run
+    /// explores fewer states by design; the point is that it concludes the
+    /// same thing.
+    pub fn same_verdict(&self, other: &CheckReport) -> bool {
+        self.passed() == other.passed()
+            && self.complete == other.complete
+            && match (&self.violation, &other.violation) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    std::mem::discriminant(&a.kind) == std::mem::discriminant(&b.kind)
+                }
+                _ => false,
+            }
     }
 }
 
@@ -287,7 +487,7 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states ({} terminal), deepest schedule {}, {}",
+            "{} states ({} terminal), deepest schedule {}, {}{}{}",
             self.states,
             self.terminal_states,
             self.deepest,
@@ -295,6 +495,16 @@ impl fmt::Display for CheckReport {
                 (Some(v), _) => format!("VIOLATION: {v}"),
                 (None, true) => "exhaustive, no violations".to_string(),
                 (None, false) => "bounded (cutoff hit), no violations".to_string(),
+            },
+            if self.symmetry_group > 1 {
+                format!(" [symmetry-reduced /{}]", self.symmetry_group)
+            } else {
+                String::new()
+            },
+            if self.hash_compaction {
+                " [hash-compacted: probabilistic]"
+            } else {
+                ""
             }
         )
     }
@@ -441,6 +651,110 @@ mod tests {
         // dedup should keep the total tiny.
         let report = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
         assert!(report.states <= 8, "states = {}", report.states);
+    }
+
+    #[test]
+    fn symmetry_reduction_same_verdict_fewer_states() {
+        // The hand-computable orbit count: TwoProcessSwapConsensus from
+        // [0, 1] reaches 5 configurations — initial, two mids (one process
+        // decided), two terminals (winner 0 or winner 1). The swap-both
+        // renaming pairs up the mids and pairs up the terminals, so the
+        // quotient has 3 orbits.
+        let full = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert_eq!(full.states, 5, "{full}");
+        assert_eq!(reduced.states, 3, "{reduced}");
+        assert_eq!(reduced.symmetry_group, 2);
+        assert!(full.same_verdict(&reduced));
+        assert!(reduced.proves_safety(), "{reduced}");
+        // Unanimous inputs: one terminal only (4 full states), mids still
+        // pair up — 3 orbits again.
+        let full = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[5, 5]);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&TwoProcessSwapConsensus, &[5, 5]);
+        assert_eq!((full.states, reduced.states), (4, 3));
+        assert!(full.same_verdict(&reduced));
+    }
+
+    #[test]
+    fn symmetry_reduction_collapses_input_orbits() {
+        // 16^2 = 256 input vectors; modulo process + value renaming exactly
+        // two orbits remain ([0,0] and [0,1]).
+        let full = ModelChecker::new(10, 10_000).check_all_inputs(&TwoProcessSwapConsensus);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check_all_inputs(&TwoProcessSwapConsensus);
+        assert!(full.same_verdict(&reduced));
+        assert!(reduced.proves_safety(), "{reduced}");
+        assert_eq!(reduced.states, 3 + 3, "two input orbits, three orbits each");
+        assert!(full.states >= 40 * reduced.states, "{full} vs {reduced}");
+    }
+
+    #[test]
+    fn symmetry_reduction_still_catches_violations() {
+        let full = ModelChecker::new(10, 10_000).check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        let violation = reduced.violation.expect("agreement violation");
+        assert!(matches!(
+            violation.kind,
+            ViolationKind::Task(TaskViolation::Agreement { .. })
+        ));
+        // The witness schedule is a REAL schedule: replaying it from the
+        // initial configuration reproduces the violation.
+        let mut replay = Configuration::initial(&SelfishConsensus { n: 2 }, &[0, 1]).unwrap();
+        crate::runner::replay(&SelfishConsensus { n: 2 }, &mut replay, &violation.schedule)
+            .unwrap();
+        assert_eq!(replay.decided_values().len(), 2, "violation reproduced");
+    }
+
+    #[test]
+    fn hash_compaction_is_reported_and_never_proves_safety() {
+        let report = ModelChecker::new(10, 10_000)
+            .unsound_hash_compaction()
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.hash_compaction);
+        assert!(report.passed());
+        assert!(report.complete);
+        assert!(
+            !report.proves_safety(),
+            "a compacted run must never claim proof: {report}"
+        );
+        assert!(report.to_string().contains("hash-compacted"));
+        // Plain runs are unaffected.
+        let exact = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(!exact.hash_compaction);
+        assert!(exact.proves_safety());
+    }
+
+    #[test]
+    fn solo_memo_hits_accumulate_without_changing_the_verdict() {
+        // Equal inputs give both processes identical (state, objects) keys,
+        // so the second solo check of every configuration is a memo hit.
+        let with_memo = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .check(&TwoProcessSwapConsensus, &[1, 1]);
+        let without = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .without_solo_memo()
+            .check(&TwoProcessSwapConsensus, &[1, 1]);
+        assert!(with_memo.same_verdict(&without));
+        assert_eq!(with_memo.states, without.states);
+        assert!(with_memo.solo_memo_hits > 0, "{with_memo}");
+        assert_eq!(without.solo_memo_hits, 0);
+        // A memoized run still catches solo violations.
+        let stuck = ModelChecker::new(10, 10_000)
+            .with_solo_budget(0)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(matches!(
+            stuck.violation.as_ref().map(|v| &v.kind),
+            Some(ViolationKind::SoloTermination { .. })
+        ));
     }
 
     #[test]

@@ -43,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod canon;
 mod config;
 pub mod explore;
 mod history;
@@ -54,9 +55,10 @@ pub mod search;
 pub mod task;
 pub mod testing;
 
-pub use config::{Configuration, ProcStatus, SimError};
+pub use canon::{Canonicalizer, Renaming, Symmetry};
+pub use config::{Configuration, ProcStatus, SimError, StepUndo};
 pub use history::{History, StepRecord};
 pub use ids::{ObjectId, ProcessId};
 pub use protocol::{Protocol, SimValue, Transition};
-pub use scheduler::Scheduler;
+pub use scheduler::{Scheduler, StateScheduler};
 pub use task::KSetTask;

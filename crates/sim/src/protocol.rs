@@ -15,6 +15,7 @@ use std::hash::Hash;
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
 
+use crate::canon::{Renaming, Symmetry};
 use crate::ids::{ObjectId, ProcessId};
 use crate::task::KSetTask;
 
@@ -137,6 +138,59 @@ pub trait Protocol {
         state: Self::State,
         response: Response<Self::Value>,
     ) -> Transition<Self::State>;
+
+    /// The protocol's declared symmetry group, used by the exploration
+    /// engines to search the quotient state space (see [`crate::canon`]).
+    ///
+    /// The default declares **no symmetry**, which is always sound. A
+    /// protocol overriding this must uphold the *equivariance contract* for
+    /// every renaming `g = (π, σ)` its declaration admits:
+    ///
+    /// * initial configurations are fixed: renaming the initial state of
+    ///   process `i` with input `v` yields the initial state of `π(i)` with
+    ///   input `σ(v)`, and likewise for initial object values;
+    /// * steps commute: `g · step(C, p) = step(g·C, π(p))` for every
+    ///   configuration `C` and running process `p` (with object slots
+    ///   permuted by [`Protocol::rename_object`]).
+    ///
+    /// [`crate::canon::assert_equivariant`] brute-force checks the contract;
+    /// every protocol test suite in the workspace calls it.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::none()
+    }
+
+    /// Rewrite a local state under a renaming: map every embedded process id
+    /// through [`Renaming::pid`] and every embedded *task input value*
+    /// through [`Renaming::value`] (nothing else — counters, positions, and
+    /// flags are structural, not nominal).
+    ///
+    /// The default clones unchanged, which is correct exactly when states
+    /// embed neither process ids nor (for value-symmetric declarations)
+    /// input values.
+    fn rename_state(&self, state: &Self::State, renaming: &Renaming) -> Self::State {
+        let _ = renaming;
+        state.clone()
+    }
+
+    /// Rewrite an object value under a renaming — same rules as
+    /// [`Protocol::rename_state`]. `obj` identifies the *source* object, so
+    /// protocols can treat slots with different roles differently (e.g. a
+    /// proposal register rewrites input values, a flag does not). The
+    /// renamed value must still satisfy the destination object's schema
+    /// (debug-asserted by the canonicalizer).
+    fn rename_value(&self, obj: ObjectId, value: &Self::Value, renaming: &Renaming) -> Self::Value {
+        let _ = (obj, renaming);
+        value.clone()
+    }
+
+    /// The object permutation induced by a renaming, for protocols whose
+    /// object *roles* are tied to process ids or values (single-writer
+    /// registers move with their writer). Must be a permutation mapping each
+    /// object to one with an identical schema. Default: identity.
+    fn rename_object(&self, obj: ObjectId, renaming: &Renaming) -> ObjectId {
+        let _ = renaming;
+        obj
+    }
 }
 
 /// Blanket impl so `&P` can be passed wherever a protocol is expected.
@@ -174,6 +228,18 @@ impl<P: Protocol + ?Sized> Protocol for &P {
         response: Response<Self::Value>,
     ) -> Transition<Self::State> {
         (**self).observe(state, response)
+    }
+    fn symmetry(&self) -> Symmetry {
+        (**self).symmetry()
+    }
+    fn rename_state(&self, state: &Self::State, renaming: &Renaming) -> Self::State {
+        (**self).rename_state(state, renaming)
+    }
+    fn rename_value(&self, obj: ObjectId, value: &Self::Value, renaming: &Renaming) -> Self::Value {
+        (**self).rename_value(obj, value, renaming)
+    }
+    fn rename_object(&self, obj: ObjectId, renaming: &Renaming) -> ObjectId {
+        (**self).rename_object(obj, renaming)
     }
 }
 

@@ -7,7 +7,7 @@ use crate::config::{Configuration, SimError};
 use crate::history::History;
 use crate::ids::ProcessId;
 use crate::protocol::Protocol;
-use crate::scheduler::Scheduler;
+use crate::scheduler::StateScheduler;
 
 /// Result of [`run`].
 #[derive(Clone, Debug)]
@@ -28,7 +28,7 @@ pub struct RunOutcome<V> {
 ///
 /// Propagates [`SimError`] from [`Configuration::step`] — in a correct
 /// protocol this only happens on schema violations, i.e. protocol bugs.
-pub fn run<P: Protocol, S: Scheduler>(
+pub fn run<P: Protocol, S: StateScheduler<P>>(
     protocol: &P,
     config: &mut Configuration<P>,
     scheduler: &mut S,
@@ -44,7 +44,7 @@ pub fn run<P: Protocol, S: Scheduler>(
         if running.is_empty() {
             break;
         }
-        let Some(pid) = scheduler.pick(&running, steps) else {
+        let Some(pid) = scheduler.pick_in(protocol, config, &running, steps) else {
             break;
         };
         let record = config.step(protocol, pid)?;

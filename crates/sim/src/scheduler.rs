@@ -1,12 +1,15 @@
 //! Schedulers — the paper's adversarial "scheduler picks a process that has
 //! not decided to take its next step" (Section 2), as pluggable strategies.
 
+use std::collections::HashMap;
 use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::ids::ProcessId;
+use crate::config::Configuration;
+use crate::ids::{ObjectId, ProcessId};
+use crate::protocol::Protocol;
 
 /// A strategy for choosing which running process takes the next step.
 ///
@@ -16,6 +19,101 @@ use crate::ids::ProcessId;
 pub trait Scheduler {
     /// Choose the next process to step, or `None` to stop the execution.
     fn pick(&mut self, running: &[ProcessId], step_index: usize) -> Option<ProcessId>;
+}
+
+/// A scheduler that may inspect the current configuration — the interface
+/// the paper's *adaptive* adversaries live behind (the Lemma 9 playbook
+/// chooses the next process by looking at what everyone is poised to do).
+///
+/// Every plain [`Scheduler`] is a `StateScheduler` that ignores the state
+/// (blanket impl), so [`crate::runner::run`] accepts both interchangeably.
+pub trait StateScheduler<P: Protocol> {
+    /// Choose the next process to step given full visibility of the
+    /// configuration, or `None` to stop the execution.
+    fn pick_in(
+        &mut self,
+        protocol: &P,
+        config: &Configuration<P>,
+        running: &[ProcessId],
+        step_index: usize,
+    ) -> Option<ProcessId>;
+}
+
+impl<P: Protocol, S: Scheduler> StateScheduler<P> for S {
+    fn pick_in(
+        &mut self,
+        _protocol: &P,
+        _config: &Configuration<P>,
+        running: &[ProcessId],
+        step_index: usize,
+    ) -> Option<ProcessId> {
+        self.pick(running, step_index)
+    }
+}
+
+/// The lap-lead-chasing adversary (Lemma 9 playbook): always schedule the
+/// process poised on the most recently overwritten object it did not
+/// overwrite itself.
+///
+/// Against racing algorithms this is the nastiest deterministic schedule
+/// short of an exhaustive search: every scheduled process is fed the
+/// freshest *foreign* value, so it observes a conflict (or a lap-counter
+/// merge) on every pass, laps keep growing, and nobody's lead ever reaches
+/// the decision margin — the livelock that obstruction-freedom explicitly
+/// tolerates, driven adaptively instead of by lockstep luck. Safety
+/// properties must hold under it; termination properties must not be
+/// claimed under it.
+///
+/// Deterministic: ties break toward the lowest process id, so failures
+/// replay.
+#[derive(Debug, Default)]
+pub struct LapLeadChasing {
+    /// Last process to apply a nontrivial operation to each object, with a
+    /// logical timestamp.
+    last_overwrite: HashMap<ObjectId, (ProcessId, usize)>,
+    /// Monotone operation counter (the timestamp source).
+    clock: usize,
+}
+
+impl LapLeadChasing {
+    /// A fresh chaser with no observed overwrites.
+    pub fn new() -> Self {
+        LapLeadChasing::default()
+    }
+}
+
+impl<P: Protocol> StateScheduler<P> for LapLeadChasing {
+    fn pick_in(
+        &mut self,
+        protocol: &P,
+        config: &Configuration<P>,
+        running: &[ProcessId],
+        _step_index: usize,
+    ) -> Option<ProcessId> {
+        let mut best: Option<(usize, ProcessId)> = None;
+        for &p in running {
+            let Some((obj, _)) = config.poised(protocol, p) else {
+                continue;
+            };
+            // Chase: prefer the process whose next operation lands on the
+            // object carrying the freshest foreign overwrite.
+            let score = match self.last_overwrite.get(&obj) {
+                Some(&(writer, at)) if writer != p => at + 1,
+                _ => 0,
+            };
+            if best.is_none_or(|(s, _)| score > s) {
+                best = Some((score, p));
+            }
+        }
+        let chosen = best.map(|(_, p)| p)?;
+        if let Some((obj, op)) = config.poised(protocol, chosen) {
+            if op.is_nontrivial() {
+                self.clock += 1;
+                self.last_overwrite.insert(obj, (chosen, self.clock));
+            }
+        }
+        Some(chosen)
+    }
 }
 
 /// Cycles through the running processes in id order.
@@ -286,6 +384,46 @@ mod tests {
         // Everyone crashed: scheduling stops.
         let mut s = CrashingRandom::new(vec![(ProcessId(0), 0), (ProcessId(1), 0)], 3);
         assert_eq!(s.pick(&running, 0), None);
+    }
+
+    #[test]
+    fn lap_lead_chaser_alternates_on_a_single_object() {
+        use crate::testing::TwoProcessSwapConsensus;
+        use crate::Configuration;
+        // One swap object: after p0's first swap, the chaser must hand the
+        // freshest foreign value to p1, then back — strict alternation.
+        let protocol = TwoProcessSwapConsensus;
+        let config = Configuration::initial(&protocol, &[0, 1]).unwrap();
+        let running = pids(&[0, 1]);
+        let mut s = LapLeadChasing::new();
+        let first = s.pick_in(&protocol, &config, &running, 0).unwrap();
+        assert_eq!(first, ProcessId(0), "ties break toward the lowest id");
+        let second = s.pick_in(&protocol, &config, &running, 1).unwrap();
+        assert_eq!(second, ProcessId(1), "chases p0's overwrite");
+        let third = s.pick_in(&protocol, &config, &running, 2).unwrap();
+        assert_eq!(third, ProcessId(0), "chases p1's overwrite back");
+    }
+
+    #[test]
+    fn lap_lead_chaser_is_deterministic_and_picks_running() {
+        use crate::testing::TwoProcessSwapConsensus;
+        use crate::Configuration;
+        let protocol = TwoProcessSwapConsensus;
+        let config = Configuration::initial(&protocol, &[0, 1]).unwrap();
+        let picks = || {
+            let mut s = LapLeadChasing::new();
+            (0..6)
+                .map(|i| {
+                    let p = s.pick_in(&protocol, &config, &pids(&[0, 1]), i).unwrap();
+                    assert!([ProcessId(0), ProcessId(1)].contains(&p));
+                    p
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(picks(), picks());
+        // Nobody running: the chaser stops.
+        let mut s = LapLeadChasing::new();
+        assert_eq!(s.pick_in(&protocol, &config, &[], 0), None);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
 
+use crate::canon::{Renaming, Symmetry};
 use crate::ids::{ObjectId, ProcessId};
 use crate::protocol::{Protocol, SimValue, Transition};
 use crate::task::KSetTask;
@@ -88,6 +89,30 @@ impl Protocol for TwoProcessSwapConsensus {
             TwoProcConsensusValue::Input(v) => Transition::Decide(v),
         }
     }
+
+    // Fully symmetric: the algorithm never inspects a process id, and values
+    // are only moved, never compared against constants (⊥ is not a value).
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(2).with_interchangeable_values()
+    }
+
+    fn rename_state(&self, state: &TwoProcState, renaming: &Renaming) -> TwoProcState {
+        TwoProcState {
+            input: renaming.value(state.input),
+        }
+    }
+
+    fn rename_value(
+        &self,
+        _obj: ObjectId,
+        value: &TwoProcConsensusValue,
+        renaming: &Renaming,
+    ) -> TwoProcConsensusValue {
+        match value {
+            TwoProcConsensusValue::Bot => TwoProcConsensusValue::Bot,
+            TwoProcConsensusValue::Input(v) => TwoProcConsensusValue::Input(renaming.value(*v)),
+        }
+    }
 }
 
 /// A deliberately broken "consensus" protocol: each process reads a shared
@@ -140,6 +165,19 @@ impl Protocol for SelfishConsensus {
 
     fn observe(&self, state: SelfishState, _response: Response<u64>) -> Transition<SelfishState> {
         Transition::Decide(state.input)
+    }
+
+    // Even a broken protocol can be symmetric: every process does the same
+    // (wrong) thing. The shared register holds the constant 0 — not an input
+    // value — so the default identity `rename_value` is correct.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(self.n).with_interchangeable_values()
+    }
+
+    fn rename_state(&self, state: &SelfishState, renaming: &Renaming) -> SelfishState {
+        SelfishState {
+            input: renaming.value(state.input),
+        }
     }
 }
 
