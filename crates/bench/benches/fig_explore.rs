@@ -31,9 +31,11 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing};
 use swapcons_bench::harness::render_series;
 use swapcons_core::SwapKSet;
-use swapcons_lower::section5::{lemma16_driver, Budgets};
+use swapcons_lower::lemma9::searched_solo_pressure;
+use swapcons_lower::section5::{lemma16_driver, searched_object_pressure, Budgets};
 use swapcons_sim::explore::{CheckReport, ModelChecker};
 use swapcons_sim::testing::TwoProcessSwapConsensus;
+use swapcons_sim::{engine, Configuration, ObjectId, ProcessId, Protocol};
 
 /// Best-of-3 wall clock (after one untimed warm-up) for `run`, which
 /// returns the number of states (or stages) it processed.
@@ -158,6 +160,103 @@ fn verify_reduction_consistency() {
             full.states, reduced.states
         );
     }
+    // The oracle half of the engine-parity sweep: both exploration clients
+    // now run on the same engine, so the gate covers both.
+    for (label, full, reduced) in swapcons_lower::table1::verify_oracle_parity() {
+        assert_eq!(
+            full.verdict(),
+            reduced.verdict(),
+            "oracle {label}: verdicts diverged: {full:?} vs {reduced:?}"
+        );
+        assert_eq!(
+            full.witnesses
+                .keys()
+                .collect::<std::collections::BTreeSet<_>>(),
+            reduced
+                .witnesses
+                .keys()
+                .collect::<std::collections::BTreeSet<_>>(),
+            "oracle {label}: witness-value sets diverged"
+        );
+        println!(
+            "oracle {label:<41} : verdict match ✓  ({} -> {} states, {})",
+            full.states,
+            reduced.states,
+            full.verdict()
+        );
+    }
+}
+
+/// Adversary synthesis — the engine's first genuinely new client. Each row
+/// searches for a worst-case schedule, asserts the domain invariant the
+/// extremum must respect, and prints the schedule itself: CI uploads this
+/// section as the `synthesized_schedules` build artifact, so the concrete
+/// worst cases are inspectable per commit alongside the throughput series.
+fn synthesized_schedules(points: &mut Vec<(f64, f64)>) {
+    println!("\n====== synthesized worst-case schedules (adversary synthesis) ======");
+    // Lap-maximizing livelock on Algorithm 1 at n=2: the searched analog of
+    // the hand-coded lap-lead chaser.
+    {
+        let p = SwapKSet::consensus(2, 2);
+        let objective = |proto: &SwapKSet, c: &Configuration<SwapKSet>| -> u64 {
+            if c.decisions_iter().flatten().next().is_some() {
+                return 0;
+            }
+            let local: u64 = (0..proto.num_processes())
+                .filter_map(|i| c.state(ProcessId(i)))
+                .map(|s| s.u.as_slice().iter().sum::<u64>())
+                .sum();
+            let shared: u64 = (0..proto.num_objects())
+                .map(|i| c.value(ObjectId(i)).laps.as_slice().iter().sum::<u64>())
+                .sum();
+            local + shared
+        };
+        // Capture the last run's report from inside the timed closure —
+        // the workload is deterministic, so re-running just for the report
+        // would waste a full search.
+        let mut last = None;
+        let (states, secs) = best_of_3(|| {
+            let report = engine::synthesize(&p, &[0, 1], 16, 200_000, objective);
+            assert!(report.complete);
+            assert!(report.config.decided_values().is_empty(), "livelock");
+            let states = report.states;
+            last = Some(report);
+            states
+        });
+        let report = last.expect("best_of_3 ran the closure");
+        println!(
+            "alg1 n=2 max-laps depth=16     : score {:>3} over {states:>6} states in {secs:>7.3}s ({:>9.0}/s) schedule {:?}",
+            report.best_score,
+            states as f64 / secs,
+            report.schedule
+        );
+        points.push((5.0, states as f64 / secs));
+    }
+    // Lemma 8 pressure on Algorithm 1 at n=3: the configuration needing the
+    // most solo steps to decide — must stay under the paper's 8(n-k).
+    {
+        let p = SwapKSet::consensus(3, 2);
+        let bound = p.solo_step_bound();
+        let report = searched_solo_pressure(&p, &[0, 1, 1], 8, 60_000, bound);
+        assert!(
+            report.best_score <= bound as u64,
+            "Lemma 8 violated: {report:?}"
+        );
+        println!(
+            "alg1 n=3 solo-pressure depth=8 : score {:>3} (Lemma 8 bound {bound}) over {:>6} states, schedule {:?}",
+            report.best_score, report.states, report.schedule
+        );
+    }
+    // Track pressure on the racing baseline: maximal undecided progress.
+    {
+        let p = BinaryRacing::with_track_len(3, 8);
+        let report = searched_object_pressure(&p, &[0, 1, 0], 12, 150_000);
+        assert!(report.config.decided_values().is_empty());
+        println!(
+            "binary_racing n=3 track-pressure depth=12 : score {:>3} over {:>6} states, schedule {:?}",
+            report.best_score, report.states, report.schedule
+        );
+    }
 }
 
 fn print_series() {
@@ -243,6 +342,8 @@ fn print_series() {
         );
         points.push((4.0, 1.0 / secs));
     }
+
+    synthesized_schedules(&mut points);
 
     println!(
         "\n{}",

@@ -470,6 +470,67 @@ mod tests {
     }
 
     #[test]
+    fn synthesized_adversary_reproduces_the_lap_lead_livelock() {
+        use swapcons_sim::engine;
+        use swapcons_sim::scheduler::{record_schedule, LapLeadChasing};
+        use swapcons_sim::ObjectId;
+        // The adversary-synthesis loop, pointed at Algorithm 1: maximize
+        // total laps (local counters + shared entries) over configurations
+        // where NOBODY has decided — the livelock region the hand-coded
+        // lap-lead chaser lives in. The searched extremal schedule is not
+        // hand-coded: it falls out of an exhaustive best-first search.
+        let p = SwapKSet::consensus(2, 2);
+        let inputs = [0u64, 1];
+        let depth = 16;
+        let objective = |proto: &SwapKSet, c: &swapcons_sim::Configuration<SwapKSet>| -> u64 {
+            if c.decisions_iter().flatten().next().is_some() {
+                return 0;
+            }
+            let local: u64 = (0..proto.num_processes())
+                .filter_map(|i| c.state(ProcessId(i)))
+                .map(|s| s.u.as_slice().iter().sum::<u64>())
+                .sum();
+            let shared: u64 = (0..proto.num_objects())
+                .map(|i| c.value(ObjectId(i)).laps.as_slice().iter().sum::<u64>())
+                .sum();
+            local + shared
+        };
+        let report = engine::synthesize(&p, &inputs, depth, 200_000, objective);
+        assert!(report.complete, "the depth-16 region fits the budgets");
+        // Livelock, searched: laps grew well past the initial configuration
+        // (objective 2 there) yet nobody decided.
+        assert!(report.config.decided_values().is_empty());
+        assert!(report.best_score > 2, "laps must grow: {report:?}");
+        assert!(!report.schedule.is_empty());
+        // The witness replays from the initial configuration.
+        let initial = Configuration::initial(&p, &inputs).unwrap();
+        let mut replay = initial.clone();
+        runner::replay(&p, &mut replay, &report.schedule).unwrap();
+        assert_eq!(replay, report.config, "extremal schedule replays");
+        // The searched schedule is at least as adversarial as the
+        // hand-coded chaser over the same horizon: the search space
+        // includes every schedule the chaser could emit, so its maximum
+        // dominates the chaser's endpoint.
+        let (chaser_schedule, chaser_world) =
+            record_schedule(&p, &initial, &mut LapLeadChasing::new(), depth);
+        assert_eq!(chaser_schedule.len(), depth, "the chaser never decides");
+        assert!(
+            report.best_score >= objective(&p, &chaser_world),
+            "searched {} must dominate the hand-coded chaser's {}",
+            report.best_score,
+            objective(&p, &chaser_world)
+        );
+        // Obstruction-freedom recovers from the extremal configuration the
+        // moment the adversary stops.
+        let mut rec = report.config.clone();
+        for pid in rec.running() {
+            runner::solo_run(&p, &mut rec, pid, p.solo_step_bound()).unwrap();
+        }
+        assert!(rec.all_decided());
+        assert_eq!(rec.decided_values().len(), 1, "agreement after livelock");
+    }
+
+    #[test]
     fn observation2_complete_lap_requires_total_configuration() {
         // Drive p0 solo until it is about to complete a lap; every object
         // must then contain ⟨U, p0⟩ — the ⟨V,p⟩-total configuration of

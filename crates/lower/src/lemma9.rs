@@ -36,7 +36,8 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use swapcons_sim::{Configuration, ObjectId, ProcessId, Protocol};
+use swapcons_sim::engine;
+use swapcons_sim::{Configuration, ObjectId, ProcessId, Protocol, SynthesisReport};
 
 /// Outcome of a successful Lemma 9 construction.
 #[derive(Clone, Debug)]
@@ -236,6 +237,47 @@ pub fn run<P: Protocol>(
     })
 }
 
+/// Adversary *synthesis* over the Lemma 8 landscape: search all schedules
+/// (up to `depth` steps and `max_states` configurations) for the reachable
+/// configuration from which some running process needs the **most** solo
+/// steps to decide, and return that schedule as a replayable witness.
+///
+/// This is the companion worst-case to the hand-built adversaries in this
+/// module: where [`run`] *constructs* a specific bad schedule the proof
+/// describes, this searches the whole bounded schedule space for the
+/// extremal one. For Algorithm 1 the paper's Lemma 8 caps the objective at
+/// `8(n-k)` from *every* reachable configuration — so the searched maximum
+/// is a machine-checked probe of that bound over the explored region (the
+/// tests pin `best_score ≤ 8(n-k)`).
+///
+/// A process whose solo run exhausts `solo_budget` scores `solo_budget + 1`
+/// — strictly worse than any in-budget run, so obstruction-freedom
+/// violations (were any reachable) would dominate the search and surface
+/// as the extremum.
+///
+/// # Panics
+///
+/// Panics if `inputs` are invalid for the protocol's task.
+pub fn searched_solo_pressure<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    depth: usize,
+    max_states: usize,
+    solo_budget: usize,
+) -> SynthesisReport<P> {
+    engine::synthesize(protocol, inputs, depth, max_states, |p, c| {
+        c.running()
+            .into_iter()
+            .map(|pid| {
+                swapcons_sim::runner::solo_run_cloned(p, c, pid, solo_budget)
+                    .map(|(out, _)| out.steps as u64)
+                    .unwrap_or(solo_budget as u64 + 1)
+            })
+            .max()
+            .unwrap_or(0)
+    })
+}
+
 /// The Theorem 10 base case (`k = 1`), packaged: for an n-process consensus
 /// protocol from swap objects, build `C` (process `p₀` with input 0, the
 /// rest with input 1), run `α` = `p₀`'s solo-terminating execution (it
@@ -319,6 +361,56 @@ mod tests {
             let report = run(&p, &c_alpha, &q, k as u64, 4).unwrap();
             assert_eq!(report.forced_objects.len(), k, "k={k}");
         }
+    }
+
+    #[test]
+    fn searched_solo_pressure_respects_lemma8_and_replays() {
+        // Machine-search the worst case of Lemma 8's 8(n-k) solo bound over
+        // a bounded region of Algorithm 1's schedule space.
+        let p = SwapKSet::consensus(3, 2);
+        let inputs = [0u64, 1, 1];
+        let bound = p.solo_step_bound();
+        let report = lemma9_pressure(&p, &inputs, bound);
+        assert!(report.complete, "budgets must cover the depth-8 region");
+        // Lemma 8, searched: no reachable configuration in the region
+        // needs more than 8(n-k) solo steps (a score of bound+1 would mean
+        // an exhausted budget, i.e. an obstruction-freedom violation).
+        assert!(
+            report.best_score <= bound as u64,
+            "searched worst case {} exceeds Lemma 8's bound {bound}",
+            report.best_score
+        );
+        // The adversary found genuinely worse configurations than the
+        // initial one (where a solo run needs 4 steps at n=3).
+        let initial = Configuration::initial(&p, &inputs).unwrap();
+        let from_initial = (0..3)
+            .map(|i| {
+                runner::solo_run_cloned(&p, &initial, ProcessId(i), bound)
+                    .unwrap()
+                    .0
+                    .steps as u64
+            })
+            .max()
+            .unwrap();
+        assert!(
+            report.best_score > from_initial,
+            "searched pressure {} must beat the initial configuration's {from_initial}",
+            report.best_score
+        );
+        // The extremal schedule is a real, replayable witness.
+        let mut replay = initial.clone();
+        runner::replay(&p, &mut replay, &report.schedule).unwrap();
+        assert_eq!(replay, report.config, "witness replays to the extremum");
+    }
+
+    /// The pressure search at the budgets the unit tests and the bench
+    /// smoke share.
+    fn lemma9_pressure(
+        p: &SwapKSet,
+        inputs: &[u64],
+        solo_budget: usize,
+    ) -> swapcons_sim::SynthesisReport<SwapKSet> {
+        searched_solo_pressure(p, inputs, 8, 60_000, solo_budget)
     }
 
     #[test]

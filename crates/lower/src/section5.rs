@@ -39,7 +39,9 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 
 use swapcons_sim::search::VisitedSet;
-use swapcons_sim::{Configuration, ObjectId, ProcessId, Protocol, SimValue, StepRecord};
+use swapcons_sim::{
+    engine, Configuration, ObjectId, ProcessId, Protocol, SimValue, StepRecord, SynthesisReport,
+};
 
 use crate::lemma13::{self, block_update};
 use crate::valency::{Valency, ValencyOracle};
@@ -398,6 +400,38 @@ pub fn verify_lemma14b<P: Protocol>(
         }
     }
     (checked, violations)
+}
+
+/// Adversary synthesis for the Section 5 racing regime: search all
+/// schedules (up to `depth` steps and `max_states` configurations) for the
+/// configuration maximizing the total value mass swapped into the shared
+/// objects **while nobody has decided** — for the monotone-track protocols
+/// (`BinaryRacing`-style, `Value = u64`) that is exactly the total track
+/// progress of the livelocked race, the analog of Algorithm 1's lap totals.
+///
+/// Returns the extremal schedule as a replayable witness
+/// ([`SynthesisReport::schedule`]). Configurations with any decision score
+/// zero, so the search optimizes strictly inside the contended
+/// (bivalence-compatible) region the Section 5 adversaries live in.
+///
+/// # Panics
+///
+/// Panics if `inputs` are invalid for the protocol's task.
+pub fn searched_object_pressure<P>(
+    protocol: &P,
+    inputs: &[u64],
+    depth: usize,
+    max_states: usize,
+) -> SynthesisReport<P>
+where
+    P: Protocol<Value = u64>,
+{
+    engine::synthesize(protocol, inputs, depth, max_states, |_, c| {
+        if c.decisions_iter().flatten().next().is_some() {
+            return 0;
+        }
+        c.object_values().iter().sum()
+    })
 }
 
 /// Whether the recorded step `rec` would change its object's value (the
@@ -759,6 +793,41 @@ mod tests {
         let stage = &report.stages[0];
         assert_eq!(stage.process, ProcessId(2));
         assert!(stage.value <= 1, "binary domain value");
+    }
+
+    #[test]
+    fn searched_object_pressure_finds_a_contended_witness() {
+        // The racing-pressure synthesis on BinaryRacing: the searched
+        // schedule advances track cells (3 steps per advance: two frontier
+        // scans + a swap) without letting anyone decide.
+        let p = BinaryRacing::with_track_len(3, 8);
+        let inputs = [0u64, 1, 0];
+        let report = searched_object_pressure(&p, &inputs, 12, 150_000);
+        assert!(report.complete, "budgets must cover the depth-12 region");
+        assert!(
+            report.best_score >= 2,
+            "depth 12 admits at least two advances: {report:?}"
+        );
+        assert!(
+            report.config.decided_values().is_empty(),
+            "pressure is only scored in undecided configurations"
+        );
+        // The witness replays, and the objective recomputes on the replay.
+        let mut replay = swapcons_sim::Configuration::initial(&p, &inputs).unwrap();
+        swapcons_sim::runner::replay(&p, &mut replay, &report.schedule).unwrap();
+        assert_eq!(replay, report.config);
+        assert_eq!(
+            replay.object_values().iter().sum::<u64>(),
+            report.best_score
+        );
+        // Obstruction-freedom holds even at maximal pressure: everyone
+        // decides once left alone, and safety survives the whole episode.
+        let mut rec = report.config.clone();
+        for pid in rec.running() {
+            swapcons_sim::runner::solo_run(&p, &mut rec, pid, p.solo_step_bound()).unwrap();
+        }
+        assert!(rec.all_decided());
+        assert!(p.task().check(&inputs, &rec.decisions()).is_ok());
     }
 
     #[test]

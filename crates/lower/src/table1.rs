@@ -22,6 +22,7 @@ use swapcons_sim::explore::{CheckReport, ModelChecker};
 use swapcons_sim::Protocol;
 
 use crate::bounds::Table1Row;
+use crate::valency::{ValencyOracle, ValencyResult};
 
 /// One evaluated cell of the regenerated Table 1.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -246,6 +247,64 @@ pub fn verify_witnesses() -> Vec<(Table1Row, CheckReport, CheckReport)> {
     out
 }
 
+/// The oracle half of the engine-parity sweep: run [`ValencyOracle`]
+/// queries — full and symmetry-reduced — over representative fixtures
+/// (the wait-free pairs construction, Algorithm 1 after a commitment,
+/// the racing baseline's bivalent start), returning
+/// `(label, full result, reduced result)` triples. The bench harness and
+/// CI smoke assert verdicts and witness-value sets agree for every row, so
+/// a regression in the shared search core's oracle client (or a broken
+/// symmetry declaration) fails the build, not just unit tests.
+pub fn verify_oracle_parity() -> Vec<(String, ValencyResult, ValencyResult)> {
+    use swapcons_sim::{Configuration, ProcessId};
+    let mut out = Vec::new();
+    {
+        // Finite group-only space, no bivalence early-exit: {p1, p3} are
+        // partners in different pairs whose other halves never move, so
+        // both can only decide their common input — the whole (tiny) space
+        // is enumerated and both searches must report it exhaustively.
+        let p = PairsKSet::new(4, 2, 3);
+        let c = Configuration::initial(&p, &[0, 1, 2, 1]).unwrap();
+        let group = [ProcessId(1), ProcessId(3)];
+        let oracle = ValencyOracle::new(20, 30_000);
+        out.push((
+            "pairs_kset n=4 {p1,p3}".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
+    {
+        // Algorithm 1 after p0 commits: agreement forces univalence toward
+        // p0's value in the (depth-bounded) remainder.
+        let p = SwapKSet::consensus(3, 2);
+        let mut c = Configuration::initial(&p, &[1, 0, 0]).unwrap();
+        swapcons_sim::runner::solo_run(&p, &mut c, ProcessId(0), p.solo_step_bound()).unwrap();
+        let group = [ProcessId(1), ProcessId(2)];
+        // The post-commitment {p1,p2} space is finite (agreement pins the
+        // race); depth 60 closes it in both modes, so the verdicts are the
+        // definitive `Univalent(1)` rather than a truncation artifact.
+        let oracle = ValencyOracle::new(60, 150_000);
+        out.push((
+            "alg1 n=3 post-commit {p1,p2}".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
+    {
+        // Observation 12: the special pair is bivalent initially.
+        let p = BinaryRacing::with_track_len(4, 10);
+        let c = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let oracle = ValencyOracle::new(60, 60_000);
+        out.push((
+            "binary_racing n=4 {q0,q1}".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
+    out
+}
+
 /// Cross-validation: no implementation in this repository may use fewer
 /// objects than the paper's lower bound for its row. Returns the offending
 /// entries (empty = all consistent).
@@ -332,6 +391,31 @@ mod tests {
             assert!(
                 reduced.states <= full.states,
                 "{row}: reduction may never explore more: {full} vs {reduced}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_parity_reduced_matches_full() {
+        for (label, full, reduced) in verify_oracle_parity() {
+            assert_eq!(
+                full.verdict(),
+                reduced.verdict(),
+                "{label}: verdicts diverged: {full:?} vs {reduced:?}"
+            );
+            assert_eq!(
+                full.witnesses
+                    .keys()
+                    .collect::<std::collections::BTreeSet<_>>(),
+                reduced
+                    .witnesses
+                    .keys()
+                    .collect::<std::collections::BTreeSet<_>>(),
+                "{label}: witness-value sets diverged"
+            );
+            assert!(
+                reduced.states <= full.states,
+                "{label}: reduction may never explore more: {full:?} vs {reduced:?}"
             );
         }
     }

@@ -22,8 +22,11 @@ use std::collections::HashSet;
 use std::fmt;
 
 use swapcons_sim::canon::DedupSet;
-use swapcons_sim::search::{NodeId, ScheduleArena};
-use swapcons_sim::{Canonicalizer, Configuration, ProcessId, Protocol};
+use swapcons_sim::engine::{
+    Budget, Control, EdgeCtx, Engine, GroupRestricted, Lifo, NodeCtx, Visitor,
+};
+use swapcons_sim::search::ScheduleArena;
+use swapcons_sim::{Canonicalizer, Configuration, ProcessId, Protocol, SimError};
 
 /// Three-valued valency verdict for a process group.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -149,12 +152,16 @@ impl ValencyOracle {
                 states: 0,
             };
         }
-        // Fingerprint-keyed visited set + parent-pointer schedule arena:
-        // witness schedules are materialized only when a decision is first
-        // seen, never cloned into stack frames. Under reduction, membership
-        // is per symmetry orbit — restricted to renamings with σ = id that
-        // stabilize the group, so "some group member decides v" transfers
-        // verbatim between orbit-equal configurations.
+        // The shared search core ([`swapcons_sim::engine`]) owns the loop:
+        // fingerprint-keyed discovery-time dedup, parent-pointer schedule
+        // arena (witness schedules are materialized only when a decision is
+        // first seen, never cloned into stack frames), scratch children
+        // with delta-restore, and the checker's exact budget discipline —
+        // a search that drains exactly at `max_states` without skipping
+        // anything still reports `exhaustive == true`. Under reduction,
+        // membership is per symmetry orbit — restricted to renamings with
+        // σ = id that stabilize the group, so "some group member decides v"
+        // transfers verbatim between orbit-equal configurations.
         let capacity = self.max_states.min(1 << 14);
         let mut visited: DedupSet<P> = if self.reduce {
             let mut canon = Canonicalizer::for_inputs(protocol, config.inputs());
@@ -164,74 +171,68 @@ impl ValencyOracle {
             DedupSet::exact(capacity)
         };
         let mut arena = ScheduleArena::new();
-        let mut exhaustive = true;
-        // Membership is decided at discovery time: each configuration is
-        // fingerprinted once and the stack never holds duplicates. Candidate
-        // children are generated on a recycled scratch configuration and
-        // delta-restored when they turn out to be duplicates, so rejected
-        // children cost O(1) element writes.
-        visited.insert(protocol, config);
-        let mut child_scratch: Option<Configuration<P>> = None;
-        let mut stack: Vec<(Configuration<P>, NodeId)> =
-            vec![(config.clone(), ScheduleArena::ROOT)];
-        while let Some((c, node)) = stack.pop() {
-            if witnesses.len() >= 2 {
-                // Bivalence established; whatever remains unexplored cannot
-                // change the verdict.
-                return ValencyResult {
-                    witnesses,
-                    exhaustive: false,
-                    states: visited.len(),
-                };
+        /// The oracle's strategy: collect decided values per generated edge
+        /// (even edges to already-known configurations), stop the moment
+        /// bivalence is established — whatever remains unexplored cannot
+        /// change the verdict — and treat schema rejections as skipped
+        /// (hence incomplete) work rather than aborting.
+        struct OracleVisitor<'a> {
+            witnesses: &'a mut HashMap<u64, Vec<ProcessId>>,
+        }
+        impl<P: Protocol> Visitor<P> for OracleVisitor<'_> {
+            fn enter(
+                &mut self,
+                _protocol: &P,
+                _config: &Configuration<P>,
+                _ctx: &NodeCtx<'_>,
+                _candidates: &[ProcessId],
+            ) -> Control {
+                if self.witnesses.len() >= 2 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
             }
-            if visited.len() > self.max_states || arena.depth(node) >= self.max_depth {
-                exhaustive = false;
-                continue;
+
+            fn edge(
+                &mut self,
+                _protocol: &P,
+                _child: &Configuration<P>,
+                decided: Option<u64>,
+                _is_new: bool,
+                ctx: &mut EdgeCtx<'_>,
+            ) -> Control {
+                if let Some(v) = decided {
+                    self.witnesses.entry(v).or_insert_with(|| ctx.schedule());
+                }
+                Control::Continue
             }
-            let mut scratch_synced = false;
-            for &pid in group {
-                if c.decision(pid).is_some() {
-                    continue;
-                }
-                let child = match &mut child_scratch {
-                    Some(s) => s,
-                    None => child_scratch.insert(c.clone()),
-                };
-                if !scratch_synced {
-                    child.clone_state_from(&c);
-                }
-                scratch_synced = true;
-                // A schema rejection mutates nothing, so the scratch stays
-                // synced with `c` on the error path.
-                let (decided, undo) = match child.step_quiet_undoable(protocol, pid) {
-                    Ok(stepped) => stepped,
-                    Err(_) => {
-                        exhaustive = false;
-                        continue;
-                    }
-                };
-                // Witnesses are recorded for every generated edge (even one
-                // leading to an already-known configuration), as before.
-                let is_new = visited.insert(protocol, child);
-                if decided.is_some() || is_new {
-                    let child_node = arena.child(node, pid);
-                    if let Some(v) = decided {
-                        witnesses
-                            .entry(v)
-                            .or_insert_with(|| arena.schedule(child_node));
-                    }
-                    if is_new {
-                        stack.push((child.clone(), child_node));
-                        scratch_synced = false;
-                        continue;
-                    }
-                }
-                child.undo_step(undo);
+
+            fn step_error(
+                &mut self,
+                _protocol: &P,
+                _error: SimError,
+                _ctx: &mut EdgeCtx<'_>,
+            ) -> Control {
+                Control::Continue
             }
         }
+        let stats = Engine::new(Budget::new(self.max_depth, self.max_states)).run(
+            protocol,
+            config.clone(),
+            &mut visited,
+            &mut arena,
+            &mut GroupRestricted(group),
+            &mut Lifo::new(),
+            &mut OracleVisitor {
+                witnesses: &mut witnesses,
+            },
+        );
         ValencyResult {
             witnesses,
-            exhaustive,
+            // A bivalence early-exit leaves the rest of the space
+            // unexplored by design; it is never an exhaustiveness claim.
+            exhaustive: stats.complete() && !stats.stopped,
             states: visited.len(),
         }
     }
@@ -367,6 +368,37 @@ mod tests {
         let oracle = ValencyOracle::new(60, 60_000).with_symmetry_reduction();
         let result = oracle.query(&p, &c, &[ProcessId(0), ProcessId(1)]);
         assert_eq!(result.verdict(), Valency::Bivalent, "{result:?}");
+    }
+
+    #[test]
+    fn exact_state_budget_is_still_exhaustive() {
+        // The budget-accounting drift fix, pinned: the oracle used to
+        // account at pop time (`visited.len() > max_states`), which both
+        // overshot the budget and could call an exactly-budget-sized space
+        // truncated. On the shared engine it uses the checker's
+        // discovery-time discipline.
+        let p = swapcons_sim::testing::TwoProcessSwapConsensus;
+        let c = Configuration::initial(&p, &[0, 1]).unwrap();
+        let group = [ProcessId(0)];
+        // p0-only executions: the initial configuration and the one where
+        // p0 swapped and decided — a finite, 2-state space.
+        let full = ValencyOracle::new(10, 10_000).query(&p, &c, &group);
+        assert!(full.exhaustive, "{full:?}");
+        assert_eq!(full.verdict(), Valency::Univalent(0));
+        // A budget of exactly the space size drains without skipping
+        // anything: still exhaustive.
+        let exact = ValencyOracle::new(10, full.states).query(&p, &c, &group);
+        assert!(
+            exact.exhaustive,
+            "cut exactly at max_states must stay exhaustive: {exact:?}"
+        );
+        assert_eq!(exact.states, full.states);
+        // One state fewer genuinely truncates — and the budget is actually
+        // enforced (the pop-time discipline used to overshoot it).
+        let under = ValencyOracle::new(10, full.states - 1).query(&p, &c, &group);
+        assert!(!under.exhaustive, "{under:?}");
+        assert!(under.states < full.states);
+        assert_eq!(under.verdict(), Valency::Unknown);
     }
 
     #[test]

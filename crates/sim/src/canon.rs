@@ -496,6 +496,18 @@ fn normalize_first_occurrence(v: &mut [u64]) {
     }
 }
 
+/// Per-renaming lookup tables for the incremental orbit-fingerprint path:
+/// the *inverse* process and object permutations, so an image's fingerprint
+/// can be computed by walking destination slots in order — no renamed
+/// configuration is ever materialized on the hot path.
+#[derive(Clone, Debug)]
+struct RenamingTables {
+    /// `inv_pid[d]` is the source process whose status lands in slot `d`.
+    inv_pid: Vec<usize>,
+    /// `inv_obj[d]` is the source object whose value lands in slot `d`.
+    inv_obj: Vec<usize>,
+}
+
 /// A visited set over symmetry *orbits* with an exact-fallback discipline.
 ///
 /// Keys are the minimum fingerprint over a configuration's orbit (an orbit
@@ -503,14 +515,28 @@ fn normalize_first_occurrence(v: &mut [u64]) {
 /// exactly as with [`VisitedSet`] — exactness never depends on fingerprint
 /// quality. Stored representatives are cheap copy-on-write clones of the
 /// *real* configurations the search visited.
+///
+/// # Incremental orbit fingerprints
+///
+/// The orbit key is computed without materializing the orbit: per-renaming
+/// inverse permutation tables (built once, on first probe) let each image's
+/// fingerprint be rolled up slot by slot in destination order, renaming one
+/// element at a time — bit-identical to materializing the image and
+/// fingerprinting it (pinned by a parity test), at zero allocations.
+/// Renamed twins are materialized only inside the exact fallback of a
+/// *bucket hit* (a duplicate probe or a genuine collision), one renaming at
+/// a time with early exit.
 pub struct CanonicalVisitedSet<P: Protocol> {
     renamings: Vec<Renaming>,
+    /// Inverse-permutation tables, one per renaming; built lazily on the
+    /// first probe (the object permutation needs the protocol, which `new`
+    /// does not see). `OnceCell` keeps probes `&self`.
+    tables: std::cell::OnceCell<Vec<RenamingTables>>,
     buckets: PrehashedMap<Vec<Configuration<P>>>,
     len: usize,
     mask: u64,
     compaction: bool,
     fallback_comparisons: usize,
-    orbit_scratch: Vec<Configuration<P>>,
 }
 
 impl<P: Protocol> CanonicalVisitedSet<P> {
@@ -518,12 +544,12 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
     pub fn new(canon: Canonicalizer) -> Self {
         CanonicalVisitedSet {
             renamings: canon.renamings,
+            tables: std::cell::OnceCell::new(),
             buckets: PrehashedMap::default(),
             len: 0,
             mask: u64::MAX,
             compaction: false,
             fallback_comparisons: 0,
-            orbit_scratch: Vec::new(),
         }
     }
 
@@ -556,46 +582,110 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         self.renamings.len() + 1
     }
 
-    /// Materialize `config`'s non-identity orbit into `orbit` (cleared
-    /// first) and return the orbit's bucket key: the minimum fingerprint
-    /// across the whole orbit, masked. Shared by [`Self::insert`] (which
-    /// reuses a scratch vector) and [`Self::contains`] (rare path, local
-    /// vector).
-    fn orbit_key(
-        &self,
+    /// The inverse-permutation tables, built on first use. The object
+    /// permutation (and hence the tables) depends only on the protocol and
+    /// the group, both fixed for the lifetime of a set.
+    fn tables(&self, protocol: &P, config: &Configuration<P>) -> &[RenamingTables] {
+        self.tables.get_or_init(|| {
+            let n = config.num_processes();
+            let b = config.num_objects();
+            self.renamings
+                .iter()
+                .map(|g| {
+                    let mut inv_pid = vec![usize::MAX; n];
+                    for i in 0..n {
+                        inv_pid[g.pid(ProcessId(i)).index()] = i;
+                    }
+                    let mut inv_obj = vec![usize::MAX; b];
+                    for i in 0..b {
+                        inv_obj[protocol.rename_object(ObjectId(i), g).index()] = i;
+                    }
+                    debug_assert!(
+                        inv_pid
+                            .iter()
+                            .chain(inv_obj.iter())
+                            .all(|&i| i != usize::MAX),
+                        "renaming is not a permutation"
+                    );
+                    RenamingTables { inv_pid, inv_obj }
+                })
+                .collect()
+        })
+    }
+
+    /// Fingerprint of the image `g · config`, rolled up slot by slot in
+    /// destination order — **bit-identical** to
+    /// `apply_renaming(protocol, g, config).fingerprint()` (the parity is
+    /// pinned by `orbit_fingerprints_match_materialized_images`), but with
+    /// no configuration materialized and no allocation.
+    fn image_fingerprint(
         protocol: &P,
         config: &Configuration<P>,
-        orbit: &mut Vec<Configuration<P>>,
+        g: &Renaming,
+        tables: &RenamingTables,
     ) -> u64 {
-        orbit.clear();
+        use std::hash::{Hash, Hasher};
+        let mut h = fxhash::FxHasher::default();
+        // Mirror `Configuration::fingerprint`: the object slice (length
+        // prefix, then elements in slot order), then the process slice.
+        let b = config.num_objects();
+        h.write_usize(b);
+        for dst in 0..b {
+            let src = ObjectId(tables.inv_obj[dst]);
+            protocol
+                .rename_value(src, config.value(src), g)
+                .hash(&mut h);
+        }
+        let n = config.num_processes();
+        h.write_usize(n);
+        for dst in 0..n {
+            let src = ProcessId(tables.inv_pid[dst]);
+            match config.status(src) {
+                ProcStatus::Running(s) => {
+                    ProcStatus::Running(protocol.rename_state(s, g)).hash(&mut h)
+                }
+                ProcStatus::Decided(v) => ProcStatus::<P::State>::Decided(g.value(*v)).hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
+    /// The orbit's bucket key: the minimum fingerprint across the whole
+    /// orbit (an orbit invariant), masked. No image is materialized.
+    fn orbit_key(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        let tables = self.tables(protocol, config);
         let mut key = config.fingerprint();
-        for g in &self.renamings {
-            let image = apply_renaming(protocol, g, config);
-            key = key.min(image.fingerprint());
-            orbit.push(image);
+        for (g, t) in self.renamings.iter().zip(tables) {
+            key = key.min(Self::image_fingerprint(protocol, config, g, t));
         }
         key & self.mask
     }
 
-    /// Whether any member of the orbit (`config` itself or a materialized
-    /// image) equals a stored representative in `bucket`.
+    /// Whether any member of `config`'s orbit equals a stored
+    /// representative in `bucket` — the exact fallback, reached only on a
+    /// bucket hit. Images are materialized lazily, one renaming at a time,
+    /// with early exit on the first match.
     fn orbit_hits_bucket(
+        &self,
+        protocol: &P,
         bucket: &[Configuration<P>],
         config: &Configuration<P>,
-        orbit: &[Configuration<P>],
     ) -> bool {
-        bucket
-            .iter()
-            .any(|stored| stored == config || orbit.iter().any(|img| img == stored))
+        if bucket.iter().any(|stored| stored == config) {
+            return true;
+        }
+        self.renamings.iter().any(|g| {
+            let image = apply_renaming(protocol, g, config);
+            bucket.contains(&image)
+        })
     }
 
     /// Insert `config`'s orbit, returning `true` if no member of the orbit
     /// was already present.
     pub fn insert(&mut self, protocol: &P, config: &Configuration<P>) -> bool {
         use std::collections::hash_map::Entry;
-        let mut orbit = std::mem::take(&mut self.orbit_scratch);
-        let key = self.orbit_key(protocol, config, &mut orbit);
-        let fresh = match self.buckets.entry(key) {
+        let key = self.orbit_key(protocol, config);
+        match self.buckets.entry(key) {
             Entry::Vacant(slot) => {
                 slot.insert(if self.compaction {
                     Vec::new()
@@ -607,34 +697,35 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
             }
             Entry::Occupied(mut slot) => {
                 if self.compaction {
+                    return false;
+                }
+                // Detach the bucket so the fallback can borrow `self`
+                // immutably; bucket hits are rare enough that the move is
+                // free in practice (the vector's storage moves, not its
+                // elements).
+                let mut bucket = std::mem::take(slot.get_mut());
+                self.fallback_comparisons += bucket.len();
+                let fresh = if self.orbit_hits_bucket(protocol, &bucket, config) {
                     false
                 } else {
-                    let bucket = slot.get_mut();
-                    self.fallback_comparisons += bucket.len();
-                    if Self::orbit_hits_bucket(bucket, config, &orbit) {
-                        false
-                    } else {
-                        bucket.push(config.clone());
-                        self.len += 1;
-                        true
-                    }
-                }
+                    bucket.push(config.clone());
+                    self.len += 1;
+                    true
+                };
+                *self.buckets.get_mut(&key).expect("bucket exists") = bucket;
+                fresh
             }
-        };
-        self.orbit_scratch = orbit;
-        fresh
+        }
     }
 
     /// Whether some member of `config`'s orbit is present. (A rare-path
     /// probe — the engines call it only once a budget is exhausted — so it
-    /// materializes the orbit into a local vector and does not contribute
-    /// to [`Self::fallback_comparisons`], which counts insert probes.)
+    /// does not contribute to [`Self::fallback_comparisons`], which counts
+    /// insert probes.)
     pub fn contains(&self, protocol: &P, config: &Configuration<P>) -> bool {
-        let mut orbit = Vec::new();
-        let key = self.orbit_key(protocol, config, &mut orbit);
-        match self.buckets.get(&key) {
+        match self.buckets.get(&self.orbit_key(protocol, config)) {
             None => false,
-            Some(bucket) => self.compaction || Self::orbit_hits_bucket(bucket, config, &orbit),
+            Some(bucket) => self.compaction || self.orbit_hits_bucket(protocol, bucket, config),
         }
     }
 
@@ -875,6 +966,48 @@ mod tests {
         assert!(!set.insert(&TwoProcessSwapConsensus, &b), "same orbit");
         assert_eq!(set.len(), 1);
         assert!(set.contains(&TwoProcessSwapConsensus, &b));
+    }
+
+    #[test]
+    fn orbit_fingerprints_match_materialized_images() {
+        // The incremental orbit-fingerprint path must agree bit for bit
+        // with materializing the renamed twin and fingerprinting it —
+        // otherwise min-over-orbit is not an orbit invariant and the
+        // reduced sets would silently stop deduplicating twins.
+        use rand::{Rng, SeedableRng};
+        let protocol = TwoProcessSwapConsensus;
+        for inputs in [[0u64, 1], [5, 5], [3, 9]] {
+            let set = CanonicalVisitedSet::new(Canonicalizer::for_inputs(&protocol, &inputs));
+            let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+            let mut config = init(&inputs);
+            let mut running = Vec::new();
+            loop {
+                let tables = set.tables(&protocol, &config);
+                for (g, t) in set.renamings.iter().zip(tables) {
+                    let materialized = apply_renaming(&protocol, g, &config);
+                    assert_eq!(
+                        CanonicalVisitedSet::image_fingerprint(&protocol, &config, g, t),
+                        materialized.fingerprint(),
+                        "inputs {inputs:?}, renaming {g:?}"
+                    );
+                }
+                // The key itself is an orbit invariant: every member of the
+                // orbit maps to the same bucket.
+                for g in &set.renamings {
+                    let image = apply_renaming(&protocol, g, &config);
+                    assert_eq!(
+                        set.orbit_key(&protocol, &config),
+                        set.orbit_key(&protocol, &image)
+                    );
+                }
+                config.running_into(&mut running);
+                if running.is_empty() {
+                    break;
+                }
+                let p = running[rng.gen_range(0..running.len())];
+                config.step_quiet(&protocol, p).unwrap();
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,1058 @@
+//! The strategy-driven search core shared by every exhaustive exploration
+//! in the workspace.
+//!
+//! [`ModelChecker`](crate::explore::ModelChecker) and the lower-bound
+//! valency oracle used to be near-duplicate hand-rolled DFS loops; every
+//! hot-path lever (copy-on-write scratch children, delta-restore, the
+//! schedule arena, symmetry-reduced dedup, budget accounting) had to land
+//! twice and their cutoff disciplines drifted. This module owns that loop
+//! once. [`Engine::run`] walks the configuration graph of a protocol,
+//! deduplicating at **discovery time** through a [`DedupSet`] (exact,
+//! symmetry-reduced, or opt-in hash-compacted), recording one
+//! [`ScheduleArena`] node per kept edge, generating candidate children on a
+//! recycled scratch configuration with
+//! [`step_quiet_undoable`](crate::Configuration::step_quiet_undoable) /
+//! [`undo_step`](crate::Configuration::undo_step) delta-restore, and
+//! enforcing exact depth/state/frontier budgets with a uniform
+//! completeness verdict ([`SearchStats::complete`]).
+//!
+//! The engine is parameterized by three strategies:
+//!
+//! * an **expansion policy** ([`Expansion`]) — which processes may step
+//!   from a node: [`AllRunning`] for the model checker, [`GroupRestricted`]
+//!   for the valency oracle, [`PrunedExpansion`] for scheduler-guided
+//!   adversary searches;
+//! * a **frontier order** ([`Frontier`]) — [`Lifo`] gives the classic DFS;
+//!   [`BestFirst`] is a priority queue keyed by a pluggable score, which is
+//!   what makes the Lemma 9 cover-and-block and lap-maximizing adversary
+//!   searches expressible as searches instead of hand-coded schedules;
+//! * a **visitor** ([`Visitor`]) — per-state and per-edge verdicts: safety
+//!   plus solo termination for the checker, decided-value collection with
+//!   early bivalence exit for the oracle. ([`AdversarySynthesis`] tracks
+//!   its objective in the *frontier* instead, where the score is already
+//!   being computed for the priority order.)
+//!
+//! # Budget discipline
+//!
+//! All accounting happens when a configuration is *discovered*, never when
+//! it is popped: each configuration is fingerprinted exactly once, the
+//! frontier never holds duplicates, and a child generated while a budget is
+//! exhausted marks the search incomplete only if it is genuinely new — a
+//! search whose post-budget children are all duplicates drained exactly at
+//! the bound and is still exhaustive. (This is the discipline the model
+//! checker always had; the valency oracle used to account at pop time and
+//! could call an exactly-budget-sized space truncated.)
+//!
+//! # Writing a new search
+//!
+//! Pick (or write) one strategy of each kind and hand them to
+//! [`Engine::run`]; the strategies keep whatever result the search is
+//! after. [`synthesize`] is the worked example: a best-first frontier that
+//! scores and records the extremum at discovery time turns the engine into
+//! an adversary synthesizer returning the schedule maximizing a
+//! caller-defined objective as a replayable witness.
+
+use std::collections::BinaryHeap;
+
+use crate::canon::DedupSet;
+use crate::config::{Configuration, SimError};
+use crate::ids::ProcessId;
+use crate::protocol::Protocol;
+use crate::search::{NodeId, ScheduleArena};
+
+/// Exact search budgets, enforced at discovery time.
+#[derive(Clone, Copy, Debug)]
+pub struct Budget {
+    /// Maximum schedule length explored from the root.
+    pub max_depth: usize,
+    /// Maximum number of distinct configurations (orbits, under reduction)
+    /// discovered.
+    pub max_states: usize,
+    /// Maximum pending-frontier size; exceeding it drops would-be children
+    /// and marks the search incomplete, bounding memory even when
+    /// `max_states` alone would not.
+    pub max_frontier: usize,
+}
+
+impl Budget {
+    /// A budget with the given depth and state bounds and an unbounded
+    /// frontier.
+    pub fn new(max_depth: usize, max_states: usize) -> Self {
+        Budget {
+            max_depth,
+            max_states,
+            max_frontier: usize::MAX,
+        }
+    }
+}
+
+/// Aggregate counters of one engine run.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchStats {
+    /// Nodes dequeued and visited.
+    pub states: usize,
+    /// Visited nodes with no expansion candidates.
+    pub terminal_states: usize,
+    /// Length of the longest schedule visited.
+    pub deepest: usize,
+    /// Largest frontier size observed (memory high-water mark).
+    pub peak_frontier: usize,
+    /// Whether the visitor stopped the search early ([`Control::Stop`]).
+    pub stopped: bool,
+    /// A node with expansion candidates sat at the depth horizon: deeper
+    /// schedules exist but were not explored.
+    pub depth_truncated: bool,
+    /// A genuinely new configuration was discarded because the state or
+    /// frontier budget was exhausted (or a step error was skipped).
+    pub budget_truncated: bool,
+}
+
+impl SearchStats {
+    /// `true` if no depth/state/frontier cutoff (or skipped step error)
+    /// discarded work: the search covered the whole reachable space.
+    pub fn complete(&self) -> bool {
+        !self.depth_truncated && !self.budget_truncated
+    }
+}
+
+/// Flow control returned by visitor hooks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Control {
+    /// Keep searching.
+    Continue,
+    /// Abort the search now; [`Engine::run`] returns with
+    /// [`SearchStats::stopped`] set (the checker found a violation, the
+    /// oracle established bivalence).
+    Stop,
+}
+
+/// Which processes may step from a node.
+pub trait Expansion<P: Protocol> {
+    /// Fill `out` (cleared first by the caller contract being: the engine
+    /// passes a cleared buffer) with the candidate process ids, in the
+    /// order their edges should be generated.
+    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>);
+}
+
+/// Expand every running (undecided) process — the model checker's policy.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AllRunning;
+
+impl<P: Protocol> Expansion<P> for AllRunning {
+    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
+        config.running_into(out);
+    }
+}
+
+/// Expand only the undecided members of a fixed process group — the valency
+/// oracle's group-only executions.
+#[derive(Clone, Copy, Debug)]
+pub struct GroupRestricted<'a>(pub &'a [ProcessId]);
+
+impl<P: Protocol> Expansion<P> for GroupRestricted<'_> {
+    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
+        out.extend(
+            self.0
+                .iter()
+                .copied()
+                .filter(|&p| config.decision(p).is_none()),
+        );
+    }
+}
+
+/// Expansion driven by an arbitrary closure over the configuration —
+/// scheduler-pruned adversary searches restrict or reorder the running set
+/// (e.g. "only processes poised on a covered object").
+pub struct PrunedExpansion<F>(pub F);
+
+impl<P: Protocol, F> Expansion<P> for PrunedExpansion<F>
+where
+    F: FnMut(&P, &Configuration<P>, &mut Vec<ProcessId>),
+{
+    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
+        (self.0)(protocol, config, out);
+    }
+}
+
+impl<F> std::fmt::Debug for PrunedExpansion<F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrunedExpansion").finish_non_exhaustive()
+    }
+}
+
+/// Order in which discovered configurations are visited.
+pub trait Frontier<P: Protocol> {
+    /// Enqueue a freshly discovered configuration.
+    fn push(&mut self, protocol: &P, config: Configuration<P>, node: NodeId, depth: usize);
+    /// Dequeue the next configuration to visit.
+    fn pop(&mut self) -> Option<(Configuration<P>, NodeId)>;
+    /// Number of pending configurations.
+    fn len(&self) -> usize;
+    /// Whether nothing is pending.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Plain LIFO stack: depth-first search, the default order of both
+/// rebuilt clients.
+#[derive(Debug)]
+pub struct Lifo<P: Protocol>(Vec<(Configuration<P>, NodeId)>);
+
+impl<P: Protocol> Lifo<P> {
+    /// An empty stack.
+    pub fn new() -> Self {
+        Lifo(Vec::new())
+    }
+}
+
+impl<P: Protocol> Default for Lifo<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> Frontier<P> for Lifo<P> {
+    fn push(&mut self, _protocol: &P, config: Configuration<P>, node: NodeId, _depth: usize) {
+        self.0.push((config, node));
+    }
+
+    fn pop(&mut self) -> Option<(Configuration<P>, NodeId)> {
+        self.0.pop()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+/// One pending entry of a [`BestFirst`] frontier: ordered by score, ties
+/// broken toward the most recently discovered entry (DFS-like bias), so
+/// traversal order is deterministic.
+struct Scored<P: Protocol> {
+    score: u64,
+    seq: u64,
+    config: Configuration<P>,
+    node: NodeId,
+}
+
+impl<P: Protocol> PartialEq for Scored<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.seq == other.seq
+    }
+}
+
+impl<P: Protocol> Eq for Scored<P> {}
+
+impl<P: Protocol> PartialOrd for Scored<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: Protocol> Ord for Scored<P> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.score, self.seq).cmp(&(other.score, other.seq))
+    }
+}
+
+/// Priority frontier: always visit the highest-scoring pending
+/// configuration next. The score is a pluggable function of the
+/// configuration (and its depth) — lap totals for lap-maximizing adversary
+/// synthesis, covered-object counts for cover-and-block searches.
+pub struct BestFirst<P: Protocol, F> {
+    heap: BinaryHeap<Scored<P>>,
+    score: F,
+    seq: u64,
+}
+
+impl<P: Protocol, F: FnMut(&P, &Configuration<P>, usize) -> u64> BestFirst<P, F> {
+    /// An empty priority frontier scoring entries with `score(protocol,
+    /// config, depth)`.
+    pub fn new(score: F) -> Self {
+        BestFirst {
+            heap: BinaryHeap::new(),
+            score,
+            seq: 0,
+        }
+    }
+}
+
+impl<P: Protocol, F: FnMut(&P, &Configuration<P>, usize) -> u64> Frontier<P> for BestFirst<P, F> {
+    fn push(&mut self, protocol: &P, config: Configuration<P>, node: NodeId, depth: usize) {
+        let score = (self.score)(protocol, &config, depth);
+        self.seq += 1;
+        self.heap.push(Scored {
+            score,
+            seq: self.seq,
+            config,
+            node,
+        });
+    }
+
+    fn pop(&mut self) -> Option<(Configuration<P>, NodeId)> {
+        self.heap.pop().map(|s| (s.config, s.node))
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl<P: Protocol, F> std::fmt::Debug for BestFirst<P, F> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BestFirst")
+            .field("pending", &self.heap.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Read-only view of a visited node, handed to [`Visitor::enter`].
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    arena: &'a ScheduleArena,
+    /// The node's arena id.
+    pub node: NodeId,
+    /// The node's depth (schedule length from the root).
+    pub depth: usize,
+}
+
+impl NodeCtx<'_> {
+    /// Materialize the schedule from the root to this node — the cold
+    /// witness path.
+    pub fn schedule(&self) -> Vec<ProcessId> {
+        self.arena.schedule(self.node)
+    }
+}
+
+/// View of one generated edge, handed to [`Visitor::edge`] and
+/// [`Visitor::step_error`]. The edge's arena node is created lazily — only
+/// searches that actually need a witness for the edge pay for it.
+#[derive(Debug)]
+pub struct EdgeCtx<'a> {
+    arena: &'a mut ScheduleArena,
+    parent: NodeId,
+    pid: ProcessId,
+    node: Option<NodeId>,
+}
+
+impl EdgeCtx<'_> {
+    /// The stepping process.
+    pub fn pid(&self) -> ProcessId {
+        self.pid
+    }
+
+    /// The edge's arena node, created on first use.
+    pub fn node(&mut self) -> NodeId {
+        let (arena, parent, pid) = (&mut *self.arena, self.parent, self.pid);
+        *self.node.get_or_insert_with(|| arena.child(parent, pid))
+    }
+
+    /// Materialize the schedule from the root through this edge.
+    pub fn schedule(&mut self) -> Vec<ProcessId> {
+        let node = self.node();
+        self.arena.schedule(node)
+    }
+}
+
+/// Per-state and per-edge verdicts of a search.
+///
+/// Hook order per dequeued node: `enter` (with the node's expansion
+/// candidates already computed), then — unless the node is terminal or
+/// depth-cut — one `edge` (or `step_error`) call per candidate.
+pub trait Visitor<P: Protocol> {
+    /// Called once per dequeued node. `candidates` is what the expansion
+    /// policy returned for this node (empty means terminal).
+    fn enter(
+        &mut self,
+        protocol: &P,
+        config: &Configuration<P>,
+        ctx: &NodeCtx<'_>,
+        candidates: &[ProcessId],
+    ) -> Control;
+
+    /// Called for every generated edge within budget, including edges to
+    /// already-known configurations (`is_new == false`), before the child
+    /// is enqueued. `decided` is the decision the step produced, if any.
+    fn edge(
+        &mut self,
+        _protocol: &P,
+        _child: &Configuration<P>,
+        _decided: Option<u64>,
+        _is_new: bool,
+        _ctx: &mut EdgeCtx<'_>,
+    ) -> Control {
+        Control::Continue
+    }
+
+    /// Called when the simulator rejects a candidate step. Returning
+    /// [`Control::Continue`] skips the edge and marks the search incomplete
+    /// (the oracle's policy); returning [`Control::Stop`] aborts (the
+    /// checker records a protocol-bug violation).
+    fn step_error(&mut self, _protocol: &P, _error: SimError, _ctx: &mut EdgeCtx<'_>) -> Control {
+        Control::Stop
+    }
+}
+
+/// The search core. Owns nothing but the budget; dedup set, arena, and
+/// strategies are caller state so clients can keep using them after the
+/// run (materializing witness schedules, reading orbit counts).
+#[derive(Clone, Copy, Debug)]
+pub struct Engine {
+    /// The run's budgets.
+    pub budget: Budget,
+}
+
+impl Engine {
+    /// An engine with the given budget.
+    pub fn new(budget: Budget) -> Self {
+        Engine { budget }
+    }
+
+    /// Search the configuration graph from `root`.
+    ///
+    /// The root is inserted into `dedup` (if not already present) and
+    /// visited first; every further configuration is discovered through the
+    /// expansion policy, deduplicated at discovery time, and visited in the
+    /// frontier's order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<P, E, F, V>(
+        &self,
+        protocol: &P,
+        root: Configuration<P>,
+        dedup: &mut DedupSet<P>,
+        arena: &mut ScheduleArena,
+        expansion: &mut E,
+        frontier: &mut F,
+        visitor: &mut V,
+    ) -> SearchStats
+    where
+        P: Protocol,
+        E: Expansion<P>,
+        F: Frontier<P>,
+        V: Visitor<P>,
+    {
+        let mut stats = SearchStats {
+            states: 0,
+            terminal_states: 0,
+            deepest: 0,
+            peak_frontier: 1,
+            stopped: false,
+            depth_truncated: false,
+            budget_truncated: false,
+        };
+        // Scratch buffers reused across nodes: the expansion candidates and
+        // one configuration recycled between candidate children. A child is
+        // generated by stepping the scratch in place and — when it is
+        // rejected (duplicate or over budget) — *delta-restored*: the undo
+        // token rolls back exactly the two mutated slots, so rejected
+        // children cost O(1) element writes instead of a state re-copy.
+        let mut candidates: Vec<ProcessId> = Vec::new();
+        let mut child_scratch: Option<Configuration<P>> = None;
+        dedup.insert(protocol, &root);
+        frontier.push(protocol, root, ScheduleArena::ROOT, 0);
+        while let Some((config, node)) = frontier.pop() {
+            stats.states += 1;
+            let depth = arena.depth(node);
+            stats.deepest = stats.deepest.max(depth);
+            candidates.clear();
+            expansion.candidates(protocol, &config, &mut candidates);
+            let ctx = NodeCtx { arena, node, depth };
+            if visitor.enter(protocol, &config, &ctx, &candidates) == Control::Stop {
+                stats.stopped = true;
+                return stats;
+            }
+            if candidates.is_empty() {
+                stats.terminal_states += 1;
+                continue;
+            }
+            if depth >= self.budget.max_depth {
+                stats.depth_truncated = true;
+                continue;
+            }
+            // `true` while the scratch holds exactly `config`'s state (so
+            // the next candidate can step it directly); cleared when a kept
+            // child leaves the scratch sharing storage with the frontier.
+            let mut scratch_synced = false;
+            for &pid in &candidates {
+                let child = match &mut child_scratch {
+                    Some(s) => s,
+                    None => child_scratch.insert(config.clone()),
+                };
+                if !scratch_synced {
+                    child.clone_state_from(&config);
+                }
+                scratch_synced = true;
+                match child.step_quiet_undoable(protocol, pid) {
+                    Ok((decided, undo)) => {
+                        if dedup.len() >= self.budget.max_states
+                            || frontier.len() >= self.budget.max_frontier
+                        {
+                            // A budget is exhausted: a child that is already
+                            // known costs nothing to discard, but an
+                            // *undiscovered* one is genuinely skipped work.
+                            if !dedup.contains(protocol, child) {
+                                stats.budget_truncated = true;
+                            }
+                            child.undo_step(undo);
+                            continue;
+                        }
+                        let is_new = dedup.insert(protocol, child);
+                        let mut edge = EdgeCtx {
+                            arena,
+                            parent: node,
+                            pid,
+                            node: None,
+                        };
+                        if visitor.edge(protocol, child, decided, is_new, &mut edge)
+                            == Control::Stop
+                        {
+                            stats.stopped = true;
+                            return stats;
+                        }
+                        if is_new {
+                            let child_node = edge.node();
+                            frontier.push(protocol, child.clone(), child_node, depth + 1);
+                            scratch_synced = false;
+                        } else {
+                            child.undo_step(undo);
+                        }
+                    }
+                    Err(e) => {
+                        // A schema rejection mutates nothing, so the scratch
+                        // stays synced with `config` on this path.
+                        let mut edge = EdgeCtx {
+                            arena,
+                            parent: node,
+                            pid,
+                            node: None,
+                        };
+                        match visitor.step_error(protocol, e, &mut edge) {
+                            Control::Stop => {
+                                stats.stopped = true;
+                                return stats;
+                            }
+                            Control::Continue => stats.budget_truncated = true,
+                        }
+                    }
+                }
+            }
+            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+        }
+        stats
+    }
+}
+
+/// Result of an [`AdversarySynthesis`] search: the extremal schedule as a
+/// replayable witness.
+#[derive(Clone, Debug)]
+pub struct SynthesisReport<P: Protocol> {
+    /// The best objective value found.
+    pub best_score: u64,
+    /// A schedule reaching a configuration with that objective value —
+    /// replaying it from the initial configuration reproduces
+    /// [`SynthesisReport::config`].
+    pub schedule: Vec<ProcessId>,
+    /// The extremal configuration itself.
+    pub config: Configuration<P>,
+    /// Distinct configurations explored.
+    pub states: usize,
+    /// Whether the whole (depth-bounded) space was covered; `false` means a
+    /// state/frontier budget truncated the search, so a better schedule may
+    /// exist within the depth bound.
+    pub complete: bool,
+    /// Longest schedule explored.
+    pub deepest: usize,
+}
+
+/// Searches for the schedule maximizing a protocol-defined objective — the
+/// adversary *synthesis* loop of the Lemma 9 playbook: instead of
+/// hand-coding a nasty scheduler (cf.
+/// [`LapLeadChasing`](crate::scheduler::LapLeadChasing)), ask the engine
+/// for the worst reachable configuration and return the schedule that
+/// produces it.
+///
+/// The search is best-first on the objective (so high-scoring regions are
+/// reached before the state budget runs out) and exact: every configuration
+/// within the depth/state/frontier budget is visited once, deduplicated
+/// exactly, so with ample budgets the returned schedule is the true
+/// depth-bounded maximum.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_sim::engine::AdversarySynthesis;
+/// use swapcons_sim::testing::TwoProcessSwapConsensus;
+/// use swapcons_sim::Configuration;
+///
+/// // "Most undecided processes" — maximized before anyone swaps.
+/// let initial = Configuration::initial(&TwoProcessSwapConsensus, &[0, 1]).unwrap();
+/// let report = AdversarySynthesis::new(4, 1_000)
+///     .maximize(&TwoProcessSwapConsensus, &initial, |_, c| {
+///         c.running().len() as u64
+///     });
+/// assert_eq!(report.best_score, 2);
+/// assert!(report.schedule.is_empty(), "the initial configuration wins");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AdversarySynthesis {
+    /// Search budgets.
+    pub budget: Budget,
+}
+
+impl AdversarySynthesis {
+    /// A synthesizer exploring to the given depth and state budget.
+    pub fn new(max_depth: usize, max_states: usize) -> Self {
+        AdversarySynthesis {
+            budget: Budget::new(max_depth, max_states),
+        }
+    }
+
+    /// Bound the pending frontier (memory high-water mark).
+    pub fn with_frontier_budget(mut self, frontier: usize) -> Self {
+        self.budget.max_frontier = frontier;
+        self
+    }
+
+    /// Search all schedules from `initial` (up to the budgets) for the
+    /// configuration maximizing `objective`, and return it with its
+    /// schedule.
+    ///
+    /// The objective is evaluated exactly once per discovered
+    /// configuration: the frontier scores entries for its priority order
+    /// and tracks the maximum at the same time. Ties keep the
+    /// first-discovered configuration, which is deterministic.
+    pub fn maximize<P: Protocol>(
+        &self,
+        protocol: &P,
+        initial: &Configuration<P>,
+        objective: impl Fn(&P, &Configuration<P>) -> u64,
+    ) -> SynthesisReport<P> {
+        struct Best<P: Protocol> {
+            score: u64,
+            node: NodeId,
+            config: Configuration<P>,
+        }
+        /// Best-first frontier that also records the extremum at push time,
+        /// so the objective runs once per configuration (scoring can be
+        /// expensive — the Lemma 8 pressure objective runs solo
+        /// executions).
+        struct SynthFrontier<'o, P: Protocol, O> {
+            heap: BinaryHeap<Scored<P>>,
+            objective: &'o O,
+            seq: u64,
+            best: Option<Best<P>>,
+        }
+        impl<P: Protocol, O: Fn(&P, &Configuration<P>) -> u64> Frontier<P> for SynthFrontier<'_, P, O> {
+            fn push(
+                &mut self,
+                protocol: &P,
+                config: Configuration<P>,
+                node: NodeId,
+                _depth: usize,
+            ) {
+                let score = (self.objective)(protocol, &config);
+                if self.best.as_ref().is_none_or(|b| score > b.score) {
+                    self.best = Some(Best {
+                        score,
+                        node,
+                        config: config.clone(),
+                    });
+                }
+                self.seq += 1;
+                self.heap.push(Scored {
+                    score,
+                    seq: self.seq,
+                    config,
+                    node,
+                });
+            }
+
+            fn pop(&mut self) -> Option<(Configuration<P>, NodeId)> {
+                self.heap.pop().map(|s| (s.config, s.node))
+            }
+
+            fn len(&self) -> usize {
+                self.heap.len()
+            }
+        }
+        /// Nothing to check per state; a rejected step is skipped work
+        /// (marks the search incomplete), never a silent abort.
+        struct SynthVisitor;
+        impl<P: Protocol> Visitor<P> for SynthVisitor {
+            fn enter(
+                &mut self,
+                _protocol: &P,
+                _config: &Configuration<P>,
+                _ctx: &NodeCtx<'_>,
+                _candidates: &[ProcessId],
+            ) -> Control {
+                Control::Continue
+            }
+
+            fn step_error(
+                &mut self,
+                _protocol: &P,
+                _error: SimError,
+                _ctx: &mut EdgeCtx<'_>,
+            ) -> Control {
+                Control::Continue
+            }
+        }
+
+        let capacity = self.budget.max_states.min(1 << 14);
+        let mut dedup: DedupSet<P> = DedupSet::exact(capacity);
+        let mut arena = ScheduleArena::new();
+        let mut frontier = SynthFrontier {
+            heap: BinaryHeap::new(),
+            objective: &objective,
+            seq: 0,
+            best: None,
+        };
+        let stats = Engine::new(self.budget).run(
+            protocol,
+            initial.clone(),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut frontier,
+            &mut SynthVisitor,
+        );
+        let best = frontier.best.expect("the root is always discovered");
+        SynthesisReport {
+            best_score: best.score,
+            schedule: arena.schedule(best.node),
+            config: best.config,
+            states: dedup.len(),
+            // The depth horizon *defines* a synthesis search (racing
+            // protocols are unbounded); only a state/frontier budget — or
+            // a skipped step error — genuinely truncates it.
+            complete: !stats.budget_truncated,
+            deepest: stats.deepest,
+        }
+    }
+}
+
+/// Convenience: [`AdversarySynthesis::maximize`] from an input vector.
+///
+/// # Panics
+///
+/// Panics if the inputs are invalid for the protocol's task.
+pub fn synthesize<P: Protocol>(
+    protocol: &P,
+    inputs: &[u64],
+    max_depth: usize,
+    max_states: usize,
+    objective: impl Fn(&P, &Configuration<P>) -> u64,
+) -> SynthesisReport<P> {
+    let initial = Configuration::initial(protocol, inputs)
+        .expect("adversary synthesis requires valid inputs");
+    AdversarySynthesis::new(max_depth, max_states).maximize(protocol, &initial, objective)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner;
+    use crate::testing::TwoProcessSwapConsensus;
+
+    fn init(inputs: &[u64]) -> Configuration<TwoProcessSwapConsensus> {
+        Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
+    }
+
+    /// A visitor that records visit order and nothing else.
+    struct Recorder {
+        depths: Vec<usize>,
+    }
+
+    impl<P: Protocol> Visitor<P> for Recorder {
+        fn enter(
+            &mut self,
+            _protocol: &P,
+            _config: &Configuration<P>,
+            ctx: &NodeCtx<'_>,
+            _candidates: &[ProcessId],
+        ) -> Control {
+            self.depths.push(ctx.depth);
+            Control::Continue
+        }
+    }
+
+    #[test]
+    fn lifo_engine_covers_the_two_process_space() {
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let mut visitor = Recorder { depths: Vec::new() };
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        // The known space: 5 configurations (initial, two mids, two
+        // terminals), all reachable within depth 2.
+        assert_eq!(stats.states, 5);
+        assert_eq!(dedup.len(), 5);
+        assert!(stats.complete());
+        assert!(!stats.stopped);
+        assert_eq!(stats.deepest, 2);
+        assert_eq!(stats.terminal_states, 2);
+        assert_eq!(visitor.depths.len(), 5);
+    }
+
+    #[test]
+    fn group_restricted_expansion_limits_the_walk() {
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let mut visitor = Recorder { depths: Vec::new() };
+        let group = [ProcessId(0)];
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut GroupRestricted(&group),
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        // p0-only executions: initial and the configuration after p0's
+        // single swap. p1 never steps.
+        assert_eq!(stats.states, 2);
+        assert!(stats.complete());
+    }
+
+    #[test]
+    fn pruned_expansion_sees_the_configuration() {
+        // Prune to "p1 only, and only before anyone decided".
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let mut visitor = Recorder { depths: Vec::new() };
+        let mut expansion = PrunedExpansion(
+            |_: &TwoProcessSwapConsensus,
+             c: &Configuration<TwoProcessSwapConsensus>,
+             out: &mut Vec<ProcessId>| {
+                if c.decided_values().is_empty() {
+                    out.extend(c.running().into_iter().filter(|p| p.index() == 1));
+                }
+            },
+        );
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut expansion,
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        // Initial, then p1 decided (terminal for the pruned policy).
+        assert_eq!(stats.states, 2);
+    }
+
+    #[test]
+    fn exact_state_budget_still_reports_complete() {
+        // The budget-accounting discipline, pinned at the engine level: a
+        // budget of exactly the space size drains without skipping work.
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 5)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut Recorder { depths: Vec::new() },
+        );
+        assert_eq!(stats.states, 5);
+        assert!(stats.complete(), "exactly-sized budget is still exhaustive");
+        assert!(!stats.budget_truncated);
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 4)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut Recorder { depths: Vec::new() },
+        );
+        assert!(!stats.complete(), "one state fewer genuinely truncates");
+        assert!(stats.budget_truncated && !stats.depth_truncated);
+    }
+
+    #[test]
+    fn stop_from_enter_aborts_immediately() {
+        struct StopAtDepth1;
+        impl<P: Protocol> Visitor<P> for StopAtDepth1 {
+            fn enter(
+                &mut self,
+                _p: &P,
+                _c: &Configuration<P>,
+                ctx: &NodeCtx<'_>,
+                _cands: &[ProcessId],
+            ) -> Control {
+                if ctx.depth >= 1 {
+                    Control::Stop
+                } else {
+                    Control::Continue
+                }
+            }
+        }
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut StopAtDepth1,
+        );
+        assert!(stats.stopped);
+        assert!(stats.states < 5);
+    }
+
+    #[test]
+    fn edge_hook_sees_duplicates_and_decisions() {
+        struct EdgeLog {
+            decided_edges: usize,
+            duplicate_edges: usize,
+            schedules_ok: bool,
+        }
+        impl<P: Protocol> Visitor<P> for EdgeLog {
+            fn enter(
+                &mut self,
+                _p: &P,
+                _c: &Configuration<P>,
+                _ctx: &NodeCtx<'_>,
+                _cands: &[ProcessId],
+            ) -> Control {
+                Control::Continue
+            }
+            fn edge(
+                &mut self,
+                _p: &P,
+                _child: &Configuration<P>,
+                decided: Option<u64>,
+                is_new: bool,
+                ctx: &mut EdgeCtx<'_>,
+            ) -> Control {
+                if decided.is_some() {
+                    self.decided_edges += 1;
+                    let schedule = ctx.schedule();
+                    self.schedules_ok &= schedule.last() == Some(&ctx.pid());
+                }
+                if !is_new {
+                    self.duplicate_edges += 1;
+                }
+                Control::Continue
+            }
+        }
+        let mut visitor = EdgeLog {
+            decided_edges: 0,
+            duplicate_edges: 0,
+            schedules_ok: true,
+        };
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        // Unanimous inputs: the two schedule orders converge on the same
+        // terminal, so the second order's last edge is a duplicate.
+        Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[1, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        // Every edge in this protocol decides; the two orders converge on
+        // duplicate terminals.
+        assert!(visitor.decided_edges >= 4, "{}", visitor.decided_edges);
+        assert!(visitor.duplicate_edges >= 1);
+        assert!(visitor.schedules_ok, "edge schedules end with the edge pid");
+    }
+
+    #[test]
+    fn best_first_visits_high_scores_before_low() {
+        // Score = number of decided processes: the best-first engine must
+        // reach a terminal configuration before exhausting the mids.
+        let mut order: Vec<usize> = Vec::new();
+        struct ScoreLog<'a> {
+            order: &'a mut Vec<usize>,
+        }
+        impl<P: Protocol> Visitor<P> for ScoreLog<'_> {
+            fn enter(
+                &mut self,
+                _p: &P,
+                c: &Configuration<P>,
+                _ctx: &NodeCtx<'_>,
+                _cands: &[ProcessId],
+            ) -> Control {
+                self.order.push(c.decisions_iter().flatten().count());
+                Control::Continue
+            }
+        }
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut BestFirst::new(|_: &TwoProcessSwapConsensus, c: &Configuration<_>, _| {
+                c.decisions_iter().flatten().count() as u64
+            }),
+            &mut ScoreLog { order: &mut order },
+        );
+        assert_eq!(order.len(), 5);
+        // Root first (forced), then the best-first order must surface a
+        // fully decided configuration before the last mid.
+        let first_terminal = order.iter().position(|&d| d == 2).unwrap();
+        let last_mid = order.iter().rposition(|&d| d == 1).unwrap();
+        assert!(
+            first_terminal < last_mid,
+            "best-first must chase decisions: {order:?}"
+        );
+    }
+
+    #[test]
+    fn synthesis_returns_a_replayable_extremal_schedule() {
+        // Objective: number of decided processes. The maximum (2) is
+        // reached by any length-2 schedule; the witness must replay to the
+        // reported configuration.
+        let report = synthesize(&TwoProcessSwapConsensus, &[0, 1], 10, 10_000, |_, c| {
+            c.decisions_iter().flatten().count() as u64
+        });
+        assert_eq!(report.best_score, 2);
+        assert_eq!(report.schedule.len(), 2);
+        assert!(report.complete);
+        assert_eq!(report.states, 5);
+        let mut replay = init(&[0, 1]);
+        runner::replay(&TwoProcessSwapConsensus, &mut replay, &report.schedule).unwrap();
+        assert_eq!(replay, report.config, "witness replays to the extremum");
+    }
+
+    #[test]
+    fn synthesis_objective_zero_keeps_the_root() {
+        let report = synthesize(&TwoProcessSwapConsensus, &[3, 4], 10, 10_000, |_, _| 0);
+        assert_eq!(report.best_score, 0);
+        assert!(report.schedule.is_empty(), "ties keep the first visit");
+    }
+
+    #[test]
+    fn synthesis_truncation_is_reported() {
+        let report = synthesize(&TwoProcessSwapConsensus, &[0, 1], 10, 3, |_, c| {
+            c.decisions_iter().flatten().count() as u64
+        });
+        assert!(!report.complete);
+        assert!(report.states <= 3);
+    }
+}

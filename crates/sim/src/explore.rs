@@ -16,26 +16,28 @@
 //! violation is an exhaustive proof of safety for that instance;
 //! `complete == false` is a bounded certificate.
 //!
-//! # Hot-path engineering
+//! # Architecture
 //!
-//! The search visits hundreds of thousands of configurations per second:
-//! the visited set is fingerprint-keyed with an exact-state fallback
-//! ([`VisitedSet`]), stack frames carry a parent-pointer arena node instead
-//! of a cloned schedule vector ([`ScheduleArena`] — witness schedules are
-//! reconstructed only when a violation is found), and configurations
-//! themselves are copy-on-write, so the per-edge cost is one step's worth of
-//! mutation, not a deep copy of the whole state.
+//! The checker is a thin client of the shared search core
+//! ([`crate::engine`]): the engine owns the hot loop — fingerprint-keyed
+//! discovery-time dedup ([`crate::canon::DedupSet`]), parent-pointer
+//! schedule arenas, copy-on-write scratch children with delta-restore, and
+//! exact budget accounting — while this module contributes only the
+//! checker's strategies: the [`AllRunning`] expansion policy, a LIFO
+//! frontier, and a visitor that evaluates safety plus (memoized) solo
+//! termination on every visited configuration.
 
 use std::fmt;
 use std::sync::Arc;
 
 use crate::canon::{self, Canonicalizer, DedupSet};
 use crate::config::Configuration;
+use crate::engine::{AllRunning, Budget, Control, EdgeCtx, Engine, Lifo, NodeCtx, Visitor};
 use crate::ids::ProcessId;
 use crate::protocol::Protocol;
 use crate::runner::{solo_run, SoloRunError};
-use crate::search::{NodeId, PrehashedMap, ScheduleArena};
-use crate::task::TaskViolation;
+use crate::search::{PrehashedMap, ScheduleArena};
+use crate::task::{KSetTask, TaskViolation};
 
 /// Bounded-exhaustive schedule explorer.
 #[derive(Clone, Copy, Debug)]
@@ -145,7 +147,6 @@ impl ModelChecker {
     ) -> CheckReport {
         let initial =
             Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
-        let task = protocol.task();
         // Pre-size the visited set toward the state budget (clamped: tiny
         // protocols should not pay megabytes up front).
         let capacity = self.max_states.min(1 << 14);
@@ -158,156 +159,41 @@ impl ModelChecker {
             visited = visited.unsound_hash_compaction();
         }
         let mut arena = ScheduleArena::new();
-        let mut report = CheckReport {
-            states: 0,
-            terminal_states: 0,
-            complete: true,
-            deepest: 0,
-            peak_frontier: 1,
-            symmetry_group: visited.group_order(),
-            hash_compaction: self.hash_compaction,
+        let mut visitor = CheckVisitor {
+            task: protocol.task(),
+            inputs,
+            solo_budget: self.solo_budget,
+            solo_memo: self.solo_memo,
+            memo,
+            solo_scratch: None,
             solo_memo_hits: 0,
             violation: None,
         };
-        // Scratch buffers reused across nodes: the running-process ids, a
-        // scratch configuration recycled between hypothetical solo runs, and
-        // one recycled between candidate children. A candidate child is
-        // generated by stepping the scratch in place and — when it turns out
-        // to be a duplicate — *delta-restored*: the step's undo token rolls
-        // back exactly the two mutated slots, so duplicate children cost
-        // O(1) element writes instead of a whole-state re-copy.
-        let mut running: Vec<ProcessId> = Vec::new();
-        let mut solo_scratch: Option<Configuration<P>> = None;
-        let mut child_scratch: Option<Configuration<P>> = None;
-        // DFS stack: configuration + its arena node (schedules are
-        // reconstructed from parent pointers only when a witness is needed).
-        // Membership is decided at *discovery* time — each configuration is
-        // fingerprinted exactly once, and the stack never holds duplicates.
-        visited.insert(protocol, &initial);
-        let mut stack: Vec<(Configuration<P>, NodeId)> = vec![(initial, ScheduleArena::ROOT)];
-        while let Some((config, node)) = stack.pop() {
-            report.states += 1;
-            let depth = arena.depth(node);
-            report.deepest = report.deepest.max(depth);
-            // Safety predicates on every reachable configuration.
-            if let Err(v) = task.check_decisions(inputs, config.decisions_iter()) {
-                report.violation = Some(FoundViolation {
-                    kind: ViolationKind::Task(v),
-                    schedule: arena.schedule(node),
-                });
-                return report;
-            }
-            config.running_into(&mut running);
-            // Obstruction-freedom: every running process decides solo. The
-            // outcome depends only on the process's local state and the
-            // object values, so it is memoized on exactly that key (with the
-            // visited set's exact-fallback discipline); misses run on the
-            // recycled scratch configuration, not a fresh clone.
-            if let Some(budget) = self.solo_budget {
-                for &pid in &running {
-                    let state = config.state(pid).expect("running implies a state");
-                    let outcome = match self.solo_memo.then(|| memo.get(state, &config)).flatten() {
-                        Some(cached) => {
-                            report.solo_memo_hits += 1;
-                            cached
-                        }
-                        None => {
-                            let scratch = match &mut solo_scratch {
-                                Some(s) => {
-                                    s.clone_state_from(&config);
-                                    s
-                                }
-                                None => solo_scratch.insert(config.clone()),
-                            };
-                            let outcome = match solo_run(protocol, scratch, pid, budget) {
-                                Ok(_) => SoloVerdict::Decides,
-                                Err(SoloRunError::BudgetExhausted { .. }) => SoloVerdict::Stuck,
-                                Err(e) => SoloVerdict::Error(Arc::from(e.to_string().as_str())),
-                            };
-                            if self.solo_memo {
-                                memo.put(state.clone(), &config, outcome.clone());
-                            }
-                            outcome
-                        }
-                    };
-                    match outcome {
-                        SoloVerdict::Decides => {}
-                        SoloVerdict::Stuck => {
-                            report.violation = Some(FoundViolation {
-                                kind: ViolationKind::SoloTermination { pid, budget },
-                                schedule: arena.schedule(node),
-                            });
-                            return report;
-                        }
-                        SoloVerdict::Error(msg) => {
-                            report.violation = Some(FoundViolation {
-                                kind: ViolationKind::Internal(msg.to_string()),
-                                schedule: arena.schedule(node),
-                            });
-                            return report;
-                        }
-                    }
-                }
-            }
-            if running.is_empty() {
-                report.terminal_states += 1;
-                continue;
-            }
-            if depth >= self.max_depth {
-                report.complete = false;
-                continue;
-            }
-            // `true` while the child scratch holds exactly `config`'s state
-            // (so the next candidate can step it directly); cleared when a
-            // kept child leaves the scratch sharing storage with the stack.
-            let mut scratch_synced = false;
-            for &pid in &running {
-                let child = match &mut child_scratch {
-                    Some(s) => s,
-                    None => child_scratch.insert(config.clone()),
-                };
-                if !scratch_synced {
-                    child.clone_state_from(&config);
-                }
-                scratch_synced = true;
-                match child.step_quiet_undoable(protocol, pid) {
-                    Ok((_, undo)) => {
-                        if visited.len() >= self.max_states || stack.len() >= self.max_frontier {
-                            // A budget is exhausted: a child that is already
-                            // known costs nothing to discard, but an
-                            // *undiscovered* one is genuinely skipped work.
-                            // (A search whose post-budget children are all
-                            // duplicates drained exactly at the bound and is
-                            // still exhaustive.)
-                            if !visited.contains(protocol, child) {
-                                report.complete = false;
-                            }
-                            child.undo_step(undo);
-                            continue;
-                        }
-                        if !visited.insert(protocol, child) {
-                            // Duplicate: delta-restore instead of re-copying
-                            // the parent on the next iteration.
-                            child.undo_step(undo);
-                            continue;
-                        }
-                        stack.push((child.clone(), arena.child(node, pid)));
-                        scratch_synced = false;
-                    }
-                    Err(e) => {
-                        let mut schedule = arena.schedule(node);
-                        schedule.push(pid);
-                        report.violation = Some(FoundViolation {
-                            kind: ViolationKind::Internal(e.to_string()),
-                            schedule,
-                        });
-                        return report;
-                    }
-                }
-            }
-            report.peak_frontier = report.peak_frontier.max(stack.len());
+        let stats = Engine::new(Budget {
+            max_depth: self.max_depth,
+            max_states: self.max_states,
+            max_frontier: self.max_frontier,
+        })
+        .run(
+            protocol,
+            initial,
+            &mut visited,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        CheckReport {
+            states: stats.states,
+            terminal_states: stats.terminal_states,
+            complete: stats.complete(),
+            deepest: stats.deepest,
+            peak_frontier: stats.peak_frontier,
+            symmetry_group: visited.group_order(),
+            hash_compaction: self.hash_compaction,
+            solo_memo_hits: visitor.solo_memo_hits,
+            violation: visitor.violation,
         }
-        report
     }
 
     /// Check every input assignment of the protocol's task (all `m^n`
@@ -361,6 +247,114 @@ impl ModelChecker {
                 i += 1;
             }
         }
+    }
+}
+
+/// The model checker's per-state strategy: safety predicates on every
+/// visited configuration, plus the (memoized) solo-termination check.
+struct CheckVisitor<'a, P: Protocol> {
+    task: KSetTask,
+    inputs: &'a [u64],
+    solo_budget: Option<usize>,
+    solo_memo: bool,
+    memo: &'a mut SoloMemo<P>,
+    /// Scratch configuration recycled between hypothetical solo runs.
+    solo_scratch: Option<Configuration<P>>,
+    solo_memo_hits: usize,
+    violation: Option<FoundViolation>,
+}
+
+impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
+    fn enter(
+        &mut self,
+        protocol: &P,
+        config: &Configuration<P>,
+        ctx: &NodeCtx<'_>,
+        candidates: &[ProcessId],
+    ) -> Control {
+        // Safety predicates on every reachable configuration.
+        if let Err(v) = self
+            .task
+            .check_decisions(self.inputs, config.decisions_iter())
+        {
+            self.violation = Some(FoundViolation {
+                kind: ViolationKind::Task(v),
+                schedule: ctx.schedule(),
+            });
+            return Control::Stop;
+        }
+        // Obstruction-freedom: every running process decides solo. The
+        // outcome depends only on the process's local state and the object
+        // values, so it is memoized on exactly that key (with the visited
+        // set's exact-fallback discipline); misses run on the recycled
+        // scratch configuration, not a fresh clone. (Under [`AllRunning`]
+        // the candidates are exactly the running processes.)
+        if let Some(budget) = self.solo_budget {
+            for &pid in candidates {
+                let state = config.state(pid).expect("running implies a state");
+                let outcome = match self
+                    .solo_memo
+                    .then(|| self.memo.get(state, config))
+                    .flatten()
+                {
+                    Some(cached) => {
+                        self.solo_memo_hits += 1;
+                        cached
+                    }
+                    None => {
+                        let scratch = match &mut self.solo_scratch {
+                            Some(s) => {
+                                s.clone_state_from(config);
+                                s
+                            }
+                            None => self.solo_scratch.insert(config.clone()),
+                        };
+                        let outcome = match solo_run(protocol, scratch, pid, budget) {
+                            Ok(_) => SoloVerdict::Decides,
+                            Err(SoloRunError::BudgetExhausted { .. }) => SoloVerdict::Stuck,
+                            Err(e) => SoloVerdict::Error(Arc::from(e.to_string().as_str())),
+                        };
+                        if self.solo_memo {
+                            self.memo.put(state.clone(), config, outcome.clone());
+                        }
+                        outcome
+                    }
+                };
+                match outcome {
+                    SoloVerdict::Decides => {}
+                    SoloVerdict::Stuck => {
+                        self.violation = Some(FoundViolation {
+                            kind: ViolationKind::SoloTermination { pid, budget },
+                            schedule: ctx.schedule(),
+                        });
+                        return Control::Stop;
+                    }
+                    SoloVerdict::Error(msg) => {
+                        self.violation = Some(FoundViolation {
+                            kind: ViolationKind::Internal(msg.to_string()),
+                            schedule: ctx.schedule(),
+                        });
+                        return Control::Stop;
+                    }
+                }
+            }
+        }
+        Control::Continue
+    }
+
+    fn step_error(
+        &mut self,
+        _protocol: &P,
+        error: crate::config::SimError,
+        ctx: &mut EdgeCtx<'_>,
+    ) -> Control {
+        // The simulator rejected a step: a protocol bug, reported with the
+        // schedule that reaches it.
+        self.violation = Some(FoundViolation {
+            kind: ViolationKind::Internal(error.to_string()),
+            schedule: ctx.schedule(),
+        });
+        Control::Stop
     }
 }
 

@@ -16,9 +16,16 @@
 //!   [`Protocol`];
 //! * [`run`](runner::run) / [`solo_run`](runner::solo_run) execute them under
 //!   [`Scheduler`]s (round-robin, seeded-random, solo, fixed);
-//! * [`ModelChecker`](explore::ModelChecker) exhaustively explores small
-//!   instances, checking k-agreement and validity on every reachable
-//!   configuration and solo-termination bounds (obstruction-freedom);
+//! * the strategy-driven search core in [`engine`] owns the exhaustive
+//!   exploration loop (discovery-time dedup, schedule arenas, copy-on-write
+//!   scratch children, exact budgets) behind pluggable expansion, frontier,
+//!   and visitor strategies;
+//! * [`ModelChecker`](explore::ModelChecker) — an engine client —
+//!   exhaustively explores small instances, checking k-agreement and
+//!   validity on every reachable configuration and solo-termination bounds
+//!   (obstruction-freedom); [`AdversarySynthesis`](engine::AdversarySynthesis)
+//!   — another client — searches for worst-case schedules maximizing a
+//!   caller-defined objective;
 //! * the lower-bound adversaries in `swapcons-lower` drive configurations
 //!   step by step, using the indistinguishability helpers on
 //!   [`Configuration`].
@@ -45,6 +52,7 @@
 
 pub mod canon;
 mod config;
+pub mod engine;
 pub mod explore;
 mod history;
 mod ids;
@@ -57,6 +65,7 @@ pub mod testing;
 
 pub use canon::{Canonicalizer, Renaming, Symmetry};
 pub use config::{Configuration, ProcStatus, SimError, StepUndo};
+pub use engine::{AdversarySynthesis, SynthesisReport};
 pub use history::{History, StepRecord};
 pub use ids::{ObjectId, ProcessId};
 pub use protocol::{Protocol, SimValue, Transition};

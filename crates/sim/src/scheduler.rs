@@ -116,6 +116,38 @@ impl<P: Protocol> StateScheduler<P> for LapLeadChasing {
     }
 }
 
+/// Drive `scheduler` from `config` for at most `max_steps` steps on a
+/// clone, recording the schedule it produces and the configuration it
+/// reaches. The bridge between hand-coded adversaries and the engine's
+/// synthesized ones ([`crate::engine::AdversarySynthesis`]): a recorded
+/// schedule can be scored with the same objective a synthesis run
+/// maximizes, putting "the chaser's schedule" and "the searched extremal
+/// schedule" on one axis.
+pub fn record_schedule<P: Protocol, S: StateScheduler<P>>(
+    protocol: &P,
+    config: &Configuration<P>,
+    scheduler: &mut S,
+    max_steps: usize,
+) -> (Vec<ProcessId>, Configuration<P>) {
+    let mut world = config.clone();
+    let mut schedule = Vec::with_capacity(max_steps);
+    let mut running: Vec<ProcessId> = Vec::new();
+    for step in 0..max_steps {
+        world.running_into(&mut running);
+        if running.is_empty() {
+            break;
+        }
+        let Some(pid) = scheduler.pick_in(protocol, &world, &running, step) else {
+            break;
+        };
+        if world.step_quiet(protocol, pid).is_err() {
+            break;
+        }
+        schedule.push(pid);
+    }
+    (schedule, world)
+}
+
 /// Cycles through the running processes in id order.
 #[derive(Clone, Debug, Default)]
 pub struct RoundRobin {
@@ -424,6 +456,22 @@ mod tests {
         // Nobody running: the chaser stops.
         let mut s = LapLeadChasing::new();
         assert_eq!(s.pick_in(&protocol, &config, &[], 0), None);
+    }
+
+    #[test]
+    fn record_schedule_replays_to_the_same_configuration() {
+        use crate::testing::TwoProcessSwapConsensus;
+        use crate::Configuration;
+        let protocol = TwoProcessSwapConsensus;
+        let config = Configuration::initial(&protocol, &[0, 1]).unwrap();
+        let (schedule, world) = record_schedule(&protocol, &config, &mut RoundRobin::new(), 10);
+        assert_eq!(schedule.len(), 2, "both processes decide in one step each");
+        assert!(world.all_decided());
+        let mut replay = config.clone();
+        crate::runner::replay(&protocol, &mut replay, &schedule).unwrap();
+        assert_eq!(replay, world, "recorded schedules replay exactly");
+        // The original configuration is untouched.
+        assert!(!config.all_decided());
     }
 
     #[test]

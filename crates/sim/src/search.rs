@@ -1,9 +1,12 @@
 //! Shared infrastructure for the exhaustive searches: a fingerprint-keyed
 //! visited set and a parent-pointer arena for schedule reconstruction.
 //!
-//! Both the model checker ([`crate::explore::ModelChecker`]) and the
-//! lower-bound valency oracle explore graphs whose nodes are
-//! [`Configuration`]s. Two costs dominated the naive implementations:
+//! These are the storage primitives underneath the strategy-driven search
+//! core ([`crate::engine`]), which owns the exploration loop that the model
+//! checker ([`crate::explore::ModelChecker`]), the lower-bound valency
+//! oracle, and the adversary synthesizer all run on. The explored graphs'
+//! nodes are [`Configuration`]s. Two costs dominated the naive
+//! implementations:
 //!
 //! * **hashing** — `HashSet<Configuration>` SipHashes the entire object and
 //!   process state on every probe. [`VisitedSet`] keys on a 64-bit FxHash

@@ -1,0 +1,178 @@
+//! Fuzz harness for the threaded Algorithm 1: randomized sweeps over the
+//! whole parameter space — `(n, k, m)`, the input vector, and a
+//! yield-perturbation seed that skews each thread's start and pacing — with
+//! the wall-clock guard pattern from `tests/edge_cases.rs`, so a livelock
+//! regression fails the suite instead of hanging it.
+//!
+//! Fixed-shape tests pin known-interesting points (`tests/edge_cases.rs`,
+//! `tests/threaded_stress.rs`); this harness samples the space in between.
+//! Every sampled run asserts the two safety properties the paper's tasks
+//! demand, which must hold under *any* OS schedule:
+//!
+//! * **k-agreement** — at most `k` distinct decisions;
+//! * **validity** — every decision is some process's input.
+//!
+//! Seeds are deterministic (derived from a fixed master seed), so a failure
+//! reproduces by rerunning the test; the failing case's parameters are in
+//! the panic message.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swapcons::core::threaded::ThreadedKSet;
+
+/// Generous ceiling per sampled race (they complete in milliseconds in
+/// practice; the guard exists to convert livelock into failure).
+const GUARD: Duration = Duration::from_secs(60);
+
+/// Run `f` on a fresh thread, failing the test if it outlives `GUARD`.
+fn bounded<T: Send + 'static>(label: String, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // A send error only means the receiver timed out and the test
+        // already failed; nothing to do from this side.
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(GUARD) {
+        Ok(v) => v,
+        Err(_) => panic!("{label}: no decision within {GUARD:?} (livelock?)"),
+    }
+}
+
+/// One sampled case: instance shape, inputs, and the perturbation seed.
+#[derive(Clone, Debug)]
+struct FuzzCase {
+    n: usize,
+    k: usize,
+    m: u64,
+    inputs: Vec<u64>,
+    perturb_seed: u64,
+}
+
+impl FuzzCase {
+    /// Sample a case from the given RNG: `2 ≤ n ≤ 8`, `1 ≤ k ≤ n`
+    /// (including the `k = n` zero-object endpoint), `2 ≤ m ≤ 5`, inputs
+    /// uniform over `{0, …, m-1}`.
+    fn sample(rng: &mut StdRng) -> Self {
+        let n = rng.gen_range(2..9);
+        let k = rng.gen_range(1..n + 1);
+        let m = rng.gen_range(2..6u64);
+        let inputs = (0..n).map(|_| rng.gen_range(0..m)).collect();
+        FuzzCase {
+            n,
+            k,
+            m,
+            inputs,
+            perturb_seed: rng.gen_range(0..u64::MAX),
+        }
+    }
+
+    /// Run the race with per-thread yield perturbation: each thread spins
+    /// and yields a seeded-random amount before proposing, skewing thread
+    /// start order and pacing so different seeds exercise genuinely
+    /// different OS interleavings (the threaded model's only scheduler).
+    fn run(&self) -> Vec<u64> {
+        let alg = ThreadedKSet::new(self.n, self.k, self.m);
+        let perturb_seed = self.perturb_seed;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pid, &input)| {
+                    let alg = &alg;
+                    scope.spawn(move || {
+                        let mut rng =
+                            StdRng::seed_from_u64(perturb_seed ^ (pid as u64).wrapping_mul(0x9E37));
+                        for _ in 0..rng.gen_range(0..64u32) {
+                            std::hint::spin_loop();
+                        }
+                        let yields = rng.gen_range(0..4u32);
+                        for _ in 0..yields {
+                            std::thread::yield_now();
+                        }
+                        alg.propose(pid, input)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proposer panicked"))
+                .collect()
+        })
+    }
+
+    /// k-agreement and validity for this case's decisions.
+    fn check(&self, decisions: &[u64]) {
+        assert_eq!(decisions.len(), self.n, "{self:?}");
+        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        assert!(
+            distinct.len() <= self.k,
+            "k-agreement violated: {distinct:?} exceeds k={} in {self:?}",
+            self.k
+        );
+        for d in decisions {
+            assert!(
+                self.inputs.contains(d),
+                "validity violated: decision {d} is nobody's input in {self:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fuzz_threaded_kset_random_shapes_and_perturbations() {
+    // Deterministic master seed: every CI run executes the same sampled
+    // cases; bump the seed (or the count) to widen the sweep.
+    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
+    for case_index in 0..24 {
+        let case = FuzzCase::sample(&mut rng);
+        let label = format!("fuzz case {case_index}: {case:?}");
+        let decisions = {
+            let case = case.clone();
+            bounded(label, move || case.run())
+        };
+        case.check(&decisions);
+    }
+}
+
+#[test]
+fn fuzz_unanimous_inputs_always_decide_the_input() {
+    // Validity pinned harder: with unanimous inputs, every decision must be
+    // exactly that input, whatever the shape or perturbation.
+    let mut rng = StdRng::seed_from_u64(0xF0BB ^ 0xBEEF);
+    for case_index in 0..8 {
+        let mut case = FuzzCase::sample(&mut rng);
+        let v = case.inputs[0];
+        case.inputs = vec![v; case.n];
+        let label = format!("unanimous fuzz case {case_index}: {case:?}");
+        let decisions = {
+            let case = case.clone();
+            bounded(label, move || case.run())
+        };
+        assert!(
+            decisions.iter().all(|&d| d == v),
+            "unanimous input {v} not decided: {decisions:?} in {case:?}"
+        );
+    }
+}
+
+#[test]
+fn fuzz_repeated_same_seed_is_safe_across_reruns() {
+    // The same case run repeatedly under real scheduling noise: safety must
+    // hold on every repetition (the OS gives a different interleaving each
+    // time even with identical perturbation).
+    let mut rng = StdRng::seed_from_u64(7);
+    let case = FuzzCase::sample(&mut rng);
+    for round in 0..6 {
+        let label = format!("repeat round {round}: {case:?}");
+        let decisions = {
+            let case = case.clone();
+            bounded(label, move || case.run())
+        };
+        case.check(&decisions);
+    }
+}
