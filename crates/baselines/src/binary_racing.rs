@@ -48,7 +48,9 @@
 //! [`BinaryRacing::space`] — what Table 1 measures — is `2L + O(1) = Θ(n)`.
 
 use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Symmetry, Transition};
+use swapcons_sim::{
+    KSetTask, ObjectClasses, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition,
+};
 
 /// Binary consensus from `2L` binary readable swap objects (two monotone
 /// unary tracks).
@@ -252,11 +254,32 @@ impl Protocol for BinaryRacing {
 
     // States carry no process id at all (pref + scan phase only), so any
     // process permutation is a symmetry with the default identity rename
-    // hooks. The two *input values* are not interchangeable without also
-    // swapping the two tracks — an object permutation keyed on a value
-    // renaming, deliberately left undeclared.
+    // hooks. The two *input values* are interchangeable only together with
+    // the two tracks they race on: the value-coupled object class ties the
+    // track swap to exactly the σ that swaps the preference values, so a
+    // renaming either moves both or neither. Cell contents are structural
+    // fill marks (0/1 progress bits), never input values — the default
+    // identity `rename_value` is correct; only the embedded preference in
+    // the local state is nominal.
     fn symmetry(&self) -> Symmetry {
+        let track = |t: usize| {
+            (0..self.track_len)
+                .map(|i| ObjectId(t * self.track_len + i))
+                .collect()
+        };
         Symmetry::full_process(self.n)
+            .with_interchangeable_values()
+            .with_object_classes(ObjectClasses::value_coupled(
+                vec![track(0), track(1)],
+                vec![0, 1],
+            ))
+    }
+
+    fn rename_state(&self, state: &BrState, renaming: &Renaming) -> BrState {
+        BrState {
+            pref: renaming.value(u64::from(state.pref)) as u8,
+            phase: state.phase.clone(),
+        }
     }
 }
 
@@ -368,6 +391,73 @@ mod tests {
             &[0, 1, 0],
             10,
             5,
+        );
+        // Balanced inputs: the run group contains track-swapping renamings
+        // (σ ≠ id coupled to τ), exercised against real executions.
+        swapcons_sim::canon::assert_equivariant(
+            &BinaryRacing::with_track_len(4, 8),
+            &[0, 1, 0, 1],
+            10,
+            5,
+        );
+    }
+
+    #[test]
+    fn track_swap_composes_into_the_run_group() {
+        // [0, 1] admits exactly one non-identity renaming: π = (p0 p1)
+        // with σ = (0 1), which the value-coupled class forces to swap the
+        // two tracks. Before object symmetry this group was trivial.
+        let p = BinaryRacing::with_track_len(2, 8);
+        let canon = swapcons_sim::Canonicalizer::for_inputs(&p, &[0, 1]);
+        assert_eq!(canon.group_order(), 2);
+        let g = &canon.renamings()[0];
+        assert!(!g.is_value_identity());
+        assert!(!g.is_object_identity());
+        // Cell i of track 0 maps to cell i of track 1 and vice versa.
+        assert_eq!(g.object(ObjectId(0)), ObjectId(p.track_len()));
+        assert_eq!(g.object(ObjectId(p.track_len())), ObjectId(0));
+        // Balanced n=4: any π mapping the 0-holders onto the 1-holders (or
+        // preserving both) works — |S2 × S2| · 2 = 8.
+        let p4 = BinaryRacing::with_track_len(4, 8);
+        assert_eq!(
+            swapcons_sim::Canonicalizer::for_inputs(&p4, &[0, 1, 0, 1]).group_order(),
+            8
+        );
+    }
+
+    #[test]
+    fn track_swap_orbit_count_hand_computed() {
+        // Depth 1 from [0, 1]: the initial configuration plus one child per
+        // process, each having read cell 0 of its own (still empty) track.
+        // The track swap maps the p0-child onto the p1-child: 3 full
+        // states, 2 orbits.
+        let p = BinaryRacing::with_track_len(2, 8);
+        let full = ModelChecker::new(1, 1_000).check(&p, &[0, 1]);
+        let reduced = ModelChecker::new(1, 1_000)
+            .with_symmetry_reduction()
+            .check(&p, &[0, 1]);
+        assert_eq!(full.states, 3, "{full}");
+        assert_eq!(reduced.states, 2, "{reduced}");
+        assert_eq!(reduced.symmetry_group, 2);
+        assert!(full.same_verdict(&reduced));
+    }
+
+    #[test]
+    fn track_swap_halves_distinct_input_checks() {
+        // The headline reduction: [0, 1] used to have a trivial group (no
+        // value symmetry without the track coupling); now every
+        // configuration pairs up with its mirrored twin except the rare
+        // self-symmetric ones.
+        let p = BinaryRacing::with_track_len(2, 8);
+        let full = ModelChecker::new(16, 250_000).check(&p, &[0, 1]);
+        let reduced = ModelChecker::new(16, 250_000)
+            .with_symmetry_reduction()
+            .check(&p, &[0, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert_eq!(reduced.symmetry_group, 2);
+        assert!(
+            reduced.states * 19 <= full.states * 10,
+            "track swap must collapse ~half the states: {full} vs {reduced}"
         );
     }
 

@@ -6,7 +6,7 @@
 //! consensus, and the remaining `k-1` processes decide their input values."
 //!
 //! We instantiate the inner consensus with
-//! [`CommitAdoptConsensus`](crate::commit_adopt::CommitAdoptConsensus) over
+//! [`CommitAdoptConsensus`] over
 //! `c = n-k+1` processes, which uses `2c` registers; Table 1 reports the
 //! literature formula `n-k+1` (Bouzid–Raynal–Sutra \[6\]) alongside our
 //! measured `2(n-k+1)`.

@@ -25,17 +25,37 @@
 //!
 //! Run: `cargo bench -p swapcons-bench --bench fig_explore`
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing};
 use swapcons_bench::harness::render_series;
+use swapcons_core::pairs::PairsKSet;
 use swapcons_core::SwapKSet;
 use swapcons_lower::lemma9::searched_solo_pressure;
 use swapcons_lower::section5::{lemma16_driver, searched_object_pressure, Budgets};
 use swapcons_sim::explore::{CheckReport, ModelChecker};
 use swapcons_sim::testing::TwoProcessSwapConsensus;
 use swapcons_sim::{engine, Configuration, ObjectId, ProcessId, Protocol};
+
+/// Write `content` to `$BENCH_SERIES_DIR/<name>` when the variable is set
+/// (the CI artifact directory). Refuses empty content loudly — an empty
+/// artifact silently uploaded is exactly how the old log-scrape pipeline
+/// would have rotted.
+fn write_bench_artifact(name: &str, content: &str) {
+    assert!(
+        !content.trim().is_empty(),
+        "refusing to write empty bench artifact {name}: the generating section produced nothing"
+    );
+    let Ok(dir) = std::env::var("BENCH_SERIES_DIR") else {
+        return;
+    };
+    std::fs::create_dir_all(&dir).unwrap_or_else(|e| panic!("creating {dir}: {e}"));
+    let path = std::path::Path::new(&dir).join(name);
+    std::fs::write(&path, content).unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("[bench-series] wrote {}", path.display());
+}
 
 /// Best-of-3 wall clock (after one untimed warm-up) for `run`, which
 /// returns the number of states (or stages) it processed.
@@ -87,10 +107,51 @@ fn reduced_row(
     (full_rate, reduced_rate)
 }
 
+/// One row of the reduction-factor table the gate emits into the
+/// bench-series artifact.
+struct ReductionRow {
+    label: String,
+    full_states: usize,
+    reduced_states: usize,
+    group: usize,
+}
+
+/// Render the per-row reduction-factor table (checker + oracle gate rows).
+fn render_reduction_table(rows: &[ReductionRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# engine-parity gate: states explored, full vs symmetry-reduced"
+    );
+    let _ = writeln!(
+        out,
+        "{:<52} {:>10} {:>10} {:>7} {:>6}",
+        "row", "full", "reduced", "factor", "|G|"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(90));
+    for row in rows {
+        let factor = if row.reduced_states == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.2}x", row.full_states as f64 / row.reduced_states as f64)
+        };
+        let _ = writeln!(
+            out,
+            "{:<52} {:>10} {:>10} {:>7} {:>6}",
+            row.label, row.full_states, row.reduced_states, factor, row.group
+        );
+    }
+    out
+}
+
 /// The CI gate: reduced and full verdicts must agree on the whole n=2 zoo
-/// (plus the Table 1 witness sweep, which covers the k-set rows at n=3/4).
+/// (plus the Table 1 witness sweep, which covers the k-set rows at n=3/4,
+/// and the valency-oracle fixtures, which cover the composed object
+/// symmetries). Emits the per-row reduction-factor table into the
+/// bench-series artifact.
 fn verify_reduction_consistency() {
     println!("\n====== reduced-vs-full verdict gate (n=2 zoo + Table 1 witnesses) ======");
+    let mut table: Vec<ReductionRow> = Vec::new();
     let checks: Vec<(&str, CheckReport, CheckReport)> = vec![
         {
             let p = TwoProcessSwapConsensus;
@@ -137,6 +198,28 @@ fn verify_reduction_consistency() {
                 c.with_symmetry_reduction().check_all_inputs(&p),
             )
         },
+        {
+            // The track swap on a single distinct-inputs vector: [0, 1] had
+            // a trivial run group before the value-coupled object class.
+            let p = BinaryRacing::with_track_len(2, 8);
+            let c = ModelChecker::new(16, 200_000);
+            (
+                "binary_racing n=2 track-swap [0,1]",
+                c.check(&p, &[0, 1]),
+                c.with_symmetry_reduction().check(&p, &[0, 1]),
+            )
+        },
+        {
+            // The pair swap across the whole input grid: pair blocks fold
+            // both the per-run orbits and the canonical-input-vector grid.
+            let p = PairsKSet::new(4, 2, 3);
+            let c = ModelChecker::new(10, 100_000).with_solo_budget(1);
+            (
+                "pairs_kset n=4 pair-swap all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
     ];
     for (label, full, reduced) in checks {
         assert!(
@@ -145,8 +228,30 @@ fn verify_reduction_consistency() {
         );
         assert!(full.passed(), "{label}: {full}");
         println!(
-            "{label:<30} : verdict match ✓  ({} -> {} states)",
+            "{label:<36} : verdict match ✓  ({} -> {} states)",
             full.states, reduced.states
+        );
+        table.push(ReductionRow {
+            label: label.to_string(),
+            full_states: full.states,
+            reduced_states: reduced.states,
+            group: reduced.symmetry_group,
+        });
+    }
+    // The object-symmetry acceptance row: composing τ with (π, σ) must buy
+    // at least 2x on a checker row, gated per commit, not just measured
+    // once in EXPERIMENTS.md.
+    for label in [
+        "binary_racing n=2 all-inputs",
+        "pairs_kset n=4 pair-swap all-inputs",
+    ] {
+        let row = table.iter().find(|r| r.label == label).expect("row exists");
+        assert!(
+            row.full_states >= 2 * row.reduced_states,
+            "{label}: object symmetry must halve the explored states: \
+             {} -> {}",
+            row.full_states,
+            row.reduced_states
         );
     }
     for (row, full, reduced) in swapcons_lower::table1::verify_witnesses() {
@@ -159,9 +264,17 @@ fn verify_reduction_consistency() {
             "table1 {row:<48} : verdict match ✓  ({} -> {} states)",
             full.states, reduced.states
         );
+        table.push(ReductionRow {
+            label: format!("table1 {row}"),
+            full_states: full.states,
+            reduced_states: reduced.states,
+            group: reduced.symmetry_group,
+        });
     }
     // The oracle half of the engine-parity sweep: both exploration clients
-    // now run on the same engine, so the gate covers both.
+    // run on the same engine, so the gate covers both — now including the
+    // object-symmetry fixtures, whose stabilizer subgroups must come out
+    // nontrivial (reduction factor > 1 wherever the bounded search runs).
     for (label, full, reduced) in swapcons_lower::table1::verify_oracle_parity() {
         assert_eq!(
             full.verdict(),
@@ -178,22 +291,58 @@ fn verify_reduction_consistency() {
                 .collect::<std::collections::BTreeSet<_>>(),
             "oracle {label}: witness-value sets diverged"
         );
+        if label.contains("track-swap") || label.contains("pair-swap") {
+            assert!(
+                reduced.symmetry_group > 1,
+                "oracle {label}: the composed stabilizer degraded to trivial: {reduced:?}"
+            );
+            assert!(
+                reduced.states < full.states,
+                "oracle {label}: reduction factor must exceed 1: {full:?} vs {reduced:?}"
+            );
+        }
+        if label.contains("register-pool") {
+            assert!(
+                reduced.symmetry_group > 1,
+                "oracle {label}: the register-pool stabilizer degraded to trivial: {reduced:?}"
+            );
+        }
         println!(
-            "oracle {label:<41} : verdict match ✓  ({} -> {} states, {})",
+            "oracle {label:<41} : verdict match ✓  ({} -> {} states, |G|={}, {})",
             full.states,
             reduced.states,
+            reduced.symmetry_group,
             full.verdict()
         );
+        table.push(ReductionRow {
+            label: format!("oracle {label}"),
+            full_states: full.states,
+            reduced_states: reduced.states,
+            group: reduced.symmetry_group,
+        });
     }
+    let rendered = render_reduction_table(&table);
+    println!("\n{rendered}");
+    write_bench_artifact("reduction_factors.txt", &rendered);
 }
 
 /// Adversary synthesis — the engine's first genuinely new client. Each row
 /// searches for a worst-case schedule, asserts the domain invariant the
-/// extremum must respect, and prints the schedule itself: CI uploads this
-/// section as the `synthesized_schedules` build artifact, so the concrete
-/// worst cases are inspectable per commit alongside the throughput series.
+/// extremum must respect, and prints the schedule itself. The section is
+/// also written directly to `$BENCH_SERIES_DIR/synthesized_schedules.txt`
+/// (no log scraping — the old `awk` pipeline silently depended on section
+/// headers staying verbatim), with a hard failure if it would be empty.
 fn synthesized_schedules(points: &mut Vec<(f64, f64)>) {
-    println!("\n====== synthesized worst-case schedules (adversary synthesis) ======");
+    let mut section = String::new();
+    let emit = |line: String, section: &mut String| {
+        println!("{line}");
+        section.push_str(&line);
+        section.push('\n');
+    };
+    emit(
+        "\n====== synthesized worst-case schedules (adversary synthesis) ======".into(),
+        &mut section,
+    );
     // Lap-maximizing livelock on Algorithm 1 at n=2: the searched analog of
     // the hand-coded lap-lead chaser.
     {
@@ -224,11 +373,14 @@ fn synthesized_schedules(points: &mut Vec<(f64, f64)>) {
             states
         });
         let report = last.expect("best_of_3 ran the closure");
-        println!(
-            "alg1 n=2 max-laps depth=16     : score {:>3} over {states:>6} states in {secs:>7.3}s ({:>9.0}/s) schedule {:?}",
-            report.best_score,
-            states as f64 / secs,
-            report.schedule
+        emit(
+            format!(
+                "alg1 n=2 max-laps depth=16     : score {:>3} over {states:>6} states in {secs:>7.3}s ({:>9.0}/s) schedule {:?}",
+                report.best_score,
+                states as f64 / secs,
+                report.schedule
+            ),
+            &mut section,
         );
         points.push((5.0, states as f64 / secs));
     }
@@ -242,9 +394,12 @@ fn synthesized_schedules(points: &mut Vec<(f64, f64)>) {
             report.best_score <= bound as u64,
             "Lemma 8 violated: {report:?}"
         );
-        println!(
-            "alg1 n=3 solo-pressure depth=8 : score {:>3} (Lemma 8 bound {bound}) over {:>6} states, schedule {:?}",
-            report.best_score, report.states, report.schedule
+        emit(
+            format!(
+                "alg1 n=3 solo-pressure depth=8 : score {:>3} (Lemma 8 bound {bound}) over {:>6} states, schedule {:?}",
+                report.best_score, report.states, report.schedule
+            ),
+            &mut section,
         );
     }
     // Track pressure on the racing baseline: maximal undecided progress.
@@ -252,11 +407,15 @@ fn synthesized_schedules(points: &mut Vec<(f64, f64)>) {
         let p = BinaryRacing::with_track_len(3, 8);
         let report = searched_object_pressure(&p, &[0, 1, 0], 12, 150_000);
         assert!(report.config.decided_values().is_empty());
-        println!(
-            "binary_racing n=3 track-pressure depth=12 : score {:>3} over {:>6} states, schedule {:?}",
-            report.best_score, report.states, report.schedule
+        emit(
+            format!(
+                "binary_racing n=3 track-pressure depth=12 : score {:>3} over {:>6} states, schedule {:?}",
+                report.best_score, report.states, report.schedule
+            ),
+            &mut section,
         );
     }
+    write_bench_artifact("synthesized_schedules.txt", &section);
 }
 
 fn print_series() {

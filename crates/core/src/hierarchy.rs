@@ -15,7 +15,7 @@
 //!   consensus-number-2 construction; a swap object achieves the same with
 //!   zero registers, see [`crate::two_process`]).
 //! * The impossibility side is *semi-decided* by the model checker:
-//!   [`tests::no_wait_free_three_process_consensus_within_bound`] confirms
+//!   `tests::no_wait_free_three_process_consensus_within_bound` confirms
 //!   that the natural 3-process generalization of these constructions
 //!   violates wait-freedom (some schedule starves a process past any fixed
 //!   step bound) — the hierarchy's collapse to obstruction-freedom is

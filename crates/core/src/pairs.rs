@@ -13,7 +13,9 @@
 //! the unpaired processes) — but it only applies in the `k ≥ ⌈n/2⌉` regime.
 
 use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
-use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
+use swapcons_sim::{
+    KSetTask, ObjectClasses, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition,
+};
 
 /// The pairing construction: processes `2i` and `2i+1` (for `i < n-k`) run
 /// 2-process consensus on swap object `i`; processes `2(n-k), …, n-1` decide
@@ -142,23 +144,30 @@ impl Protocol for PairsKSet {
 
     // Partners within a pair are interchangeable (they share one object and
     // run identical code), and so are the unpaired immediate deciders.
-    // Distinct pairs are NOT one class: swapping p0 with p2 would have to
-    // drag object 0 along to object 1, i.e. a coupled object permutation the
-    // declaration deliberately leaves out. Values are passed through
-    // uninspected, so the whole value domain is interchangeable.
+    // Distinct pairs are interchangeable too, but only as whole units:
+    // swapping p0 with p2 must drag object 0 along to object 1 and p1 to p3
+    // — the process-coupled object class ties each pair's swap object to
+    // the pair that owns it, so block permutations move them together.
+    // Values are passed through uninspected, so the whole value domain is
+    // interchangeable.
     fn symmetry(&self) -> Symmetry {
-        let mut classes: Vec<Vec<ProcessId>> = (0..self.space())
-            .map(|pair| vec![ProcessId(2 * pair), ProcessId(2 * pair + 1)])
-            .collect();
+        let pair_class =
+            |pair: usize| -> Vec<ProcessId> { vec![ProcessId(2 * pair), ProcessId(2 * pair + 1)] };
+        let mut classes: Vec<Vec<ProcessId>> = (0..self.space()).map(pair_class).collect();
         classes.push((2 * self.space()..self.n).map(ProcessId).collect());
-        Symmetry::process_classes(classes).with_interchangeable_values()
+        Symmetry::process_classes(classes)
+            .with_interchangeable_values()
+            .with_object_classes(ObjectClasses::process_coupled(
+                (0..self.space()).map(|pair| vec![ObjectId(pair)]).collect(),
+                (0..self.space()).map(pair_class).collect(),
+            ))
     }
 
     fn rename_state(&self, state: &PairState, renaming: &Renaming) -> PairState {
-        // Within-pair swaps keep the assigned object; no pid is embedded.
+        // The assigned object is an embedded object id: pair swaps move it.
         PairState {
             input: renaming.value(state.input),
-            object: state.object,
+            object: renaming.object(ObjectId(state.object)).index(),
         }
     }
 
@@ -252,6 +261,59 @@ mod tests {
         swapcons_sim::canon::assert_equivariant(&PairsKSet::new(4, 2, 3), &[0, 1, 2, 2], 6, 6);
         swapcons_sim::canon::assert_equivariant(&PairsKSet::new(5, 3, 4), &[0, 1, 2, 3, 1], 6, 6);
         swapcons_sim::canon::assert_equivariant(&PairsKSet::new(4, 3, 4), &[2, 2, 1, 0], 6, 6);
+        // Unanimous inputs: the run group includes the pair swap (π moving
+        // both partners, τ moving the pair's object), exercised against
+        // real executions.
+        swapcons_sim::canon::assert_equivariant(&PairsKSet::new(4, 2, 3), &[1, 1, 1, 1], 6, 6);
+        swapcons_sim::canon::assert_equivariant(
+            &PairsKSet::new(6, 4, 3),
+            &[0, 1, 0, 1, 2, 2],
+            6,
+            6,
+        );
+    }
+
+    #[test]
+    fn pair_swap_composes_into_the_run_group() {
+        let p = PairsKSet::new(4, 2, 3);
+        // Unanimous: within-pair swaps (2 · 2) × the pair swap (2) = 8.
+        assert_eq!(
+            swapcons_sim::Canonicalizer::for_inputs(&p, &[1, 1, 1, 1]).group_order(),
+            8
+        );
+        // [0,1,2,1]: only the pair swap survives (each within-pair swap
+        // forces a σ that another, fixed process contradicts) — before
+        // object symmetry this run group was trivial.
+        let canon = swapcons_sim::Canonicalizer::for_inputs(&p, &[0, 1, 2, 1]);
+        assert_eq!(canon.group_order(), 2);
+        let g = &canon.renamings()[0];
+        assert_eq!(g.pid(ProcessId(0)), ProcessId(2));
+        assert_eq!(g.pid(ProcessId(1)), ProcessId(3));
+        assert_eq!(
+            g.object(ObjectId(0)),
+            ObjectId(1),
+            "the object moves with its pair"
+        );
+        assert_eq!(g.value(0), 2, "σ is forced by the input assignment");
+    }
+
+    #[test]
+    fn pair_swap_collapses_the_unanimous_check() {
+        // Hand-computable: from [1, 1, 1, 1] each pair reaches 4 shapes
+        // (nobody swapped / even partner decided / odd partner decided /
+        // both decided), 4 × 4 = 16 full states. The within-pair swap
+        // merges the two one-decided variants (3 orbits per pair) and the
+        // pair swap identifies the two pairs' progress vectors, folding the
+        // 3 × 3 product to the 6 unordered pairs.
+        let p = PairsKSet::new(4, 2, 3);
+        let full = ModelChecker::new(10, 100_000).check(&p, &[1, 1, 1, 1]);
+        let reduced = ModelChecker::new(10, 100_000)
+            .with_symmetry_reduction()
+            .check(&p, &[1, 1, 1, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert_eq!(reduced.symmetry_group, 8);
+        assert_eq!(full.states, 16, "{full}");
+        assert_eq!(reduced.states, 6, "{reduced}");
     }
 
     #[test]

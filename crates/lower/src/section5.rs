@@ -76,7 +76,11 @@ impl Budgets {
     /// [`Budgets::small`] with the valency oracle — the drivers' inner loop —
     /// running symmetry-reduced. Stage outcomes are unchanged (the oracle's
     /// verdicts are); the bivalence certifications just explore fewer
-    /// configurations each.
+    /// configurations each. Since the oracle's stabilizer subgroup learned
+    /// to compose object permutations (track swaps, pair swaps) with `σ`,
+    /// the reduction also bites on the Lemma 16 query shape itself —
+    /// balanced configurations of `BinaryRacing` pair up under the
+    /// track-swapping renaming instead of degrading to the trivial group.
     pub fn small_reduced() -> Self {
         Budgets {
             oracle: ValencyOracle::new(150, 60_000).with_symmetry_reduction(),
@@ -334,7 +338,7 @@ fn base_bivalent<P: Protocol>(
 /// Returns `(preconditioned_samples, still_bivalent)`. For the paper's
 /// *true* critical index `j` (minimal with all `δ_{j+1}`-indistinguishable
 /// worlds univalent), `still_bivalent` would be 0. The bounded
-/// [`critical_step_search`] may settle for a smaller index `j̃ ≤ j`
+/// `critical_step_search` may settle for a smaller index `j̃ ≤ j`
 /// (preferring fresh objects and certifiable bivalence), in which case a
 /// positive count *measures the gap* between the bounded search and the
 /// exact lemma — the drivers' stage invariants do not depend on it, but the
@@ -768,6 +772,24 @@ mod tests {
         let p = BinaryRacing::with_track_len(3, 8);
         let full = lemma16_driver(&p, &[0, 1, 0], &Budgets::small());
         let reduced = lemma16_driver(&p, &[0, 1, 0], &Budgets::small_reduced());
+        assert!(full.complete() && reduced.complete(), "{full} vs {reduced}");
+        assert_eq!(full.stages.len(), reduced.stages.len());
+        for (a, b) in full.stages.iter().zip(&reduced.stages) {
+            assert_eq!((a.process, a.object, a.case), (b.process, b.object, b.case));
+            assert!(b.invariants_ok);
+        }
+        assert_eq!(full.accounting, reduced.accounting);
+    }
+
+    #[test]
+    fn reduced_oracle_drives_lemma16_n4_with_object_symmetry() {
+        // n=4, inputs [0,1,0,1]: the initial bivalence certification (and
+        // any stage whose configuration stays track-balanced) runs with the
+        // composed track-swap stabilizer instead of the trivial group;
+        // stage outcomes must still match the unreduced run bit for bit.
+        let p = BinaryRacing::with_track_len(4, 8);
+        let full = lemma16_driver(&p, &[0, 1, 0, 1], &Budgets::small());
+        let reduced = lemma16_driver(&p, &[0, 1, 0, 1], &Budgets::small_reduced());
         assert!(full.complete() && reduced.complete(), "{full} vs {reduced}");
         assert_eq!(full.stages.len(), reduced.stages.len());
         for (a, b) in full.stages.iter().zip(&reduced.stages) {

@@ -302,6 +302,57 @@ pub fn verify_oracle_parity() -> Vec<(String, ValencyResult, ValencyResult)> {
             oracle.with_symmetry_reduction().query(&p, &c, &group),
         ));
     }
+    {
+        // The Lemma 16 query shape with its object-symmetry stabilizer:
+        // balanced inputs make (q0 q1)(p2 p3) with the coupled track swap
+        // fix the initial configuration, and a depth too small for any solo
+        // decision forces the bounded search to actually run — the reduced
+        // query drains about half the configurations (group order 2, where
+        // the σ = id oracle of PR 3/4 degraded to trivial).
+        let p = BinaryRacing::with_track_len(4, 10);
+        let c = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let oracle = ValencyOracle::new(10, 60_000);
+        out.push((
+            "binary_racing n=4 track-swap {q0,q1} d10".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
+    {
+        // Pair-swap stabilizer on the pairs construction: {p1, p3} are
+        // partners of *different* pairs, so only the composed pair swap
+        // (π moving both pairs, τ moving both objects, σ forced by the
+        // inputs) stabilizes the query — the oracle's first genuinely
+        // object-permuting subgroup.
+        let p = PairsKSet::new(4, 2, 3);
+        let c = Configuration::initial(&p, &[0, 1, 2, 1]).unwrap();
+        let group = [ProcessId(1), ProcessId(3)];
+        let oracle = ValencyOracle::new(20, 30_000);
+        out.push((
+            "pairs_kset n=4 pair-swap {p1,p3}".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
+    {
+        // The TAS register pool: swapping the two processes drags their
+        // single-writer proposal registers along via the protocol's
+        // `rename_object` override; with distinct inputs the renaming needs
+        // σ ≠ id, which the stabilizer subgroup now admits. The query
+        // fast-paths to bivalence (both solo runs decide), so this row
+        // pins group nontriviality and verdict parity rather than a state
+        // reduction.
+        let p = swapcons_core::hierarchy::TasConsensus;
+        let c = Configuration::initial(&p, &[3, 8]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let oracle = ValencyOracle::new(6, 10_000);
+        out.push((
+            "tas_consensus register-pool {p0,p1}".into(),
+            oracle.query(&p, &c, &group),
+            oracle.with_symmetry_reduction().query(&p, &c, &group),
+        ));
+    }
     out
 }
 
@@ -416,6 +467,40 @@ mod tests {
             assert!(
                 reduced.states <= full.states,
                 "{label}: reduction may never explore more: {full:?} vs {reduced:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn oracle_object_symmetry_rows_have_nontrivial_stabilizers() {
+        let rows = verify_oracle_parity();
+        let find = |label: &str| {
+            rows.iter()
+                .find(|(l, _, _)| l == label)
+                .unwrap_or_else(|| panic!("missing fixture {label}"))
+        };
+        for label in [
+            "binary_racing n=4 track-swap {q0,q1} d10",
+            "pairs_kset n=4 pair-swap {p1,p3}",
+            "tas_consensus register-pool {p0,p1}",
+        ] {
+            let (_, full, reduced) = find(label);
+            assert_eq!(full.symmetry_group, 1, "{label}: {full:?}");
+            assert!(
+                reduced.symmetry_group > 1,
+                "{label}: the composed stabilizer degraded to trivial: {reduced:?}"
+            );
+        }
+        // Where the engine actually runs (no bivalence fast path), the
+        // nontrivial stabilizer must buy a reduction factor > 1.
+        for label in [
+            "binary_racing n=4 track-swap {q0,q1} d10",
+            "pairs_kset n=4 pair-swap {p1,p3}",
+        ] {
+            let (_, full, reduced) = find(label);
+            assert!(
+                reduced.states < full.states,
+                "{label}: no state reduction: {full:?} vs {reduced:?}"
             );
         }
     }

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 use std::fmt;
 
-use swapcons_sim::canon::DedupSet;
+use swapcons_sim::canon::{apply_renaming, DedupSet};
 use swapcons_sim::engine::{
     Budget, Control, EdgeCtx, Engine, GroupRestricted, Lifo, NodeCtx, Visitor,
 };
@@ -60,8 +60,12 @@ pub struct ValencyResult {
     /// Whether the exploration covered the entire group-only reachable
     /// space.
     pub exhaustive: bool,
-    /// Distinct configurations explored.
+    /// Distinct configurations (orbits, under reduction) explored.
     pub states: usize,
+    /// Order of the stabilizer subgroup the query deduplicated by (1 = no
+    /// reduction, or a reduced query whose stabilizer degenerated to
+    /// trivial).
+    pub symmetry_group: usize,
 }
 
 impl ValencyResult {
@@ -96,9 +100,14 @@ pub struct ValencyOracle {
     /// Maximum distinct configurations visited per query.
     pub max_states: usize,
     /// Deduplicate group-only configurations modulo the protocol's declared
-    /// symmetry, restricted to the value-preserving renamings that stabilize
-    /// the queried group (so decided-value witnesses transfer verbatim
-    /// between orbit-equal configurations).
+    /// symmetry, restricted to the **stabilizer subgroup** of the query:
+    /// renamings that map the queried process group onto itself *and* fix
+    /// the queried configuration exactly (which pins the input assignment
+    /// pointwise up to `σ`). Fixing the root makes every group translate of
+    /// an explored execution a real execution from the same root, so the
+    /// collected witness set is closed under the subgroup afterwards —
+    /// value-moving renamings (a `BinaryRacing` track swap, a `PairsKSet`
+    /// pair swap) are admissible, not just `σ = id` ones.
     pub reduce: bool,
 }
 
@@ -129,6 +138,17 @@ impl ValencyOracle {
         config: &Configuration<P>,
         group: &[ProcessId],
     ) -> ValencyResult {
+        // The stabilizer subgroup of the query: renamings mapping `group`
+        // onto itself that fix `config` exactly. Both conditions are closed
+        // under composition and inverse, so the retained set is a genuine
+        // subgroup — required for orbit dedup and the witness closure below.
+        let canon = if self.reduce {
+            let mut canon = Canonicalizer::for_inputs(protocol, config.inputs());
+            canon.retain(|g| g.stabilizes(group) && apply_renaming(protocol, g, config) == *config);
+            canon
+        } else {
+            Canonicalizer::trivial()
+        };
         let mut witnesses: HashMap<u64, Vec<ProcessId>> = HashMap::new();
         // Fast path: solo runs of each group member. For racing protocols a
         // bivalent configuration usually realizes both values on
@@ -150,6 +170,7 @@ impl ValencyOracle {
                 witnesses,
                 exhaustive: false,
                 states: 0,
+                symmetry_group: canon.group_order(),
             };
         }
         // The shared search core ([`swapcons_sim::engine`]) owns the loop:
@@ -159,14 +180,14 @@ impl ValencyOracle {
         // with delta-restore, and the checker's exact budget discipline —
         // a search that drains exactly at `max_states` without skipping
         // anything still reports `exhaustive == true`. Under reduction,
-        // membership is per symmetry orbit — restricted to renamings with
-        // σ = id that stabilize the group, so "some group member decides v"
-        // transfers verbatim between orbit-equal configurations.
+        // membership is per orbit of the stabilizer subgroup computed
+        // above: because every retained renaming fixes the root, each group
+        // translate of an explored execution is itself a real execution
+        // from the root, so deduplicating a translate discards no *values*
+        // — the closure pass after the search recovers them.
         let capacity = self.max_states.min(1 << 14);
         let mut visited: DedupSet<P> = if self.reduce {
-            let mut canon = Canonicalizer::for_inputs(protocol, config.inputs());
-            canon.retain(|g| g.is_value_identity() && g.stabilizes(group));
-            DedupSet::reduced(canon, capacity)
+            DedupSet::reduced(canon.clone(), capacity)
         } else {
             DedupSet::exact(capacity)
         };
@@ -228,12 +249,32 @@ impl ValencyOracle {
                 witnesses: &mut witnesses,
             },
         );
+        // Close the witness set under the stabilizer subgroup: an explored
+        // execution deciding `v` renames, element by element, to a real
+        // execution from the same root deciding `σ(v)` — exactly the
+        // executions orbit dedup declined to re-explore. One pass suffices
+        // because the retained set is a whole subgroup, not just
+        // generators.
+        if !canon.is_trivial() {
+            let found: Vec<(u64, Vec<ProcessId>)> = witnesses
+                .iter()
+                .map(|(&v, schedule)| (v, schedule.clone()))
+                .collect();
+            for g in canon.renamings() {
+                for (v, schedule) in &found {
+                    witnesses
+                        .entry(g.value(*v))
+                        .or_insert_with(|| schedule.iter().map(|&p| g.pid(p)).collect());
+                }
+            }
+        }
         ValencyResult {
             witnesses,
             // A bivalence early-exit leaves the rest of the space
             // unexplored by design; it is never an exhaustiveness claim.
             exhaustive: stats.complete() && !stats.stopped,
             states: visited.len(),
+            symmetry_group: canon.group_order(),
         }
     }
 
@@ -399,6 +440,183 @@ mod tests {
         assert!(!under.exhaustive, "{under:?}");
         assert!(under.states < full.states);
         assert_eq!(under.verdict(), Valency::Unknown);
+    }
+
+    #[test]
+    fn pair_swap_stabilizer_reduces_the_oracle_space() {
+        // {p1, p3} are partners in different pairs; the pair swap maps the
+        // group onto itself and fixes the initial configuration, so the
+        // reduced query runs with a genuine order-2 stabilizer — the
+        // composed object symmetry at work (this subgroup was trivial when
+        // the oracle required σ = id).
+        let p = swapcons_core::pairs::PairsKSet::new(4, 2, 3);
+        let c = Configuration::initial(&p, &[0, 1, 2, 1]).unwrap();
+        let group = [ProcessId(1), ProcessId(3)];
+        let full = ValencyOracle::new(20, 30_000).query(&p, &c, &group);
+        let reduced = ValencyOracle::new(20, 30_000)
+            .with_symmetry_reduction()
+            .query(&p, &c, &group);
+        assert_eq!(full.symmetry_group, 1);
+        assert_eq!(reduced.symmetry_group, 2, "{reduced:?}");
+        assert_eq!(full.verdict(), reduced.verdict());
+        assert_eq!(full.verdict(), Valency::Univalent(1));
+        assert!(
+            reduced.states < full.states,
+            "reduction factor must exceed 1: {full:?} vs {reduced:?}"
+        );
+    }
+
+    #[test]
+    fn track_swap_stabilizer_reduces_the_depth_bounded_oracle() {
+        // Balanced inputs on the racing baseline: the renaming
+        // (q0 q1)(p2 p3) with σ swapping the two values and τ swapping the
+        // two tracks fixes the initial configuration and maps {q0, q1}
+        // onto itself. With the depth too small for anyone to decide, both
+        // searches drain the bounded region and the reduced one visits
+        // about half the configurations — the Lemma 16 query shape that
+        // used to degrade to the trivial group.
+        let p = BinaryRacing::with_track_len(4, 10);
+        let c = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let full = ValencyOracle::new(10, 60_000).query(&p, &c, &group);
+        let reduced = ValencyOracle::new(10, 60_000)
+            .with_symmetry_reduction()
+            .query(&p, &c, &group);
+        assert_eq!(reduced.symmetry_group, 2, "{reduced:?}");
+        assert_eq!(full.verdict(), reduced.verdict());
+        assert!(
+            2 * reduced.states <= full.states + 8,
+            "the track swap should pair almost all configurations: {full:?} vs {reduced:?}"
+        );
+    }
+
+    /// Two processes, one readable swap object, and a decision rule that
+    /// only fires under contention: swap your input in, then spin-read
+    /// until the object holds a *foreign* value, and decide that. Solo
+    /// runs never decide (each process re-reads its own swapped value
+    /// forever), so every witness must come from the engine — which makes
+    /// this the protocol that exercises the oracle's witness closure: the
+    /// quotient search finds one of the two mirrored deciding executions,
+    /// and the stabilizer renaming must recover the other.
+    #[derive(Clone, Copy, Debug)]
+    struct ContentionDecider;
+
+    #[derive(Clone, Debug, PartialEq, Eq, Hash)]
+    struct CdState {
+        input: u64,
+        swapped: bool,
+    }
+
+    impl swapcons_sim::Protocol for ContentionDecider {
+        type State = CdState;
+        type Value = Option<u64>;
+
+        fn name(&self) -> String {
+            "contention decider (oracle-closure test protocol)".into()
+        }
+
+        fn task(&self) -> swapcons_sim::KSetTask {
+            swapcons_sim::KSetTask::new(2, 1, 2)
+        }
+
+        fn schemas(&self) -> Vec<swapcons_objects::ObjectSchema> {
+            vec![swapcons_objects::ObjectSchema::readable_swap(
+                swapcons_objects::Domain::Unbounded,
+            )]
+        }
+
+        fn initial_value(&self, _obj: swapcons_sim::ObjectId) -> Option<u64> {
+            None
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: u64) -> CdState {
+            CdState {
+                input,
+                swapped: false,
+            }
+        }
+
+        fn poised(
+            &self,
+            state: &CdState,
+        ) -> (
+            swapcons_sim::ObjectId,
+            swapcons_objects::HistorylessOp<Option<u64>>,
+        ) {
+            let obj = swapcons_sim::ObjectId(0);
+            if state.swapped {
+                (obj, swapcons_objects::HistorylessOp::Read)
+            } else {
+                (
+                    obj,
+                    swapcons_objects::HistorylessOp::Swap(Some(state.input)),
+                )
+            }
+        }
+
+        fn observe(
+            &self,
+            mut state: CdState,
+            response: swapcons_objects::Response<Option<u64>>,
+        ) -> swapcons_sim::Transition<CdState> {
+            let value = response.expect_value("swap and read return the value");
+            if !state.swapped {
+                state.swapped = true;
+                return swapcons_sim::Transition::Continue(state);
+            }
+            match value {
+                Some(v) if v != state.input => swapcons_sim::Transition::Decide(v),
+                _ => swapcons_sim::Transition::Continue(state),
+            }
+        }
+
+        fn symmetry(&self) -> swapcons_sim::Symmetry {
+            swapcons_sim::Symmetry::full_process(2).with_interchangeable_values()
+        }
+
+        fn rename_state(&self, state: &CdState, renaming: &swapcons_sim::Renaming) -> CdState {
+            CdState {
+                input: renaming.value(state.input),
+                swapped: state.swapped,
+            }
+        }
+
+        fn rename_value(
+            &self,
+            _obj: swapcons_sim::ObjectId,
+            value: &Option<u64>,
+            renaming: &swapcons_sim::Renaming,
+        ) -> Option<u64> {
+            value.map(|v| renaming.value(v))
+        }
+    }
+
+    #[test]
+    fn witness_closure_recovers_mirrored_decisions() {
+        swapcons_sim::canon::assert_equivariant(&ContentionDecider, &[0, 1], 6, 8);
+        let c = Configuration::initial(&ContentionDecider, &[0, 1]).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let full = ValencyOracle::new(8, 10_000).query(&ContentionDecider, &c, &group);
+        assert_eq!(full.verdict(), Valency::Bivalent, "{full:?}");
+        assert!(
+            full.states > 0,
+            "no solo run decides, so the engine must have run: {full:?}"
+        );
+        let reduced = ValencyOracle::new(8, 10_000)
+            .with_symmetry_reduction()
+            .query(&ContentionDecider, &c, &group);
+        assert_eq!(reduced.symmetry_group, 2, "{reduced:?}");
+        assert_eq!(reduced.verdict(), Valency::Bivalent, "{reduced:?}");
+        // Both witnesses replay from the *queried* configuration — the
+        // closed-over schedule is a genuine schedule, not a renamed ghost.
+        for (&v, schedule) in &reduced.witnesses {
+            let mut replay = c.clone();
+            let h = runner::replay(&ContentionDecider, &mut replay, schedule).unwrap();
+            assert!(
+                h.decisions().iter().any(|&(_, d)| d == v),
+                "witness for {v} does not replay: {schedule:?}"
+            );
+        }
     }
 
     #[test]

@@ -10,17 +10,29 @@
 //!
 //! # The group of a run
 //!
-//! A [`Renaming`] is a simultaneous permutation `π` of process ids and `σ`
-//! of task input values. It acts on a configuration by moving process `i`'s
-//! status to slot `π(i)` (rewriting embedded ids and values via the
-//! protocol's [`rename_state`]/[`rename_value`]/[`rename_object`] hooks) and
-//! rewriting decisions `v ↦ σ(v)`. For the action to map a *fixed run* —
+//! A [`Renaming`] is a simultaneous permutation `π` of process ids, `σ` of
+//! task input values, and `τ` of object slots. It acts on a configuration by
+//! moving process `i`'s status to slot `π(i)` and object `o`'s value to slot
+//! `τ(o)` (rewriting embedded ids and values via the protocol's
+//! [`rename_state`]/[`rename_value`]/[`rename_object`] hooks) and rewriting
+//! decisions `v ↦ σ(v)`. For the action to map a *fixed run* —
 //! `ModelChecker::check(protocol, inputs)` explores from one concrete input
 //! vector — onto itself, the renaming must stabilize the input assignment:
 //! `σ(inputs[i]) = inputs[π(i)]` for every `i`. [`Canonicalizer::for_inputs`]
 //! enumerates exactly these renamings: `π` ranges over the protocol's
-//! declared interchangeable process classes, and `σ` is *derived* from `π`
-//! and the inputs (identity for protocols without value symmetry).
+//! declared interchangeable process classes *composed with the process
+//! motion of any process-coupled object-class permutation*, `σ` is *derived*
+//! from `π` and the inputs (identity for protocols without value symmetry),
+//! and `τ` is the object permutation the declaration couples to them — a
+//! value-coupled class ([`ObjectClasses::value_coupled`]) moves its blocks
+//! wherever `σ` sends their value labels (`BinaryRacing`'s two tracks swap
+//! exactly when `σ` swaps the two track values), while a process-coupled
+//! class ([`ObjectClasses::process_coupled`]) is enumerated directly and
+//! drags its owner process classes along (`PairsKSet`'s pair swap moves the
+//! pair's swap object *and* both partners together). Protocols whose object
+//! permutation is a function of `π` alone (single-writer registers moving
+//! with their writer, as in `TasConsensus`) keep expressing it through a
+//! [`rename_object`] override instead of a declaration.
 //!
 //! # Soundness
 //!
@@ -56,11 +68,139 @@ use crate::ProcStatus;
 /// Largest renaming group [`Canonicalizer::for_inputs`] will enumerate
 /// (7! — far beyond the instance sizes the explorers handle). Protocols
 /// whose class structure would exceed it degrade soundly to no reduction.
-const MAX_GROUP_ORDER: usize = 5040;
+///
+/// The order is computed on the **composed product**: the factorials of the
+/// process classes multiplied by the factorials of every process-coupled
+/// object class's block count. (Value-coupled object permutations are
+/// *derived* from `σ`, never independently enumerated, so they contribute no
+/// factor.) Exceeding the cap degrades the whole group to trivial — never a
+/// partial subgroup, which could silently bias which orbits collapse.
+pub const MAX_GROUP_ORDER: usize = 5040;
+
+/// A declaration of interchangeable **object blocks** and the coupling that
+/// ties their permutation `τ` to the rest of a renaming.
+///
+/// Blocks map **slot-for-slot**: if block `j` goes to block `τ(j)`, the
+/// `s`-th object of block `j` lands in the `s`-th slot of block `τ(j)` (all
+/// blocks of one class must therefore have the same length, and every pair
+/// of corresponding objects the same schema — [`assert_equivariant`] checks
+/// the latter).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjectClasses {
+    /// The interchangeable blocks, each a list of object ids in slot order.
+    blocks: Vec<Vec<ObjectId>>,
+    coupling: ObjectCoupling,
+}
+
+/// How an [`ObjectClasses`] permutation is induced or enumerated.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum ObjectCoupling {
+    /// `τ` is forced by the value renaming: block `j` carries the data of
+    /// input value `labels[j]`, so it moves to the block labeled
+    /// `σ(labels[j])`. Renamings whose `σ` does not map the label set onto
+    /// itself are discarded (they are not symmetries).
+    Values { labels: Vec<u64> },
+    /// `τ` is enumerated directly and drags processes with it: `π` maps
+    /// `owners[j]` slot-for-slot onto `owners[τ(j)]` (within-class
+    /// permutations from [`Symmetry::process_classes`] compose on top).
+    Processes { owners: Vec<Vec<ProcessId>> },
+}
+
+impl ObjectClasses {
+    /// Blocks whose permutation is induced by the value renaming: block `j`
+    /// holds the data of input value `labels[j]` (the two tracks of
+    /// `BinaryRacing`, labeled by the preference value each track races
+    /// for), so a renaming moves block `j` onto the block labeled
+    /// `σ(labels[j])` — and is discarded entirely if `σ` moves a label off
+    /// the label set. Only meaningful together with
+    /// [`Symmetry::with_interchangeable_values`]; with `σ = id` the blocks
+    /// never move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is malformed: fewer labels than blocks, duplicate
+    /// labels, overlapping or unequal-length blocks.
+    pub fn value_coupled(blocks: Vec<Vec<ObjectId>>, labels: Vec<u64>) -> Self {
+        assert_eq!(blocks.len(), labels.len(), "one label per block");
+        let mut seen = std::collections::BTreeSet::new();
+        assert!(
+            labels.iter().all(|&l| seen.insert(l)),
+            "block labels must be distinct"
+        );
+        let class = ObjectClasses {
+            blocks,
+            coupling: ObjectCoupling::Values { labels },
+        };
+        class.assert_block_shape();
+        class
+    }
+
+    /// Blocks permuted freely (enumerated), each dragging its **owner
+    /// process class** with it: moving block `j` to block `τ(j)` maps
+    /// `owners[j]` slot-for-slot onto `owners[τ(j)]` (`PairsKSet`: pair
+    /// `j`'s swap object owns the pair `{2j, 2j+1}`). Each owner list must
+    /// either coincide with a declared process class or be disjoint from
+    /// all of them, and all owner lists of one object class must be of the
+    /// same kind — [`Canonicalizer::for_inputs`] degrades to trivial
+    /// otherwise, because mixing the two would break the group structure of
+    /// the composed renamings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shape is malformed: owner count ≠ block count, unequal
+    /// owner lengths, overlapping owners, or overlapping/unequal blocks.
+    pub fn process_coupled(blocks: Vec<Vec<ObjectId>>, owners: Vec<Vec<ProcessId>>) -> Self {
+        assert_eq!(blocks.len(), owners.len(), "one owner list per block");
+        assert!(
+            owners.windows(2).all(|w| w[0].len() == w[1].len()),
+            "owner lists must have equal lengths (they map slot-for-slot)"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for owner in &owners {
+            for &p in owner {
+                assert!(seen.insert(p), "owner lists must be disjoint: {p}");
+            }
+        }
+        let class = ObjectClasses {
+            blocks,
+            coupling: ObjectCoupling::Processes { owners },
+        };
+        class.assert_block_shape();
+        class
+    }
+
+    fn assert_block_shape(&self) {
+        assert!(
+            self.blocks.windows(2).all(|w| w[0].len() == w[1].len()),
+            "blocks of one class must have equal lengths (they map slot-for-slot)"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for block in &self.blocks {
+            for &o in block {
+                assert!(seen.insert(o), "blocks must be disjoint: {o}");
+            }
+        }
+    }
+
+    /// Whether this class can never move an object (fewer than two blocks).
+    fn is_trivial(&self) -> bool {
+        self.blocks.len() < 2
+    }
+
+    /// One past the largest object id any block mentions.
+    fn max_object_bound(&self) -> usize {
+        self.blocks
+            .iter()
+            .flatten()
+            .map(|o| o.index() + 1)
+            .max()
+            .unwrap_or(0)
+    }
+}
 
 /// A protocol's declared symmetry group.
 ///
-/// Two independent components, compounded by [`Canonicalizer::for_inputs`]:
+/// Three components, compounded by [`Canonicalizer::for_inputs`]:
 ///
 /// * **process classes** — disjoint sets of interchangeable process ids.
 ///   Processes in the same class may be permuted arbitrarily (given a
@@ -69,10 +209,15 @@ const MAX_GROUP_ORDER: usize = 5040;
 ///   identity of task input values (it moves and compares them but never
 ///   orders, indexes by, or arithmetically combines them), so any
 ///   permutation of `{0, …, m-1}` maps executions to executions.
+/// * **interchangeable object classes** ([`ObjectClasses`]) — blocks of
+///   objects whose permutation `τ` is coupled to the rest of the renaming:
+///   induced by `σ` (value-coupled) or enumerated together with the owner
+///   process classes it drags along (process-coupled).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Symmetry {
     classes: Vec<Vec<ProcessId>>,
     values_interchangeable: bool,
+    object_classes: Vec<ObjectClasses>,
 }
 
 impl Symmetry {
@@ -82,6 +227,7 @@ impl Symmetry {
         Symmetry {
             classes: Vec::new(),
             values_interchangeable: false,
+            object_classes: Vec::new(),
         }
     }
 
@@ -92,6 +238,7 @@ impl Symmetry {
         Symmetry {
             classes: vec![ProcessId::all(n).collect()],
             values_interchangeable: false,
+            object_classes: Vec::new(),
         }
     }
 
@@ -112,6 +259,7 @@ impl Symmetry {
         Symmetry {
             classes,
             values_interchangeable: false,
+            object_classes: Vec::new(),
         }
     }
 
@@ -119,6 +267,15 @@ impl Symmetry {
     #[must_use]
     pub fn with_interchangeable_values(mut self) -> Self {
         self.values_interchangeable = true;
+        self
+    }
+
+    /// Additionally declare a class of interchangeable object blocks (may be
+    /// called repeatedly; the classes' blocks must be mutually disjoint,
+    /// checked at enumeration time).
+    #[must_use]
+    pub fn with_object_classes(mut self, class: ObjectClasses) -> Self {
+        self.object_classes.push(class);
         self
     }
 
@@ -132,24 +289,46 @@ impl Symmetry {
         self.values_interchangeable
     }
 
+    /// The declared interchangeable object classes.
+    pub fn object_classes(&self) -> &[ObjectClasses] {
+        &self.object_classes
+    }
+
     /// Whether the declaration admits no nontrivial renaming at all.
+    /// (A value-coupled object class is counted through
+    /// `values_interchangeable`: with `σ` pinned to the identity its blocks
+    /// can never move.)
     pub fn is_trivial(&self) -> bool {
-        !self.values_interchangeable && self.classes.iter().all(|c| c.len() < 2)
+        !self.values_interchangeable
+            && self.classes.iter().all(|c| c.len() < 2)
+            && self
+                .object_classes
+                .iter()
+                .all(|c| c.is_trivial() || matches!(c.coupling, ObjectCoupling::Values { .. }))
     }
 }
 
-/// A simultaneous renaming `(π, σ)` of process ids and input values.
+/// A simultaneous renaming `(π, σ, τ)` of process ids, input values, and
+/// object slots.
 ///
 /// Obtained from [`Canonicalizer::for_inputs`]; protocols receive it in
 /// their rename hooks and apply [`Renaming::pid`] to every embedded process
-/// id and [`Renaming::value`] to every embedded *task input value* (and to
-/// nothing else — lap counts, rounds, scan positions, flags are untouched).
+/// id, [`Renaming::value`] to every embedded *task input value*, and
+/// [`Renaming::object`] to every embedded object id (and to nothing else —
+/// lap counts, rounds, scan positions, flags are untouched).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Renaming {
     /// `pid_map[i]` is the image of `ProcessId(i)`.
     pid_map: Vec<ProcessId>,
     /// `value_map[v]` is the image of input value `v` (length = task `m`).
     value_map: Vec<u64>,
+    /// `obj_map[o]` is the image of `ObjectId(o)`; objects past the end are
+    /// fixed (an empty map is the identity — the common case for protocols
+    /// without declared object classes). Protocols whose object permutation
+    /// is a function of `π` alone override
+    /// [`rename_object`](crate::Protocol::rename_object) and never consult
+    /// this.
+    obj_map: Vec<ObjectId>,
 }
 
 impl Renaming {
@@ -158,6 +337,7 @@ impl Renaming {
         Renaming {
             pid_map: ProcessId::all(n).collect(),
             value_map: (0..m).collect(),
+            obj_map: Vec::new(),
         }
     }
 
@@ -176,14 +356,38 @@ impl Renaming {
         self.value_map.get(v as usize).copied().unwrap_or(v)
     }
 
-    /// Whether both components are the identity.
-    pub fn is_identity(&self) -> bool {
-        self.is_value_identity() && self.pid_map.iter().enumerate().all(|(i, p)| p.index() == i)
+    /// Image of an object slot under the renaming's declared object
+    /// permutation `τ`. This is what the default
+    /// [`rename_object`](crate::Protocol::rename_object) returns; protocols
+    /// whose object roles follow `π` (single-writer registers) override the
+    /// hook and compute the image from [`Renaming::pid`] instead.
+    pub fn object(&self, o: ObjectId) -> ObjectId {
+        self.obj_map.get(o.index()).copied().unwrap_or(o)
     }
 
-    /// Whether the value component is the identity (`σ = id`). The valency
-    /// oracle only uses such renamings, so decided-value witnesses transfer
-    /// verbatim between orbit-equal configurations.
+    /// Whether all three components are the identity.
+    pub fn is_identity(&self) -> bool {
+        self.is_value_identity()
+            && self.is_object_identity()
+            && self.pid_map.iter().enumerate().all(|(i, p)| p.index() == i)
+    }
+
+    /// Whether the declared object component is the identity (`τ = id`).
+    /// Says nothing about `rename_object` overrides, which derive their
+    /// permutation from `π`.
+    pub fn is_object_identity(&self) -> bool {
+        self.obj_map
+            .iter()
+            .enumerate()
+            .all(|(o, &d)| d.index() == o)
+    }
+
+    /// Whether the value component is the identity (`σ = id`) — under such
+    /// a renaming decided-value witnesses transfer verbatim between
+    /// orbit-equal configurations. (The valency oracle no longer requires
+    /// this: its stabilizer subgroup admits `σ ≠ id` renamings fixing the
+    /// queried configuration and closes the witness set under them
+    /// afterwards.)
     pub fn is_value_identity(&self) -> bool {
         self.value_map
             .iter()
@@ -289,16 +493,23 @@ impl Canonicalizer {
 
     /// Enumerate the renaming group of a run of `protocol` from `inputs`.
     ///
-    /// For every permutation `π` drawn from the declared process classes,
-    /// the value map `σ` is forced by `σ(inputs[i]) = inputs[π(i)]`:
+    /// For every permutation `π` drawn from the declared process classes
+    /// (composed with the owner motion of every process-coupled object
+    /// class), the value map `σ` is forced by `σ(inputs[i]) = inputs[π(i)]`:
     /// protocols without value symmetry require `σ = id` (so `π` must
     /// preserve inputs exactly); value-symmetric protocols accept any `π`
     /// for which the forced map is well-defined and injective, extended by
-    /// the identity off the appearing values.
+    /// the identity off the appearing values. The object permutation `τ` is
+    /// then the composition of the enumerated process-coupled block moves
+    /// with the moves `σ` induces on the value-coupled classes; a `σ` that
+    /// moves a value-coupled label off its label set invalidates the whole
+    /// renaming (it is not a symmetry).
     ///
-    /// Class structures whose group would exceed [`MAX_GROUP_ORDER`] (or a
-    /// symmetry declaration inconsistent with the instance) degrade to the
-    /// trivial group — always sound, never wrong, just unreduced.
+    /// Class structures whose **composed** group would exceed
+    /// [`MAX_GROUP_ORDER`] (or a symmetry declaration inconsistent with the
+    /// instance) degrade to the trivial group — always sound, never wrong,
+    /// just unreduced. The degrade is all-or-nothing: enumerating a partial
+    /// subgroup could silently bias which orbits collapse.
     pub fn for_inputs<P: Protocol>(protocol: &P, inputs: &[u64]) -> Self {
         let sym = protocol.symmetry();
         let task = protocol.task();
@@ -312,18 +523,34 @@ impl Canonicalizer {
         {
             return Canonicalizer::trivial();
         }
-        let Some(pid_maps) = enumerate_pid_maps(&sym, task.n) else {
+        if !object_classes_valid(&sym, task.n, protocol.num_objects()) {
+            return Canonicalizer::trivial();
+        }
+        let Some(skeletons) = enumerate_skeletons(&sym, task.n) else {
             return Canonicalizer::trivial();
         };
         let mut renamings = Vec::new();
-        for pid_map in pid_maps {
-            if pid_map.iter().enumerate().all(|(i, p)| p.index() == i) {
-                continue; // the identity is implicit
+        for skeleton in skeletons {
+            let Some(value_map) = derive_value_map(
+                inputs,
+                &skeleton.pid_map,
+                sym.values_interchangeable(),
+                task.m,
+            ) else {
+                continue;
+            };
+            let mut obj_map = skeleton.obj_map;
+            if compose_value_coupled_moves(&sym, &value_map, &mut obj_map).is_none() {
+                continue; // σ moves a label off its label set: not a symmetry
             }
-            if let Some(value_map) =
-                derive_value_map(inputs, &pid_map, sym.values_interchangeable(), task.m)
-            {
-                renamings.push(Renaming { pid_map, value_map });
+            let g = Renaming {
+                pid_map: skeleton.pid_map,
+                value_map,
+                obj_map,
+            };
+            if !g.is_identity() {
+                // The identity is implicit.
+                renamings.push(g);
             }
         }
         Canonicalizer { renamings }
@@ -344,8 +571,12 @@ impl Canonicalizer {
         &self.renamings
     }
 
-    /// Keep only the renamings satisfying `keep` (the valency oracle
-    /// restricts to `σ = id` renamings stabilizing its process group).
+    /// Keep only the renamings satisfying `keep`. The caller's predicate
+    /// must carve out a **subgroup** (closed under composition and
+    /// inverse) for the result to remain sound as a dedup group — e.g. the
+    /// valency oracle retains the stabilizer of its query: renamings that
+    /// fix the queried configuration exactly and map the queried process
+    /// group onto itself.
     pub fn retain(&mut self, keep: impl FnMut(&Renaming) -> bool) {
         self.renamings.retain(keep);
     }
@@ -375,38 +606,187 @@ fn index_permutations(k: usize) -> Vec<Vec<usize>> {
     out
 }
 
-/// All pid maps drawn from the class structure: the product over classes of
-/// the full symmetric group on each class, identity elsewhere. `None` if the
+/// Validate the object-class declarations against the instance: blocks
+/// mutually disjoint across classes and within the object range, owner pids
+/// within the process range, and every process-coupled owner list either
+/// **exactly** a declared process class or **disjoint from all** declared
+/// classes — uniformly so across one object class (all owner lists of one
+/// kind, never a mix). Both restrictions exist because the enumerated
+/// renamings must form a group: block moves must map within-class
+/// permutations onto within-class permutations, which holds precisely when
+/// a move permutes whole declared classes among themselves (every owner a
+/// class) or touches no class at all (every owner class-free). A mixed
+/// class would conjugate a within-class permutation onto a permutation of
+/// class-free processes, which the enumeration never generates — the
+/// resulting set would not be closed under composition. Owner lists of
+/// *different* object classes must not overlap either — two classes
+/// dragging the same process would compose into process motions outside
+/// the enumerated set the same way.
+fn object_classes_valid(sym: &Symmetry, n: usize, num_objects: usize) -> bool {
+    let mut seen = vec![false; num_objects];
+    let mut owned = vec![false; n];
+    for class in sym.object_classes() {
+        for &o in class.blocks.iter().flatten() {
+            if o.index() >= num_objects || std::mem::replace(&mut seen[o.index()], true) {
+                return false;
+            }
+        }
+        let ObjectCoupling::Processes { owners } = &class.coupling else {
+            continue;
+        };
+        // `true` = this class's owners are declared classes, `false` =
+        // they avoid all declared classes; fixed by the first owner list.
+        let mut class_kind: Option<bool> = None;
+        for owner in owners {
+            if owner.iter().any(|p| p.index() >= n) {
+                return false;
+            }
+            if owner
+                .iter()
+                .any(|p| std::mem::replace(&mut owned[p.index()], true))
+            {
+                return false;
+            }
+            let owner_set: std::collections::BTreeSet<ProcessId> = owner.iter().copied().collect();
+            let matches_a_class = sym
+                .classes()
+                .iter()
+                .any(|c| c.len() == owner.len() && c.iter().all(|p| owner_set.contains(p)));
+            let disjoint_from_all = sym
+                .classes()
+                .iter()
+                .all(|c| c.iter().all(|p| !owner_set.contains(p)));
+            let kind = if matches_a_class {
+                true
+            } else if disjoint_from_all {
+                false
+            } else {
+                return false;
+            };
+            if *class_kind.get_or_insert(kind) != kind {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// One enumerated pre-`σ` component of a renaming: a pid map composed from
+/// the within-class permutations and the process-coupled block moves, plus
+/// the object motion of the latter. (Value-coupled object motion is derived
+/// from `σ` afterwards.)
+struct Skeleton {
+    pid_map: Vec<ProcessId>,
+    obj_map: Vec<ObjectId>,
+}
+
+/// All skeletons drawn from the declaration: the product over process
+/// classes of the full symmetric group on each class, composed with the
+/// product over process-coupled object classes of all block permutations
+/// (each dragging its owner lists slot-for-slot). `None` if the composed
 /// product would exceed [`MAX_GROUP_ORDER`].
-fn enumerate_pid_maps(sym: &Symmetry, n: usize) -> Option<Vec<Vec<ProcessId>>> {
+fn enumerate_skeletons(sym: &Symmetry, n: usize) -> Option<Vec<Skeleton>> {
     let mut order: usize = 1;
-    for class in sym.classes() {
-        for i in 2..=class.len() {
+    let enumerated_sizes = sym.classes().iter().map(Vec::len).chain(
+        sym.object_classes()
+            .iter()
+            .filter(|c| matches!(c.coupling, ObjectCoupling::Processes { .. }))
+            .map(|c| c.blocks.len()),
+    );
+    for len in enumerated_sizes {
+        for i in 2..=len {
             order = order.checked_mul(i)?;
             if order > MAX_GROUP_ORDER {
                 return None;
             }
         }
     }
-    let mut maps: Vec<Vec<ProcessId>> = vec![ProcessId::all(n).collect()];
+    // Objects past every declared block are fixed by all skeletons; sizing
+    // the maps to the declared bound keeps undeclared protocols at the
+    // empty (identity) object map.
+    let object_bound = sym
+        .object_classes()
+        .iter()
+        .map(ObjectClasses::max_object_bound)
+        .max()
+        .unwrap_or(0);
+    let mut maps = vec![Skeleton {
+        pid_map: ProcessId::all(n).collect(),
+        obj_map: ObjectId::all(object_bound).collect(),
+    }];
     for class in sym.classes() {
         if class.len() < 2 {
             continue;
         }
         let perms = index_permutations(class.len());
         let mut next = Vec::with_capacity(maps.len() * perms.len());
-        for map in &maps {
+        for skeleton in &maps {
             for perm in &perms {
-                let mut composed = map.clone();
+                let mut composed = skeleton.pid_map.clone();
                 for (i, &j) in perm.iter().enumerate() {
-                    composed[class[i].index()] = map[class[j].index()];
+                    composed[class[i].index()] = skeleton.pid_map[class[j].index()];
                 }
-                next.push(composed);
+                next.push(Skeleton {
+                    pid_map: composed,
+                    obj_map: skeleton.obj_map.clone(),
+                });
+            }
+        }
+        maps = next;
+    }
+    for class in sym.object_classes() {
+        let ObjectCoupling::Processes { owners } = &class.coupling else {
+            continue;
+        };
+        if class.blocks.len() < 2 {
+            continue;
+        }
+        let perms = index_permutations(class.blocks.len());
+        let mut next = Vec::with_capacity(maps.len() * perms.len());
+        for skeleton in &maps {
+            for perm in &perms {
+                let mut pid_map = skeleton.pid_map.clone();
+                let mut obj_map = skeleton.obj_map.clone();
+                for (j, &tj) in perm.iter().enumerate() {
+                    for (s, &p) in owners[j].iter().enumerate() {
+                        pid_map[p.index()] = skeleton.pid_map[owners[tj][s].index()];
+                    }
+                    for (s, &o) in class.blocks[j].iter().enumerate() {
+                        obj_map[o.index()] = skeleton.obj_map[class.blocks[tj][s].index()];
+                    }
+                }
+                next.push(Skeleton { pid_map, obj_map });
             }
         }
         maps = next;
     }
     Some(maps)
+}
+
+/// Compose into `obj_map` the block moves `σ` induces on the value-coupled
+/// classes: block `j` (labeled `labels[j]`) moves to the block labeled
+/// `σ(labels[j])`. `None` if `σ` sends a label off its label set — such a
+/// renaming is not a symmetry and must be discarded whole.
+fn compose_value_coupled_moves(
+    sym: &Symmetry,
+    value_map: &[u64],
+    obj_map: &mut [ObjectId],
+) -> Option<()> {
+    for class in sym.object_classes() {
+        let ObjectCoupling::Values { labels } = &class.coupling else {
+            continue;
+        };
+        for (j, &label) in labels.iter().enumerate() {
+            let image = value_map.get(label as usize).copied().unwrap_or(label);
+            let tj = labels.iter().position(|&l| l == image)?;
+            // Value- and process-coupled blocks are disjoint (validated), so
+            // this never overwrites a process-coupled move.
+            for (s, &o) in class.blocks[j].iter().enumerate() {
+                obj_map[o.index()] = class.blocks[tj][s];
+            }
+        }
+    }
+    Some(())
 }
 
 /// The value map forced by `σ(inputs[i]) = inputs[π(i)]`, or `None` if `π`
@@ -452,25 +832,44 @@ fn derive_value_map(
 }
 
 /// The canonical representative of an input vector's orbit under the
-/// declared symmetry: the lexicographic minimum over class permutations of
-/// the permuted vector, value-normalized by first occurrence when values are
-/// interchangeable. `check_all_inputs` under reduction visits exactly the
-/// vectors that are their own canonical form.
+/// declared symmetry: the lexicographic minimum over class (and
+/// process-coupled block) permutations of the permuted vector, additionally
+/// value-normalized by first occurrence when values are interchangeable and
+/// the implied `σ` keeps every value-coupled label set intact.
+/// `check_all_inputs` under reduction visits exactly the vectors that are
+/// their own canonical form — sound because every candidate is the image of
+/// `inputs` under a genuine protocol symmetry and the identity is always a
+/// candidate, so every orbit contains a self-canonical vector.
 pub fn canonical_input_vector(sym: &Symmetry, inputs: &[u64]) -> Vec<u64> {
     let n = inputs.len();
-    let maps = enumerate_pid_maps(sym, n).unwrap_or_else(|| vec![ProcessId::all(n).collect()]);
+    let skeletons = enumerate_skeletons(sym, n).unwrap_or_else(|| {
+        vec![Skeleton {
+            pid_map: ProcessId::all(n).collect(),
+            obj_map: Vec::new(),
+        }]
+    });
     let mut best: Option<Vec<u64>> = None;
-    for map in &maps {
+    let consider = |candidate: Vec<u64>, best: &mut Option<Vec<u64>>| {
+        if best.as_ref().is_none_or(|b| candidate < *b) {
+            *best = Some(candidate);
+        }
+    };
+    for skeleton in &skeletons {
         let mut candidate = vec![0u64; n];
         for (i, &v) in inputs.iter().enumerate() {
-            candidate[map[i].index()] = v;
+            candidate[skeleton.pid_map[i].index()] = v;
         }
         if sym.values_interchangeable() {
-            normalize_first_occurrence(&mut candidate);
+            let mut normalized = candidate.clone();
+            let value_map = normalize_first_occurrence(&mut normalized);
+            if value_map_respects_labels(sym, &value_map) {
+                consider(normalized, &mut best);
+            }
         }
-        if best.as_ref().is_none_or(|b| candidate < *b) {
-            best = Some(candidate);
-        }
+        // σ = id is always a compatible value component (and normalization,
+        // when permitted, never beats the un-normalized candidate upward —
+        // first-occurrence values are pointwise ≤ the originals).
+        consider(candidate, &mut best);
     }
     best.expect("the identity permutation always yields a candidate")
 }
@@ -480,8 +879,9 @@ pub fn inputs_are_canonical(sym: &Symmetry, inputs: &[u64]) -> bool {
     canonical_input_vector(sym, inputs) == inputs
 }
 
-/// Rename values to `0, 1, 2, …` in order of first appearance.
-fn normalize_first_occurrence(v: &mut [u64]) {
+/// Rename values to `0, 1, 2, …` in order of first appearance, returning
+/// the applied `(from, to)` pairs.
+fn normalize_first_occurrence(v: &mut [u64]) -> Vec<(u64, u64)> {
     let mut map: Vec<(u64, u64)> = Vec::new();
     for x in v.iter_mut() {
         let renamed = match map.iter().find(|(from, _)| from == x) {
@@ -494,6 +894,22 @@ fn normalize_first_occurrence(v: &mut [u64]) {
         };
         *x = renamed;
     }
+    map
+}
+
+/// Whether a partial value map extends to a permutation stabilizing every
+/// value-coupled label set: each mapped pair must stay on the same side of
+/// each label set (membership preserved ⟹ the unmapped remainders of each
+/// set have equal sizes, so a stabilizing extension exists).
+fn value_map_respects_labels(sym: &Symmetry, value_map: &[(u64, u64)]) -> bool {
+    sym.object_classes()
+        .iter()
+        .all(|class| match &class.coupling {
+            ObjectCoupling::Values { labels } => value_map
+                .iter()
+                .all(|(from, to)| labels.contains(from) == labels.contains(to)),
+            ObjectCoupling::Processes { .. } => true,
+        })
 }
 
 /// Per-renaming lookup tables for the incremental orbit-fingerprint path:
@@ -530,8 +946,9 @@ pub struct CanonicalVisitedSet<P: Protocol> {
     renamings: Vec<Renaming>,
     /// Inverse-permutation tables, one per renaming; built lazily on the
     /// first probe (the object permutation needs the protocol, which `new`
-    /// does not see). `OnceCell` keeps probes `&self`.
-    tables: std::cell::OnceCell<Vec<RenamingTables>>,
+    /// does not see). `OnceLock` keeps probes `&self` and the set shareable
+    /// across threads once the sharded frontier lands (ROADMAP).
+    tables: std::sync::OnceLock<Vec<RenamingTables>>,
     buckets: PrehashedMap<Vec<Configuration<P>>>,
     len: usize,
     mask: u64,
@@ -544,7 +961,7 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
     pub fn new(canon: Canonicalizer) -> Self {
         CanonicalVisitedSet {
             renamings: canon.renamings,
-            tables: std::cell::OnceCell::new(),
+            tables: std::sync::OnceLock::new(),
             buckets: PrehashedMap::default(),
             len: 0,
             mask: u64::MAX,
@@ -854,7 +1271,23 @@ pub fn assert_equivariant<P: Protocol>(protocol: &P, inputs: &[u64], steps: usiz
     use rand::{Rng, SeedableRng};
     let canon = Canonicalizer::for_inputs(protocol, inputs);
     let initial = Configuration::initial(protocol, inputs).expect("valid inputs");
+    let num_objects = protocol.num_objects();
     for g in canon.renamings() {
+        // The object component (declared τ or a rename_object override) must
+        // be a schema-preserving permutation — a renamed configuration must
+        // make every operation legal on its new slot.
+        let mut hit = vec![false; num_objects];
+        for o in (0..num_objects).map(ObjectId) {
+            let dst = protocol.rename_object(o, g);
+            assert!(
+                dst.index() < num_objects && !std::mem::replace(&mut hit[dst.index()], true),
+                "renaming {g:?}: rename_object is not a permutation at {o}"
+            );
+            assert!(
+                protocol.schema(o) == protocol.schema(dst),
+                "renaming {g:?} moves {o} onto {dst}, whose schema differs"
+            );
+        }
         assert!(
             apply_renaming(protocol, g, &initial) == initial,
             "renaming {g:?} does not fix the initial configuration for inputs {inputs:?}"
@@ -919,6 +1352,184 @@ mod tests {
             vec![ProcessId(0), ProcessId(1)],
             vec![ProcessId(1), ProcessId(2)],
         ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "blocks must be disjoint")]
+    fn overlapping_blocks_rejected() {
+        let _ = ObjectClasses::value_coupled(
+            vec![
+                vec![ObjectId(0), ObjectId(1)],
+                vec![ObjectId(1), ObjectId(2)],
+            ],
+            vec![0, 1],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per block")]
+    fn label_count_mismatch_rejected() {
+        let _ = ObjectClasses::value_coupled(vec![vec![ObjectId(0)], vec![ObjectId(1)]], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn unequal_blocks_rejected() {
+        let _ = ObjectClasses::process_coupled(
+            vec![vec![ObjectId(0), ObjectId(1)], vec![ObjectId(2)]],
+            vec![vec![], vec![]],
+        );
+    }
+
+    #[test]
+    fn object_symmetry_flips_triviality() {
+        // A process-coupled class with two blocks admits a renaming even
+        // with no process classes and no value symmetry; a value-coupled
+        // class alone does not (σ is pinned to the identity).
+        let blocks = || vec![vec![ObjectId(0)], vec![ObjectId(1)]];
+        let free = Symmetry::none().with_object_classes(ObjectClasses::process_coupled(
+            blocks(),
+            vec![vec![], vec![]],
+        ));
+        assert!(!free.is_trivial());
+        let value_coupled_only = Symmetry::none()
+            .with_object_classes(ObjectClasses::value_coupled(blocks(), vec![0, 1]));
+        assert!(value_coupled_only.is_trivial());
+        assert!(!value_coupled_only
+            .clone()
+            .with_interchangeable_values()
+            .is_trivial());
+    }
+
+    #[test]
+    fn renaming_object_component_defaults_to_identity() {
+        let id = Renaming::identity(2, 4);
+        assert!(id.is_object_identity());
+        assert_eq!(id.object(ObjectId(7)), ObjectId(7), "out of range = fixed");
+    }
+
+    #[test]
+    fn composed_group_order_degrades_to_trivial() {
+        // 8 freely interchangeable blocks would be 8! = 40320 > 5040: the
+        // composed product degrades whole, not partially.
+        let big: Vec<Vec<ObjectId>> = (0..8).map(|i| vec![ObjectId(i)]).collect();
+        let sym = Symmetry::none()
+            .with_object_classes(ObjectClasses::process_coupled(big, vec![Vec::new(); 8]));
+        assert!(enumerate_skeletons(&sym, 2).is_none());
+        // 7 blocks are exactly 5040 — still enumerated.
+        let edge: Vec<Vec<ObjectId>> = (0..7).map(|i| vec![ObjectId(i)]).collect();
+        let sym = Symmetry::none()
+            .with_object_classes(ObjectClasses::process_coupled(edge, vec![Vec::new(); 7]));
+        assert_eq!(enumerate_skeletons(&sym, 2).unwrap().len(), 5040);
+        // Process classes multiply in: 3! process permutations × 7! blocks
+        // overflows the cap again.
+        let seven: Vec<Vec<ObjectId>> = (0..7).map(|i| vec![ObjectId(i)]).collect();
+        let sym = Symmetry::full_process(3)
+            .with_object_classes(ObjectClasses::process_coupled(seven, vec![Vec::new(); 7]));
+        assert!(enumerate_skeletons(&sym, 3).is_none());
+    }
+
+    #[test]
+    fn owner_lists_must_match_or_avoid_declared_classes() {
+        // owners[0] overlaps the declared class {p0, p1} without equaling
+        // it: the composed renamings would not form a group, so the
+        // enumeration must degrade to trivial.
+        let sym = Symmetry::process_classes(vec![vec![ProcessId(0), ProcessId(1)]])
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![vec![ProcessId(0)], vec![ProcessId(2)]],
+            ));
+        assert!(!object_classes_valid(&sym, 3, 2));
+        // Owner lists that are exactly declared classes pass.
+        let sym = Symmetry::process_classes(vec![
+            vec![ProcessId(0), ProcessId(1)],
+            vec![ProcessId(2), ProcessId(3)],
+        ])
+        .with_object_classes(ObjectClasses::process_coupled(
+            vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+            vec![
+                vec![ProcessId(0), ProcessId(1)],
+                vec![ProcessId(2), ProcessId(3)],
+            ],
+        ));
+        assert!(object_classes_valid(&sym, 4, 2));
+        // Owner lists disjoint from every class pass too.
+        let sym = Symmetry::process_classes(vec![vec![ProcessId(0), ProcessId(1)]])
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![vec![ProcessId(2)], vec![ProcessId(3)]],
+            ));
+        assert!(object_classes_valid(&sym, 4, 2));
+        // Mixing the two kinds within one object class is rejected: a block
+        // move would conjugate the {p0, p1} within-class swap onto a
+        // {p2, p3} permutation the enumeration never generates, so the
+        // renamings would not be closed under composition.
+        let sym = Symmetry::process_classes(vec![vec![ProcessId(0), ProcessId(1)]])
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![
+                    vec![ProcessId(0), ProcessId(1)],
+                    vec![ProcessId(2), ProcessId(3)],
+                ],
+            ));
+        assert!(!object_classes_valid(&sym, 4, 2));
+        // Owner lists of different object classes must not overlap either:
+        // two classes dragging p1 would compose into a 3-cycle whose
+        // inverse the enumeration never generates.
+        let sym = Symmetry::none()
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![vec![ProcessId(0)], vec![ProcessId(1)]],
+            ))
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(2)], vec![ObjectId(3)]],
+                vec![vec![ProcessId(1)], vec![ProcessId(2)]],
+            ));
+        assert!(!object_classes_valid(&sym, 3, 4));
+    }
+
+    #[test]
+    fn process_coupled_blocks_drag_their_owners() {
+        // Pair-style declaration: swapping the blocks must swap the owner
+        // classes slot-for-slot, visible in the canonical input vector even
+        // without value symmetry.
+        let sym = Symmetry::process_classes(vec![
+            vec![ProcessId(0), ProcessId(1)],
+            vec![ProcessId(2), ProcessId(3)],
+        ])
+        .with_object_classes(ObjectClasses::process_coupled(
+            vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+            vec![
+                vec![ProcessId(0), ProcessId(1)],
+                vec![ProcessId(2), ProcessId(3)],
+            ],
+        ));
+        assert_eq!(
+            canonical_input_vector(&sym, &[3, 3, 0, 0]),
+            vec![0, 0, 3, 3]
+        );
+        assert!(inputs_are_canonical(&sym, &[0, 0, 3, 3]));
+    }
+
+    #[test]
+    fn value_coupled_labels_gate_input_normalization() {
+        // Labels {0, 1}: a first-occurrence σ sending 2 ↦ 0 would move a
+        // non-label onto a label, which no symmetry admits — [2, 2] must
+        // stay canonical instead of collapsing to [0, 0].
+        let sym = Symmetry::full_process(2)
+            .with_interchangeable_values()
+            .with_object_classes(ObjectClasses::value_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![0, 1],
+            ));
+        assert!(inputs_are_canonical(&sym, &[2, 2]));
+        // Swapping 0 and 1 keeps the label set intact: still collapsible.
+        assert_eq!(canonical_input_vector(&sym, &[1, 1]), vec![0, 0]);
+        assert_eq!(canonical_input_vector(&sym, &[1, 0]), vec![0, 1]);
+        // Without the value-coupled class the same declaration normalizes
+        // [2, 2] freely — the gate is the labels, nothing else.
+        let free = Symmetry::full_process(2).with_interchangeable_values();
+        assert_eq!(canonical_input_vector(&free, &[2, 2]), vec![0, 0]);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! * [`ModelChecker`](explore::ModelChecker) — an engine client —
 //!   exhaustively explores small instances, checking k-agreement and
 //!   validity on every reachable configuration and solo-termination bounds
-//!   (obstruction-freedom); [`AdversarySynthesis`](engine::AdversarySynthesis)
+//!   (obstruction-freedom); [`AdversarySynthesis`]
 //!   — another client — searches for worst-case schedules maximizing a
 //!   caller-defined objective;
 //! * the lower-bound adversaries in `swapcons-lower` drive configurations
@@ -63,7 +63,7 @@ pub mod search;
 pub mod task;
 pub mod testing;
 
-pub use canon::{Canonicalizer, Renaming, Symmetry};
+pub use canon::{Canonicalizer, ObjectClasses, Renaming, Symmetry};
 pub use config::{Configuration, ProcStatus, SimError, StepUndo};
 pub use engine::{AdversarySynthesis, SynthesisReport};
 pub use history::{History, StepRecord};

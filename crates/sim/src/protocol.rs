@@ -183,13 +183,20 @@ pub trait Protocol {
         value.clone()
     }
 
-    /// The object permutation induced by a renaming, for protocols whose
-    /// object *roles* are tied to process ids or values (single-writer
-    /// registers move with their writer). Must be a permutation mapping each
-    /// object to one with an identical schema. Default: identity.
+    /// The object permutation applied by a renaming. Must be a permutation
+    /// mapping each object to one with an identical schema
+    /// ([`crate::canon::assert_equivariant`] checks both).
+    ///
+    /// The default returns the renaming's **declared** object component
+    /// ([`Renaming::object`]) — the permutation
+    /// [`crate::Canonicalizer::for_inputs`] composed from the protocol's
+    /// [`crate::canon::ObjectClasses`] declarations (identity for protocols
+    /// without any). Override it only when the object permutation is a
+    /// *function of `π`* rather than a declarable class structure —
+    /// single-writer registers moving with their writer pid, as in
+    /// `TasConsensus`.
     fn rename_object(&self, obj: ObjectId, renaming: &Renaming) -> ObjectId {
-        let _ = renaming;
-        obj
+        renaming.object(obj)
     }
 }
 

@@ -134,8 +134,10 @@ proptest! {
     }
 
     /// Binary racing under reduction: same verdicts across the n=2 input
-    /// grid (full process symmetry, no value symmetry — the asymmetric
-    /// tie-break between tracks is real and must NOT be quotiented).
+    /// grid. Since the value-coupled track class landed, the two input
+    /// values ARE interchangeable — but only together with the track swap
+    /// the coupling forces, so every input vector (not just the unanimous
+    /// ones) now runs with a nontrivial group.
     #[test]
     fn binary_racing_reduced_check_matches_full(a in 0u64..2, b in 0u64..2) {
         let p = BinaryRacing::with_track_len(2, 8);
@@ -144,6 +146,66 @@ proptest! {
         let reduced = checker.with_symmetry_reduction().check(&p, &[a, b]);
         prop_assert!(full.same_verdict(&reduced), "{} vs {}", full, reduced);
         prop_assert!(reduced.states <= full.states);
+        prop_assert_eq!(reduced.symmetry_group, 2, "{}", reduced);
+    }
+
+    /// Object-permuted runs are isomorphic. Mirroring a `BinaryRacing`
+    /// instance (flip every input; the coupled renaming flips preferences
+    /// and swaps the two tracks, with π = id so even the DFS traversal
+    /// order is preserved) and pair-swapping a `PairsKSet` instance (finite
+    /// space, so exhaustive either way) both rename executions one-to-one:
+    /// full checks must reach identical verdicts and state counts.
+    #[test]
+    fn object_permuted_runs_are_isomorphic(a in 0u64..2, b in 0u64..2, c in 0u64..2) {
+        let p = BinaryRacing::with_track_len(3, 8);
+        let checker = ModelChecker::new(12, 100_000);
+        let base = checker.check(&p, &[a, b, c]);
+        let mirrored = checker.check(&p, &[1 - a, 1 - b, 1 - c]);
+        prop_assert!(base.same_verdict(&mirrored), "{} vs {}", base, mirrored);
+        prop_assert_eq!(base.states, mirrored.states);
+        // Pair swap: pair (p0,p1) trades places with pair (p2,p3), object
+        // and all.
+        let p = PairsKSet::new(4, 2, 3);
+        let inputs = [a, b, c, (a + b) % 3];
+        let swapped = [c, (a + b) % 3, a, b];
+        let checker = ModelChecker::new(10, 100_000).with_solo_budget(1);
+        let base = checker.check(&p, &inputs);
+        let other = checker.check(&p, &swapped);
+        prop_assert!(base.complete && other.complete);
+        prop_assert!(base.same_verdict(&other), "{} vs {}", base, other);
+        prop_assert_eq!(base.states, other.states);
+    }
+
+    /// The oracle's composed stabilizer, from arbitrary reachable
+    /// configurations: whatever contention prefix ran, the reduced query
+    /// must reach the full query's verdict and witness-value set (the
+    /// stabilizer adapts per configuration — symmetric roots get the track
+    /// swap, asymmetric ones degrade toward trivial, both soundly).
+    #[test]
+    fn oracle_stabilizer_matches_full_from_reachable_configs(
+        seed in 0u64..100, contention in 0usize..10
+    ) {
+        let p = BinaryRacing::with_track_len(4, 10);
+        let mut config = Configuration::initial(&p, &[0, 1, 0, 1]).unwrap();
+        runner::run(&p, &mut config, &mut SeededRandom::new(seed), contention).unwrap();
+        let group = [ProcessId(0), ProcessId(1)];
+        let full = ValencyOracle::new(12, 30_000).query(&p, &config, &group);
+        let reduced = ValencyOracle::new(12, 30_000)
+            .with_symmetry_reduction()
+            .query(&p, &config, &group);
+        prop_assert!(reduced.states <= full.states);
+        let keys = |r: &swapcons::lower::valency::ValencyResult| {
+            r.witnesses.keys().copied().collect::<std::collections::BTreeSet<u64>>()
+        };
+        if full.exhaustive && reduced.exhaustive {
+            prop_assert_eq!(full.verdict(), reduced.verdict());
+            prop_assert_eq!(keys(&full), keys(&reduced));
+        }
+        for (&v, schedule) in &reduced.witnesses {
+            let mut replay = config.clone();
+            let h = runner::replay(&p, &mut replay, schedule).unwrap();
+            prop_assert!(h.decisions().iter().any(|&(_, d)| d == v));
+        }
     }
 }
 

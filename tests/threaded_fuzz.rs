@@ -15,6 +15,17 @@
 //! Seeds are deterministic (derived from a fixed master seed), so a failure
 //! reproduces by rerunning the test; the failing case's parameters are in
 //! the panic message.
+//!
+//! # Widening the sweep
+//!
+//! The per-PR defaults are deliberately cheap. The nightly CI job widens
+//! them through environment variables read at test start:
+//!
+//! * `SWAPCONS_FUZZ_CASES` — sampled cases for the main sweep (default 24;
+//!   the unanimous and repeat variants scale proportionally);
+//! * `SWAPCONS_FUZZ_SEED` — master seed for case derivation (default
+//!   `0x5EED_CA5E`), so distinct nights explore distinct case sets while
+//!   any single run stays reproducible from its printed parameters.
 
 use std::collections::HashSet;
 use std::sync::mpsc;
@@ -27,6 +38,30 @@ use swapcons::core::threaded::ThreadedKSet;
 /// Generous ceiling per sampled race (they complete in milliseconds in
 /// practice; the guard exists to convert livelock into failure).
 const GUARD: Duration = Duration::from_secs(60);
+
+/// Number of cases for the main sweep: `SWAPCONS_FUZZ_CASES` or 24.
+fn fuzz_cases() -> usize {
+    env_or("SWAPCONS_FUZZ_CASES", 24)
+}
+
+/// Master seed for case derivation: `SWAPCONS_FUZZ_SEED` or `0x5EED_CA5E`.
+fn fuzz_seed() -> u64 {
+    env_or("SWAPCONS_FUZZ_SEED", 0x5EED_CA5E)
+}
+
+/// Parse an env var, panicking on malformed values (a silently ignored
+/// nightly widening would be worse than a loud failure).
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T
+where
+    T::Err: std::fmt::Debug,
+{
+    match std::env::var(name) {
+        Ok(raw) => raw
+            .parse()
+            .unwrap_or_else(|e| panic!("{name}={raw} did not parse: {e:?}")),
+        Err(_) => default,
+    }
+}
 
 /// Run `f` on a fresh thread, failing the test if it outlives `GUARD`.
 fn bounded<T: Send + 'static>(label: String, f: impl FnOnce() -> T + Send + 'static) -> T {
@@ -125,10 +160,11 @@ impl FuzzCase {
 
 #[test]
 fn fuzz_threaded_kset_random_shapes_and_perturbations() {
-    // Deterministic master seed: every CI run executes the same sampled
-    // cases; bump the seed (or the count) to widen the sweep.
-    let mut rng = StdRng::seed_from_u64(0x5EED_CA5E);
-    for case_index in 0..24 {
+    // Deterministic master seed: every run of one configuration executes
+    // the same sampled cases; the nightly job widens count and seed via
+    // the environment (see the module docs).
+    let mut rng = StdRng::seed_from_u64(fuzz_seed());
+    for case_index in 0..fuzz_cases() {
         let case = FuzzCase::sample(&mut rng);
         let label = format!("fuzz case {case_index}: {case:?}");
         let decisions = {
@@ -143,8 +179,8 @@ fn fuzz_threaded_kset_random_shapes_and_perturbations() {
 fn fuzz_unanimous_inputs_always_decide_the_input() {
     // Validity pinned harder: with unanimous inputs, every decision must be
     // exactly that input, whatever the shape or perturbation.
-    let mut rng = StdRng::seed_from_u64(0xF0BB ^ 0xBEEF);
-    for case_index in 0..8 {
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0xF0BB ^ 0xBEEF);
+    for case_index in 0..fuzz_cases().div_ceil(3) {
         let mut case = FuzzCase::sample(&mut rng);
         let v = case.inputs[0];
         case.inputs = vec![v; case.n];
@@ -165,9 +201,9 @@ fn fuzz_repeated_same_seed_is_safe_across_reruns() {
     // The same case run repeatedly under real scheduling noise: safety must
     // hold on every repetition (the OS gives a different interleaving each
     // time even with identical perturbation).
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 7);
     let case = FuzzCase::sample(&mut rng);
-    for round in 0..6 {
+    for round in 0..fuzz_cases().div_ceil(4) {
         let label = format!("repeat round {round}: {case:?}");
         let decisions = {
             let case = case.clone();

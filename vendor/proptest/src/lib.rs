@@ -307,7 +307,7 @@ pub mod collection {
         }
     }
 
-    /// What [`vec`] returns.
+    /// What [`vec()`](fn@vec) returns.
     #[derive(Clone, Debug)]
     pub struct VecStrategy<S> {
         element: S,
