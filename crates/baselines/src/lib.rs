@@ -29,6 +29,8 @@
 //!   construction (whose technical report is not openly available — this is
 //!   the documented substitution from DESIGN.md).
 
+// Unsafe-code audit (PR 6): the baselines are pure safe Rust.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

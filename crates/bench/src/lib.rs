@@ -2,6 +2,8 @@
 //! `benches/`; this library hosts shared helpers for the harnesses
 //! (workload construction and plain-text table rendering).
 
+// Unsafe-code audit (PR 6): the bench helpers are pure safe Rust.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod harness;

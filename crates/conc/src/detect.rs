@@ -1,0 +1,402 @@
+//! Vector-clock happens-before race detection.
+//!
+//! The detector maintains the *synchronizes-with* happens-before relation
+//! of one execution: each thread carries a [`VClock`]; atomic objects and
+//! locks carry release clocks that acquiring threads join. Plain
+//! (unsynchronized) data accesses are reported through the
+//! [`crate::hooks`] instrumentation points and checked against the
+//! classic condition: two accesses to the same location race iff they are
+//! concurrent under happens-before and at least one is a write.
+//!
+//! The epoch representation follows FastTrack: a location's last write is
+//! a single `(thread, timestamp)` epoch (writes to a race-free location
+//! are totally ordered, so one epoch suffices); reads keep a full clock
+//! because concurrent readers are legal.
+//!
+//! Soundness direction: every happens-before edge the detector records
+//! corresponds to a real synchronization edge in the modeled program
+//! (acquire loads, release stores, acquire-release RMWs, lock transfer,
+//! spawn, join). Missing an edge can only produce a *false alarm*, never a
+//! missed race — the safe failure mode for a gate that must prove shipped
+//! code race-free.
+
+use std::collections::HashMap;
+
+use crate::op::ObjId;
+use crate::vclock::{Tid, VClock};
+
+/// A detected race: two accesses to `loc` unordered by happens-before.
+#[derive(Clone, Debug)]
+pub struct RaceReport {
+    /// The data location (an address-like key chosen by the instrumented
+    /// code — for the swap handoff, the heap cell's address).
+    pub loc: usize,
+    /// The earlier access on record.
+    pub prior: Access,
+    /// The access that completed the race.
+    pub current: Access,
+}
+
+/// One side of a race: who accessed, and how.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// The accessing thread.
+    pub tid: Tid,
+    /// `true` for a write, `false` for a read.
+    pub is_write: bool,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = |a: &Access| if a.is_write { "write" } else { "read" };
+        write!(
+            f,
+            "data race on location {:#x}: {} by {} is concurrent with {} by {}",
+            self.loc,
+            kind(&self.prior),
+            self.prior.tid,
+            kind(&self.current),
+            self.current.tid
+        )
+    }
+}
+
+/// Per-location access state (FastTrack-style).
+#[derive(Clone, Debug, Default)]
+struct Loc {
+    /// Last write: `(writer, writer's timestamp at the write)`.
+    write: Option<(Tid, u32)>,
+    /// Per-thread timestamps of reads since the last write.
+    reads: VClock,
+}
+
+/// The detector state for one execution.
+#[derive(Debug, Default)]
+pub struct Detector {
+    /// Each thread's current clock.
+    threads: Vec<VClock>,
+    /// Release clock per atomic object: the clock most recently stored
+    /// into the object with release semantics.
+    atomics: HashMap<ObjId, VClock>,
+    /// Release clock per lock: joined on every unlock (readers release
+    /// concurrently), acquired on every lock.
+    locks: HashMap<ObjId, VClock>,
+    /// Final clocks of finished threads, joined by `join`.
+    finished: HashMap<Tid, VClock>,
+    /// Tracked data locations.
+    data: HashMap<usize, Loc>,
+}
+
+impl Detector {
+    /// A detector with the root thread registered.
+    pub fn new() -> Self {
+        let mut d = Detector::default();
+        d.register_thread(Tid(0));
+        d
+    }
+
+    fn register_thread(&mut self, t: Tid) {
+        if self.threads.len() <= t.0 {
+            self.threads.resize_with(t.0 + 1, VClock::new);
+        }
+        self.threads[t.0].tick(t);
+    }
+
+    /// The current clock of thread `t` (test hook and failure reporting).
+    pub fn clock(&self, t: Tid) -> &VClock {
+        &self.threads[t.0]
+    }
+
+    /// Advance `t`'s local time — called once per visible operation.
+    pub fn tick(&mut self, t: Tid) {
+        self.threads[t.0].tick(t);
+    }
+
+    /// Acquire edge: `t` loads from atomic `o` (joins its release clock).
+    pub fn atomic_acquire(&mut self, t: Tid, o: ObjId) {
+        if let Some(rel) = self.atomics.get(&o) {
+            self.threads[t.0].join(rel);
+        }
+    }
+
+    /// Release edge: `t` stores to atomic `o` (installs its clock as the
+    /// object's release clock; a later acquire of the stored value joins
+    /// it).
+    pub fn atomic_release(&mut self, t: Tid, o: ObjId) {
+        self.atomics.insert(o, self.threads[t.0].clone());
+    }
+
+    /// Acquire-release edge: an RMW (swap) both joins and installs.
+    pub fn atomic_acq_rel(&mut self, t: Tid, o: ObjId) {
+        self.atomic_acquire(t, o);
+        self.atomic_release(t, o);
+    }
+
+    /// Lock acquire: join the lock's release clock.
+    pub fn lock_acquire(&mut self, t: Tid, o: ObjId) {
+        if let Some(rel) = self.locks.get(&o) {
+            self.threads[t.0].join(rel);
+        }
+    }
+
+    /// Lock release: *join* `t`'s clock into the lock (concurrent readers
+    /// all release into the same clock; overwriting would drop edges and
+    /// fabricate races).
+    pub fn lock_release(&mut self, t: Tid, o: ObjId) {
+        self.locks.entry(o).or_default().join(&self.threads[t.0]);
+    }
+
+    /// Spawn edge: the child starts with (a copy of) the parent's clock.
+    pub fn spawn(&mut self, parent: Tid, child: Tid) {
+        let base = self.threads[parent.0].clone();
+        if self.threads.len() <= child.0 {
+            self.threads.resize_with(child.0 + 1, VClock::new);
+        }
+        self.threads[child.0] = base;
+        self.threads[child.0].tick(child);
+    }
+
+    /// Finish edge: record `t`'s final clock for joiners.
+    pub fn finish(&mut self, t: Tid) {
+        self.finished.insert(t, self.threads[t.0].clone());
+    }
+
+    /// Join edge: the joiner observes everything the finished thread did.
+    pub fn join(&mut self, joiner: Tid, target: Tid) {
+        if let Some(fin) = self.finished.get(&target) {
+            // Split-borrow via clone; clocks are small.
+            let fin = fin.clone();
+            self.threads[joiner.0].join(&fin);
+        }
+    }
+
+    /// Record an unsynchronized read of `loc` by `t`; returns the race if
+    /// the last write is concurrent with `t`'s clock.
+    pub fn data_read(&mut self, t: Tid, loc: usize) -> Option<RaceReport> {
+        let clock = self.threads[t.0].clone();
+        let entry = self.data.entry(loc).or_default();
+        if let Some((wt, wc)) = entry.write {
+            if wt != t && wc > clock.get(wt) {
+                return Some(RaceReport {
+                    loc,
+                    prior: Access {
+                        tid: wt,
+                        is_write: true,
+                    },
+                    current: Access {
+                        tid: t,
+                        is_write: false,
+                    },
+                });
+            }
+        }
+        entry.reads.set(t, clock.get(t));
+        None
+    }
+
+    /// Record an unsynchronized write of `loc` by `t`; returns the race if
+    /// the last write or any read since it is concurrent with `t`'s clock.
+    pub fn data_write(&mut self, t: Tid, loc: usize) -> Option<RaceReport> {
+        let clock = self.threads[t.0].clone();
+        let entry = self.data.entry(loc).or_default();
+        if let Some((wt, wc)) = entry.write {
+            if wt != t && wc > clock.get(wt) {
+                return Some(RaceReport {
+                    loc,
+                    prior: Access {
+                        tid: wt,
+                        is_write: true,
+                    },
+                    current: Access {
+                        tid: t,
+                        is_write: true,
+                    },
+                });
+            }
+        }
+        for u in 0..self.threads.len() {
+            let u = Tid(u);
+            if u != t && entry.reads.get(u) > clock.get(u) {
+                return Some(RaceReport {
+                    loc,
+                    prior: Access {
+                        tid: u,
+                        is_write: false,
+                    },
+                    current: Access {
+                        tid: t,
+                        is_write: true,
+                    },
+                });
+            }
+        }
+        entry.write = Some((t, clock.get(t)));
+        entry.reads = VClock::new();
+        None
+    }
+
+    /// Forget a location: its storage is being freed, so a later
+    /// allocation at the same address is a fresh location, not a
+    /// continuation of this one's history.
+    pub fn data_retire(&mut self, loc: usize) {
+        self.data.remove(&loc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: ObjId = ObjId(0);
+    const L: usize = 0x1000;
+
+    /// Spawn a second thread for tests.
+    fn two_threads() -> Detector {
+        let mut d = Detector::new();
+        d.spawn(Tid(0), Tid(1));
+        d
+    }
+
+    #[test]
+    fn write_then_unordered_read_races() {
+        let mut d = two_threads();
+        // Tick t0 past the spawn point, then write: the child's clock (a
+        // copy taken at spawn) no longer covers the write — concurrent.
+        d.tick(Tid(0));
+        assert!(d.data_write(Tid(0), L).is_none());
+        let r = d.data_read(Tid(1), L);
+        assert!(r.is_some(), "unsynchronized handoff must race");
+        let r = r.unwrap();
+        assert!(r.prior.is_write && !r.current.is_write);
+    }
+
+    #[test]
+    fn release_acquire_orders_the_handoff() {
+        let mut d = two_threads();
+        // t0: write data, then release via atomic store.
+        d.tick(Tid(0));
+        assert!(d.data_write(Tid(0), L).is_none());
+        d.tick(Tid(0));
+        d.atomic_release(Tid(0), O);
+        // t1: acquire via atomic load, then read data: ordered.
+        d.tick(Tid(1));
+        d.atomic_acquire(Tid(1), O);
+        assert!(d.data_read(Tid(1), L).is_none(), "acquire orders the read");
+        // And a subsequent write by t1 is ordered after t0's write and
+        // t1's own read.
+        assert!(d.data_write(Tid(1), L).is_none());
+    }
+
+    #[test]
+    fn rmw_chains_happens_before_through_the_object() {
+        // The AtomicSwap handoff shape: each swapper releases into and
+        // acquires from the same object; the chain orders all data access.
+        let mut d = two_threads();
+        d.tick(Tid(0));
+        assert!(d.data_write(Tid(0), L).is_none());
+        d.tick(Tid(0));
+        d.atomic_acq_rel(Tid(0), O);
+        d.tick(Tid(1));
+        d.atomic_acq_rel(Tid(1), O);
+        assert!(d.data_read(Tid(1), L).is_none());
+        d.data_retire(L);
+        // Location retired: a new allocation at the same address starts
+        // fresh and does not inherit t0's write epoch.
+        assert!(d.data_write(Tid(1), L).is_none());
+        assert!(d.data_read(Tid(1), L).is_none());
+    }
+
+    #[test]
+    fn concurrent_writes_race() {
+        let mut d = two_threads();
+        d.tick(Tid(0));
+        d.tick(Tid(1));
+        assert!(d.data_write(Tid(0), L).is_none());
+        let r = d.data_write(Tid(1), L);
+        assert!(r.is_some());
+        let r = r.unwrap();
+        assert!(r.prior.is_write && r.current.is_write);
+        assert_eq!(r.loc, L);
+    }
+
+    #[test]
+    fn read_then_concurrent_write_races() {
+        let mut d = two_threads();
+        assert!(d.data_read(Tid(1), L).is_none());
+        d.tick(Tid(0));
+        let r = d.data_write(Tid(0), L);
+        assert!(r.is_some(), "write concurrent with a read races");
+        let r = r.unwrap();
+        assert!(!r.prior.is_write && r.current.is_write);
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_race() {
+        let mut d = two_threads();
+        assert!(d.data_read(Tid(0), L).is_none());
+        assert!(d.data_read(Tid(1), L).is_none());
+    }
+
+    #[test]
+    fn spawn_orders_parent_writes_before_child() {
+        let mut d = Detector::new();
+        assert!(d.data_write(Tid(0), L).is_none());
+        d.tick(Tid(0));
+        d.spawn(Tid(0), Tid(1));
+        assert!(
+            d.data_read(Tid(1), L).is_none(),
+            "pre-spawn writes are visible to the child"
+        );
+    }
+
+    #[test]
+    fn join_orders_child_writes_before_parent() {
+        let mut d = two_threads();
+        d.tick(Tid(1));
+        assert!(d.data_write(Tid(1), L).is_none());
+        d.finish(Tid(1));
+        // Without the join, t0 racing with the finished child's write:
+        let mut unjoined = two_threads();
+        unjoined.tick(Tid(1));
+        assert!(unjoined.data_write(Tid(1), L).is_none());
+        unjoined.finish(Tid(1));
+        assert!(unjoined.data_read(Tid(0), L).is_some());
+        // With the join: ordered.
+        d.tick(Tid(0));
+        d.join(Tid(0), Tid(1));
+        assert!(d.data_read(Tid(0), L).is_none());
+    }
+
+    #[test]
+    fn lock_transfer_orders_critical_sections() {
+        let mut d = two_threads();
+        d.tick(Tid(0));
+        d.lock_acquire(Tid(0), O);
+        assert!(d.data_write(Tid(0), L).is_none());
+        d.tick(Tid(0));
+        d.lock_release(Tid(0), O);
+        d.tick(Tid(1));
+        d.lock_acquire(Tid(1), O);
+        assert!(d.data_write(Tid(1), L).is_none(), "lock orders the writes");
+    }
+
+    #[test]
+    fn same_thread_never_races_with_itself() {
+        let mut d = Detector::new();
+        assert!(d.data_write(Tid(0), L).is_none());
+        assert!(d.data_write(Tid(0), L).is_none());
+        assert!(d.data_read(Tid(0), L).is_none());
+    }
+
+    #[test]
+    fn race_report_formats() {
+        let mut d = two_threads();
+        d.tick(Tid(0));
+        d.tick(Tid(1));
+        let _ = d.data_write(Tid(0), L);
+        let r = d.data_write(Tid(1), L).expect("races");
+        let msg = format!("{r}");
+        assert!(msg.contains("data race"), "{msg}");
+        assert!(msg.contains("t0") && msg.contains("t1"), "{msg}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Checker-sensitivity fixtures: tiny programs with *known* verdicts.
+//!
+//! The racy fixture must be flagged and the synchronized ones must pass —
+//! in every mode. These double as parity programs: their outcome sets are
+//! schedule-dependent, so full enumeration and DPOR can be compared both
+//! on verdicts and on observable behaviors.
+//!
+//! The "racy" fixture is deliberately *annotation-racy, runtime-safe*: the
+//! modeled location is a bare integer key, not real shared memory, so the
+//! fixture itself has no undefined behavior — only its model declares
+//! unsynchronized accesses. That is the right shape for a sensitivity
+//! gate: it proves the detector fires without shipping actual UB in the
+//! test suite.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::hooks;
+use crate::shim;
+
+/// Modeled locations; arbitrary distinct keys.
+const RACY_LOC: usize = 0xbad0;
+const JOIN_LOC: usize = 0x900d;
+const FLAG_LOC: usize = 0xfee1;
+
+/// Parent and child both declare a write to the same location with no
+/// synchronization edge between them: every interleaving is a race.
+pub fn racy_unsynchronized_writes() -> u64 {
+    let h = shim::spawn(|| {
+        hooks::data_write(RACY_LOC);
+        1u64
+    });
+    hooks::data_write(RACY_LOC);
+    let _ = h.join();
+    0
+}
+
+/// Child writes, parent joins, parent reads: ordered by the join edge.
+/// Must pass in every interleaving.
+pub fn join_synchronized_handoff() -> u64 {
+    let h = shim::spawn(|| {
+        hooks::data_write(JOIN_LOC);
+        7u64
+    });
+    let v = h.join().expect("child does not panic");
+    hooks::data_read(JOIN_LOC);
+    v
+}
+
+/// Release/acquire handoff through an atomic flag. The child reads the
+/// payload only when it observed the flag, so the read is always covered
+/// by the release edge — race-free, with two observable outcomes (child
+/// saw the flag or ran too early).
+pub fn release_acquire_handoff() -> u64 {
+    let flag = Arc::new(shim::AtomicU64::new(0));
+    let child_flag = Arc::clone(&flag);
+    let h = shim::spawn(move || {
+        if child_flag.load(Ordering::Acquire) == 1 {
+            hooks::data_read(FLAG_LOC);
+            1u64
+        } else {
+            0u64
+        }
+    });
+    hooks::data_write(FLAG_LOC);
+    flag.store(1, Ordering::Release);
+    h.join().expect("child does not panic")
+}

@@ -1,0 +1,50 @@
+//! Data-access instrumentation points for code that hands raw memory
+//! between threads outside the type system's view.
+//!
+//! The shim types cover accesses *through* atomics and locks, but the
+//! objects layer's `AtomicSwap` transfers ownership of a heap cell by
+//! swapping raw pointers — the payload reads and writes around the swap
+//! are exactly the accesses a race detector must see. Instrumented code
+//! calls [`data_write`] / [`data_read`] with an address-like key (the
+//! heap cell's address) at each such access, and [`data_retire`] when the
+//! storage is freed so a later allocation at the same address starts a
+//! fresh history.
+//!
+//! Outside a model run — production builds, or drop paths running during
+//! an execution teardown — every hook is a no-op, so instrumented code
+//! behaves identically when not under the checker.
+
+use crate::runtime;
+
+/// Record an unsynchronized write to `loc`. Under the checker, a write
+/// concurrent (in happens-before) with any prior access to `loc` aborts
+/// the execution with a race counterexample.
+pub fn data_write(loc: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, tid)) = runtime::current_ctx() {
+        exec.data_access(tid, loc, true);
+    }
+}
+
+/// Record an unsynchronized read of `loc`; races with concurrent writes.
+pub fn data_read(loc: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, tid)) = runtime::current_ctx() {
+        exec.data_access(tid, loc, false);
+    }
+}
+
+/// Forget `loc`'s access history: its storage is being freed, and an
+/// unrelated later allocation may reuse the address.
+pub fn data_retire(loc: usize) {
+    if std::thread::panicking() {
+        return;
+    }
+    if let Some((exec, _)) = runtime::current_ctx() {
+        exec.data_retire(loc);
+    }
+}

@@ -1,0 +1,62 @@
+//! `swapcons-conc`: a vendored loom-style concurrency analysis engine for
+//! the threaded layer of the swap-consensus implementation.
+//!
+//! Three pieces:
+//!
+//! 1. **Shim types** ([`shim`], surfaced through the [`sync`] / [`thread`]
+//!    aliases): drop-in replacements for the std atomics, `RwLock`, and
+//!    `thread::{spawn, yield_now}` that route every visible operation
+//!    through a controlled cooperative scheduler. In normal builds the
+//!    aliases re-export std — zero overhead; under `--cfg conc_check`
+//!    they switch to the shims.
+//! 2. **An interleaving explorer** ([`explore`]): DFS over schedules with
+//!    dynamic partial-order reduction (persistent + sleep sets), an
+//!    optional preemption bound, exact budgets with visible truncation,
+//!    and replayable counterexample schedules.
+//! 3. **A vector-clock race detector** ([`detect`], fed by the [`hooks`]
+//!    instrumentation points): flags conflicting accesses unordered by
+//!    happens-before — in particular the raw-pointer payload handoff
+//!    inside `AtomicSwap::swap`.
+//!
+//! The crate is self-contained (no dependencies) so the checker itself is
+//! auditable, and the shims are always compiled so the engine's own test
+//! suite runs in the tier-1 gate without any special cfg.
+
+pub mod detect;
+pub mod explore;
+pub mod fixtures;
+pub mod hooks;
+pub mod op;
+pub(crate) mod runtime;
+pub mod shim;
+pub mod vclock;
+
+pub use explore::{CheckBudget, CheckReport, Checker, Mode, ReplayReport};
+pub use runtime::{Failure, FailureKind};
+
+/// Concurrency primitives for checked code: std in normal builds, the
+/// instrumented shims under `--cfg conc_check`. Port code against this
+/// module and it becomes model-checkable without further changes.
+pub mod sync {
+    pub use std::sync::atomic::Ordering;
+    pub use std::sync::LockResult;
+
+    #[cfg(not(conc_check))]
+    pub use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64};
+    #[cfg(not(conc_check))]
+    pub use std::sync::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+    #[cfg(conc_check)]
+    pub use crate::shim::{
+        AtomicBool, AtomicPtr, AtomicU64, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+}
+
+/// Threading facilities for checked code; same switch as [`sync`].
+pub mod thread {
+    #[cfg(not(conc_check))]
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+
+    #[cfg(conc_check)]
+    pub use crate::shim::{spawn, yield_now, JoinHandle};
+}

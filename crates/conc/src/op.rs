@@ -1,0 +1,219 @@
+//! Visible operations and the dependence relation over them.
+//!
+//! A checked program interleaves only at *visible* operations — the shim
+//! types' atomic and lock operations, thread spawn/join, and explicit
+//! yields. Everything between two visible operations of a thread is local
+//! and commutes with every other thread, so scheduling at this granularity
+//! is sound and keeps the interleaving space minimal.
+//!
+//! [`conflicts`] is the dependence relation driving dynamic partial-order
+//! reduction: two operations of different threads are *independent* (their
+//! order never matters) unless they touch the same object and at least one
+//! modifies it. The relation is deliberately conservative — extra
+//! dependence only costs reduction, never soundness.
+
+use crate::vclock::Tid;
+
+/// Identity of a checked shared object (atomic or lock), dense per model
+/// run. Ids are assigned at construction inside the run, so the same source
+/// line constructing an object in two executions gets the same id —
+/// schedules replay across executions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub usize);
+
+/// One visible operation, declared by a thread before it executes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Atomic load (modeled acquire).
+    AtomicLoad(ObjId),
+    /// Atomic store (modeled release).
+    AtomicStore(ObjId),
+    /// Atomic read-modify-write: swap (modeled acquire + release).
+    AtomicRmw(ObjId),
+    /// Acquire a read lock; blocks while a writer holds the lock.
+    LockRead(ObjId),
+    /// Acquire the write lock; blocks while any holder exists.
+    LockWrite(ObjId),
+    /// Release a read lock.
+    UnlockRead(ObjId),
+    /// Release the write lock.
+    UnlockWrite(ObjId),
+    /// Voluntary reschedule point; touches no object.
+    Yield,
+    /// Create a new checked thread.
+    Spawn(Tid),
+    /// Wait for a checked thread to finish.
+    Join(Tid),
+}
+
+impl Op {
+    /// The shared object this operation touches, if any.
+    pub fn obj(&self) -> Option<ObjId> {
+        match *self {
+            Op::AtomicLoad(o)
+            | Op::AtomicStore(o)
+            | Op::AtomicRmw(o)
+            | Op::LockRead(o)
+            | Op::LockWrite(o)
+            | Op::UnlockRead(o)
+            | Op::UnlockWrite(o) => Some(o),
+            Op::Yield | Op::Spawn(_) | Op::Join(_) => None,
+        }
+    }
+
+    /// Whether this operation can modify its object (or, for locks, its
+    /// object's availability).
+    pub(crate) fn modifies(&self) -> bool {
+        match self {
+            Op::AtomicLoad(_) | Op::LockRead(_) => false,
+            Op::AtomicStore(_)
+            | Op::AtomicRmw(_)
+            | Op::LockWrite(_)
+            | Op::UnlockRead(_)
+            | Op::UnlockWrite(_) => true,
+            Op::Yield | Op::Spawn(_) | Op::Join(_) => false,
+        }
+    }
+}
+
+/// The DPOR dependence relation: `true` iff reordering two adjacent
+/// executions of these operations (by different threads) could change the
+/// resulting state or enabledness.
+///
+/// Same object + at least one modification ⇒ dependent. Two atomic loads
+/// commute; two read-lock acquisitions commute; a read-lock release is
+/// treated as modifying (it can enable a waiting writer), which is
+/// conservative for read-release vs read-acquire pairs but sound.
+/// Yield/spawn/join touch no shared object and are independent of
+/// everything (their ordering constraints are captured by happens-before,
+/// not dependence).
+pub fn conflicts(a: &Op, b: &Op) -> bool {
+    match (a.obj(), b.obj()) {
+        (Some(oa), Some(ob)) => oa == ob && (a.modifies() || b.modifies()),
+        _ => false,
+    }
+}
+
+/// Whether two operations (by different threads) can ever be enabled in
+/// the same state. DPOR backtracking only reorders *co-enabled* dependent
+/// pairs: an unlock and an acquisition of the same lock are dependent but
+/// strictly ordered by the lock's protocol, so no backtrack point belongs
+/// at the unlock — the scan must keep looking for the acquisition behind
+/// it (missing this is how a checker overlooks ABBA deadlocks).
+///
+/// Same-object exclusions: a write-unlock requires the write lock held,
+/// which disables every other operation on that lock; a read-unlock
+/// requires a reader, which disables write acquisition. Everything else —
+/// atomics are always enabled, waiting acquisitions coexist, concurrent
+/// readers unlock concurrently — may be co-enabled.
+pub fn may_be_coenabled(a: &Op, b: &Op) -> bool {
+    match (a.obj(), b.obj()) {
+        (Some(oa), Some(ob)) if oa == ob => !matches!(
+            (a, b),
+            (Op::UnlockWrite(_), _)
+                | (_, Op::UnlockWrite(_))
+                | (Op::UnlockRead(_), Op::LockWrite(_))
+                | (Op::LockWrite(_), Op::UnlockRead(_))
+        ),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const O: ObjId = ObjId(0);
+    const P: ObjId = ObjId(1);
+
+    #[test]
+    fn loads_commute_writes_conflict() {
+        assert!(!conflicts(&Op::AtomicLoad(O), &Op::AtomicLoad(O)));
+        assert!(conflicts(&Op::AtomicLoad(O), &Op::AtomicStore(O)));
+        assert!(conflicts(&Op::AtomicRmw(O), &Op::AtomicRmw(O)));
+        assert!(conflicts(&Op::AtomicStore(O), &Op::AtomicRmw(O)));
+    }
+
+    #[test]
+    fn distinct_objects_are_independent() {
+        assert!(!conflicts(&Op::AtomicRmw(O), &Op::AtomicRmw(P)));
+        assert!(!conflicts(&Op::LockWrite(O), &Op::LockWrite(P)));
+    }
+
+    #[test]
+    fn lock_dependence() {
+        assert!(!conflicts(&Op::LockRead(O), &Op::LockRead(O)));
+        assert!(conflicts(&Op::LockRead(O), &Op::LockWrite(O)));
+        assert!(conflicts(&Op::UnlockRead(O), &Op::LockRead(O)));
+        assert!(conflicts(&Op::UnlockWrite(O), &Op::LockWrite(O)));
+    }
+
+    #[test]
+    fn objectless_ops_are_independent_of_everything() {
+        for op in [Op::Yield, Op::Spawn(Tid(1)), Op::Join(Tid(1))] {
+            assert!(!conflicts(&op, &Op::AtomicRmw(O)));
+            assert!(!conflicts(&op, &op.clone()));
+        }
+    }
+
+    #[test]
+    fn coenabledness_excludes_lock_protocol_orderings() {
+        // Holding-dependent pairs can never be co-enabled.
+        assert!(!may_be_coenabled(&Op::UnlockWrite(O), &Op::LockWrite(O)));
+        assert!(!may_be_coenabled(&Op::UnlockWrite(O), &Op::LockRead(O)));
+        assert!(!may_be_coenabled(&Op::UnlockWrite(O), &Op::UnlockRead(O)));
+        assert!(!may_be_coenabled(&Op::UnlockRead(O), &Op::LockWrite(O)));
+        // Waiting acquisitions and concurrent readers coexist.
+        assert!(may_be_coenabled(&Op::LockWrite(O), &Op::LockWrite(O)));
+        assert!(may_be_coenabled(&Op::LockWrite(O), &Op::LockRead(O)));
+        assert!(may_be_coenabled(&Op::UnlockRead(O), &Op::UnlockRead(O)));
+        assert!(may_be_coenabled(&Op::UnlockRead(O), &Op::LockRead(O)));
+        // Atomics are always enabled; distinct objects never constrain.
+        assert!(may_be_coenabled(&Op::AtomicRmw(O), &Op::AtomicRmw(O)));
+        assert!(may_be_coenabled(&Op::UnlockWrite(O), &Op::LockWrite(P)));
+        assert!(may_be_coenabled(&Op::Yield, &Op::UnlockWrite(O)));
+    }
+
+    #[test]
+    fn coenabledness_is_symmetric() {
+        let ops = [
+            Op::AtomicLoad(O),
+            Op::AtomicStore(O),
+            Op::LockRead(O),
+            Op::LockWrite(O),
+            Op::UnlockRead(O),
+            Op::UnlockWrite(O),
+            Op::Yield,
+        ];
+        for a in &ops {
+            for b in &ops {
+                assert_eq!(
+                    may_be_coenabled(a, b),
+                    may_be_coenabled(b, a),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn conflicts_is_symmetric() {
+        let ops = [
+            Op::AtomicLoad(O),
+            Op::AtomicStore(O),
+            Op::AtomicRmw(P),
+            Op::LockRead(O),
+            Op::LockWrite(P),
+            Op::UnlockRead(O),
+            Op::UnlockWrite(P),
+            Op::Yield,
+            Op::Spawn(Tid(2)),
+            Op::Join(Tid(2)),
+        ];
+        for a in &ops {
+            for b in &ops {
+                assert_eq!(conflicts(a, b), conflicts(b, a), "{a:?} vs {b:?}");
+            }
+        }
+    }
+}

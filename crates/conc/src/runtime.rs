@@ -1,0 +1,510 @@
+//! The controlled cooperative scheduler that executes one interleaving.
+//!
+//! A model run executes the checked closure on real OS threads, but at any
+//! instant at most one checked thread is *running*: every visible
+//! operation (see [`crate::op::Op`]) first *declares* itself and parks the
+//! thread until the explorer grants it the step. The explorer (on the test
+//! thread) picks the next thread per its schedule, does the per-step
+//! bookkeeping (trace, clocks, race detection), grants, and waits for the
+//! thread to reach its next declaration — a token-passing protocol over
+//! one mutex and one condvar.
+//!
+//! Threads run *freely* only from creation to their first declaration
+//! (that prefix is thread-local by construction: the shims are the only
+//! shared access), and the spawning thread waits for the child to park
+//! before its own `spawn` step completes — so every live thread always has
+//! a known pending operation, which is what the DPOR explorer's sleep sets
+//! and backtrack filters need.
+//!
+//! Execution abort (a detected race, a checked-code panic, a budget cut)
+//! is delivered by unwinding every parked thread with a private token
+//! panic; the thread wrappers catch the token and exit silently, so the
+//! run always winds down to joinable OS threads.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::detect::{Detector, RaceReport};
+use crate::op::{ObjId, Op};
+use crate::vclock::Tid;
+
+/// Why an execution failed: the counterexample kinds the explorer reports.
+#[derive(Debug)]
+pub enum FailureKind {
+    /// The vector-clock detector found unsynchronized conflicting accesses.
+    Race(RaceReport),
+    /// No thread was enabled but some had not finished.
+    Deadlock,
+    /// Checked code panicked (an assertion inside the model is a
+    /// counterexample, not a test bug).
+    Panic(String),
+}
+
+/// A failed execution: what went wrong and the schedule that reproduces it.
+#[derive(Debug)]
+pub struct Failure {
+    /// The failure class.
+    pub kind: FailureKind,
+    /// The granted-thread sequence up to (and including) the failing step —
+    /// replayable via [`crate::explore::Checker::replay`].
+    pub schedule: Vec<Tid>,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            FailureKind::Race(r) => write!(f, "{r}")?,
+            FailureKind::Deadlock => write!(f, "deadlock: no enabled thread")?,
+            FailureKind::Panic(m) => write!(f, "checked code panicked: {m}")?,
+        }
+        write!(f, " [schedule: ")?;
+        for (i, t) in self.schedule.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Lifecycle of a checked thread.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Status {
+    /// Allocated (tid exists) but the OS thread has not parked yet; it is
+    /// running free code up to its first declaration.
+    Starting,
+    /// Parked at a declared pending operation, waiting for a grant.
+    Poised,
+    /// Granted; executing its operation and the local code after it.
+    Running,
+    /// The thread function returned (or the thread was aborted).
+    Finished,
+}
+
+/// Per-thread record.
+pub(crate) struct ThreadRec {
+    pub(crate) status: Status,
+    /// The declared next operation (meaningful when `Poised`).
+    pub(crate) pending: Option<Op>,
+    /// The thread function's boxed return value, for `JoinHandle::join`.
+    pub(crate) result: Option<Box<dyn Any + Send>>,
+    /// Whether an OS thread is actually running this record. A tid is
+    /// allocated *before* its parent's `Spawn` op is granted; until the
+    /// grant, the record is `Starting` with no OS thread behind it and must
+    /// not block quiescence (notably when the execution aborts mid-spawn).
+    pub(crate) os_spawned: bool,
+}
+
+/// Reader/writer state of a checked lock.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct LockRec {
+    pub(crate) readers: usize,
+    pub(crate) writer: bool,
+}
+
+/// Shared mutable state of one execution, behind [`ExecInner::state`].
+pub(crate) struct ExecState {
+    pub(crate) threads: Vec<ThreadRec>,
+    /// The thread currently allowed to take a step, if any.
+    grant: Option<Tid>,
+    /// Set to wind the execution down; parked threads unwind with
+    /// [`AbortToken`].
+    pub(crate) aborting: bool,
+    /// First failure wins; later ones (cascades from the abort) are noise.
+    pub(crate) failure: Option<Failure>,
+    /// Lock state per lock object id.
+    pub(crate) locks: HashMap<ObjId, LockRec>,
+    /// Dense object-id allocator (atomics and locks share the space).
+    next_obj: usize,
+    /// Happens-before race detector for this execution.
+    pub(crate) detector: Detector,
+    /// Granted-thread sequence so far (failure reports clone it).
+    pub(crate) schedule: Vec<Tid>,
+    /// OS handles of managed (non-root) threads, joined at execution end.
+    pub(crate) os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// One execution's shared context: state + condvar.
+pub(crate) struct ExecInner {
+    pub(crate) state: Mutex<ExecState>,
+    pub(crate) cv: Condvar,
+}
+
+/// Private unwind payload used to abort parked threads; wrappers catch it.
+struct AbortToken;
+
+thread_local! {
+    /// The executing checked thread's context: which execution it belongs
+    /// to and which checked thread it is.
+    static CTX: RefCell<Option<(Arc<ExecInner>, Tid)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the thread-local context set to `(exec, tid)`.
+fn with_ctx_set<R>(exec: Arc<ExecInner>, tid: Tid, f: impl FnOnce() -> R) -> R {
+    CTX.with(|c| *c.borrow_mut() = Some((exec, tid)));
+    // Reset even on unwind so an OS thread reused by the test harness does
+    // not leak a stale context.
+    struct Reset;
+    impl Drop for Reset {
+        fn drop(&mut self) {
+            CTX.with(|c| *c.borrow_mut() = None);
+        }
+    }
+    let _reset = Reset;
+    f()
+}
+
+/// The current checked-thread context, or `None` outside a model run.
+pub(crate) fn current_ctx() -> Option<(Arc<ExecInner>, Tid)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// The current context, panicking with a usable message outside a model.
+pub(crate) fn require_ctx(what: &str) -> (Arc<ExecInner>, Tid) {
+    current_ctx().unwrap_or_else(|| {
+        panic!(
+            "{what} used outside a conc model run; instrumented types only \
+             work inside Checker::check / Checker::replay"
+        )
+    })
+}
+
+impl ExecInner {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(ExecInner {
+            state: Mutex::new(ExecState {
+                threads: Vec::new(),
+                grant: None,
+                aborting: false,
+                failure: None,
+                locks: HashMap::new(),
+                next_obj: 0,
+                detector: Detector::new(),
+                schedule: Vec::new(),
+                os_handles: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Allocate a checked-thread record in `Starting` state.
+    pub(crate) fn alloc_thread(&self) -> Tid {
+        let mut st = self.state.lock().unwrap();
+        let tid = Tid(st.threads.len());
+        st.threads.push(ThreadRec {
+            status: Status::Starting,
+            pending: None,
+            result: None,
+            os_spawned: false,
+        });
+        tid
+    }
+
+    /// Allocate an object id (called from shim constructors, under the
+    /// executing thread's context).
+    pub(crate) fn alloc_obj(&self) -> ObjId {
+        let mut st = self.state.lock().unwrap();
+        let id = ObjId(st.next_obj);
+        st.next_obj += 1;
+        id
+    }
+
+    /// Declare `op` as `tid`'s next step and park until granted. Called by
+    /// the shims on the checked thread. Unwinds with the abort token if
+    /// the execution is winding down.
+    pub(crate) fn sched_point(&self, tid: Tid, op: Op) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        st.threads[tid.0].pending = Some(op);
+        st.threads[tid.0].status = Status::Poised;
+        self.cv.notify_all();
+        loop {
+            if st.aborting {
+                drop(st);
+                panic::panic_any(AbortToken);
+            }
+            if st.grant == Some(tid) {
+                st.grant = None;
+                st.threads[tid.0].status = Status::Running;
+                st.threads[tid.0].pending = None;
+                return;
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Record a data access from checked code (not a scheduling point);
+    /// aborts the execution with a race failure if the detector objects.
+    pub(crate) fn data_access(&self, tid: Tid, loc: usize, is_write: bool) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+        // Advance the accessor's local time: the access sits *between*
+        // visible ops, and without the tick a post-spawn (or post-release)
+        // access would carry the same clock the spawn/release published,
+        // making genuinely concurrent accesses look ordered.
+        st.detector.tick(tid);
+        let race = if is_write {
+            st.detector.data_write(tid, loc)
+        } else {
+            st.detector.data_read(tid, loc)
+        };
+        if let Some(race) = race {
+            let schedule = st.schedule.clone();
+            st.failure.get_or_insert(Failure {
+                kind: FailureKind::Race(race),
+                schedule,
+            });
+            st.aborting = true;
+            self.cv.notify_all();
+            drop(st);
+            panic::panic_any(AbortToken);
+        }
+    }
+
+    /// Forget a retired data location (free of instrumented storage).
+    pub(crate) fn data_retire(&self, loc: usize) {
+        self.state.lock().unwrap().detector.data_retire(loc);
+    }
+
+    /// Mark `tid` finished, storing its result; called by the wrappers.
+    fn finish_thread(
+        &self,
+        tid: Tid,
+        result: Option<Box<dyn Any + Send>>,
+        panic_msg: Option<String>,
+    ) {
+        let mut st = self.state.lock().unwrap();
+        st.threads[tid.0].status = Status::Finished;
+        st.threads[tid.0].pending = None;
+        st.threads[tid.0].result = result;
+        st.detector.finish(tid);
+        if let Some(msg) = panic_msg {
+            if !st.aborting {
+                let schedule = st.schedule.clone();
+                st.failure.get_or_insert(Failure {
+                    kind: FailureKind::Panic(msg),
+                    schedule,
+                });
+                st.aborting = true;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Spawn a managed checked thread running `f`; returns its tid. Called
+    /// by `conc` spawn on the parent checked thread, *after* the `Spawn`
+    /// op was granted. Blocks until the child has parked (or finished), so
+    /// the child's pending op is known when the parent's step completes.
+    pub(crate) fn spawn_managed<T: Send + 'static>(
+        self: &Arc<Self>,
+        f: impl FnOnce() -> T + Send + 'static,
+        child: Tid,
+    ) {
+        self.state.lock().unwrap().threads[child.0].os_spawned = true;
+        let exec = Arc::clone(self);
+        let handle = std::thread::Builder::new()
+            .name(format!("conc-{child}"))
+            .spawn(move || {
+                let exec2 = Arc::clone(&exec);
+                with_ctx_set(Arc::clone(&exec), child, move || {
+                    let out = panic::catch_unwind(AssertUnwindSafe(f));
+                    deliver_outcome(
+                        &exec2,
+                        child,
+                        out.map(|v| Box::new(v) as Box<dyn Any + Send>),
+                    );
+                });
+            })
+            .expect("failed to spawn checked thread");
+        let mut st = self.state.lock().unwrap();
+        st.os_handles.push(handle);
+        while st.threads[child.0].status == Status::Starting {
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Block until `target` finishes, as the tail of an already-granted
+    /// `Join` step, and take its result.
+    pub(crate) fn take_result(&self, target: Tid) -> Option<Box<dyn Any + Send>> {
+        let mut st = self.state.lock().unwrap();
+        // The Join op is only granted when the target is Finished, so no
+        // waiting happens here; the take is immediate.
+        debug_assert_eq!(st.threads[target.0].status, Status::Finished);
+        st.threads[target.0].result.take()
+    }
+}
+
+/// Common tail of both wrappers: classify the unwind and finish the record.
+fn deliver_outcome(
+    exec: &Arc<ExecInner>,
+    tid: Tid,
+    out: Result<Box<dyn Any + Send>, Box<dyn Any + Send>>,
+) {
+    match out {
+        Ok(v) => exec.finish_thread(tid, Some(v), None),
+        Err(payload) => {
+            if payload.downcast_ref::<AbortToken>().is_some() {
+                exec.finish_thread(tid, None, None);
+            } else {
+                // `&*payload`, not `&payload`: the latter would unsize the
+                // Box itself into the `dyn Any` argument and every
+                // downcast inside would miss.
+                let msg = panic_message(&*payload);
+                exec.finish_thread(tid, None, Some(msg));
+            }
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run the root closure (Tid 0) of an execution on a scoped thread.
+/// Returns the scoped handle's result slot via the thread record.
+pub(crate) fn run_root<'scope, 'env, F, V>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    exec: Arc<ExecInner>,
+    f: &'env F,
+) -> std::thread::ScopedJoinHandle<'scope, ()>
+where
+    F: Fn() -> V + Sync,
+    V: Send + 'static,
+{
+    let root = exec.alloc_thread();
+    debug_assert_eq!(root, Tid(0));
+    exec.state.lock().unwrap().threads[root.0].os_spawned = true;
+    scope.spawn(move || {
+        let exec2 = Arc::clone(&exec);
+        with_ctx_set(exec, root, move || {
+            let out = panic::catch_unwind(AssertUnwindSafe(f));
+            deliver_outcome(
+                &exec2,
+                root,
+                out.map(|v| Box::new(v) as Box<dyn Any + Send>),
+            );
+        });
+    })
+}
+
+/// Whether `tid`'s declared pending op can execute given current state.
+pub(crate) fn op_enabled(st: &ExecState, op: &Op) -> bool {
+    match *op {
+        Op::LockRead(o) => !st.locks.get(&o).copied().unwrap_or_default().writer,
+        Op::LockWrite(o) => {
+            let l = st.locks.get(&o).copied().unwrap_or_default();
+            !l.writer && l.readers == 0
+        }
+        Op::Join(target) => st.threads[target.0].status == Status::Finished,
+        _ => true,
+    }
+}
+
+/// Explorer-side step driver: grant `tid` its declared step, applying the
+/// state transitions and happens-before edges the op implies, then wait
+/// until the thread parks again (or finishes). Returns the op that was
+/// executed. Caller must have verified the thread is `Poised` and enabled.
+pub(crate) fn grant_step(exec: &ExecInner, tid: Tid) -> Op {
+    let mut st = exec.state.lock().unwrap();
+    debug_assert_eq!(st.threads[tid.0].status, Status::Poised);
+    let op = st.threads[tid.0]
+        .pending
+        .expect("poised thread has a pending op");
+    debug_assert!(op_enabled(&st, &op), "granted op must be enabled");
+    st.schedule.push(tid);
+    // Happens-before edges and lock/object transitions.
+    st.detector.tick(tid);
+    match op {
+        Op::AtomicLoad(o) => st.detector.atomic_acquire(tid, o),
+        Op::AtomicStore(o) => st.detector.atomic_release(tid, o),
+        Op::AtomicRmw(o) => st.detector.atomic_acq_rel(tid, o),
+        Op::LockRead(o) => {
+            st.detector.lock_acquire(tid, o);
+            st.locks.entry(o).or_default().readers += 1;
+        }
+        Op::LockWrite(o) => {
+            st.detector.lock_acquire(tid, o);
+            st.locks.entry(o).or_default().writer = true;
+        }
+        Op::UnlockRead(o) => {
+            st.detector.lock_release(tid, o);
+            let l = st.locks.entry(o).or_default();
+            debug_assert!(l.readers > 0);
+            l.readers -= 1;
+        }
+        Op::UnlockWrite(o) => {
+            st.detector.lock_release(tid, o);
+            let l = st.locks.entry(o).or_default();
+            debug_assert!(l.writer);
+            l.writer = false;
+        }
+        Op::Yield => {}
+        Op::Spawn(child) => st.detector.spawn(tid, child),
+        Op::Join(target) => st.detector.join(tid, target),
+    }
+    st.grant = Some(tid);
+    exec.cv.notify_all();
+    // Wait until the step completes: the grant is consumed and the thread
+    // has either parked at its next op or finished. A spawned child may be
+    // Starting while its parent runs; the parent's own park implies the
+    // child parked too (spawn waits for it), so waiting on `tid` suffices.
+    while st.grant.is_some() || st.threads[tid.0].status == Status::Running {
+        st = exec.cv.wait(st).unwrap();
+    }
+    op
+}
+
+/// Explorer-side: wait until no thread is `Starting` or `Running` (i.e.
+/// the execution is quiescent: every live thread is parked or finished).
+pub(crate) fn wait_quiescent(exec: &ExecInner) {
+    let mut st = exec.state.lock().unwrap();
+    while st
+        .threads
+        .iter()
+        .any(|t| t.status == Status::Running || (t.status == Status::Starting && t.os_spawned))
+    {
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+/// Explorer-side: abort the execution (budget cut or redundant branch) and
+/// wake every parked thread so it unwinds.
+pub(crate) fn abort_execution(exec: &ExecInner) {
+    let mut st = exec.state.lock().unwrap();
+    st.aborting = true;
+    exec.cv.notify_all();
+}
+
+/// Explorer-side: join all managed OS threads (after all checked threads
+/// finished or the execution aborted).
+pub(crate) fn drain_os_threads(exec: &ExecInner) {
+    loop {
+        let handle = {
+            let mut st = exec.state.lock().unwrap();
+            st.os_handles.pop()
+        };
+        match handle {
+            // The wrapper caught every unwind, so join only fails if the
+            // OS thread was killed externally — propagate loudly.
+            Some(h) => h.join().expect("checked thread wrapper never unwinds"),
+            None => break,
+        }
+    }
+}

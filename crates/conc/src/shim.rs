@@ -1,0 +1,379 @@
+//! Instrumented drop-in replacements for the std concurrency types.
+//!
+//! Each type mirrors the std API surface the checked code uses, but every
+//! operation is a *scheduling point*: the calling thread declares the
+//! operation and parks until the explorer grants it. Values live in plain
+//! [`UnsafeCell`] storage — mutual exclusion is provided by the scheduler
+//! token (at most one checked thread runs between grants), not by real
+//! atomics, which is what lets the explorer control every interleaving.
+//!
+//! These types only function inside [`crate::explore::Checker::check`] /
+//! [`Checker::replay`](crate::explore::Checker::replay); constructing or
+//! using them elsewhere panics with a pointed message. Production builds
+//! use the `conc::sync` / `conc::thread` aliases, which re-export the std
+//! types unless `--cfg conc_check` is set — the shims are never on a hot
+//! path.
+//!
+//! Memory-ordering parameters are accepted for API compatibility but the
+//! model is fixed: loads acquire, stores release, RMWs acquire-release.
+//! That over-approximates the orderings the ported objects actually use
+//! (`AcqRel` swaps, `Acquire` loads, `Release` stores), so the race
+//! detector never sees an edge the real program lacks... on the strong
+//! side; on the weak side the model forbids nothing the hardware allows,
+//! because every modeled edge corresponds to a real fence in the ported
+//! code.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::Ordering;
+use std::sync::LockResult;
+
+use crate::op::{ObjId, Op};
+use crate::runtime;
+use crate::vclock::Tid;
+
+/// Declare-and-park helper: every visible op funnels through here.
+fn sched(what: &str, op: Op) {
+    let (exec, tid) = runtime::require_ctx(what);
+    exec.sched_point(tid, op);
+}
+
+/// Checked `AtomicU64`.
+pub struct AtomicU64 {
+    id: ObjId,
+    cell: UnsafeCell<u64>,
+}
+
+// SAFETY: the cell is only dereferenced by the checked thread currently
+// holding the scheduler grant; at most one thread runs between grants, so
+// accesses are mutually exclusive despite the shared reference.
+unsafe impl Sync for AtomicU64 {}
+
+impl AtomicU64 {
+    pub fn new(v: u64) -> Self {
+        let (exec, _) = runtime::require_ctx("conc AtomicU64::new");
+        AtomicU64 {
+            id: exec.alloc_obj(),
+            cell: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> u64 {
+        sched("conc AtomicU64::load", Op::AtomicLoad(self.id));
+        // SAFETY: we hold the scheduler grant (sched parked until granted).
+        unsafe { *self.cell.get() }
+    }
+
+    pub fn store(&self, v: u64, _order: Ordering) {
+        sched("conc AtomicU64::store", Op::AtomicStore(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe { *self.cell.get() = v }
+    }
+
+    pub fn swap(&self, v: u64, _order: Ordering) -> u64 {
+        sched("conc AtomicU64::swap", Op::AtomicRmw(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe {
+            let p = self.cell.get();
+            std::mem::replace(&mut *p, v)
+        }
+    }
+
+    pub fn fetch_add(&self, v: u64, _order: Ordering) -> u64 {
+        sched("conc AtomicU64::fetch_add", Op::AtomicRmw(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe {
+            let p = self.cell.get();
+            let old = *p;
+            *p = old.wrapping_add(v);
+            old
+        }
+    }
+
+    pub fn into_inner(self) -> u64 {
+        self.cell.into_inner()
+    }
+}
+
+impl Default for AtomicU64 {
+    fn default() -> Self {
+        AtomicU64::new(0)
+    }
+}
+
+impl fmt::Debug for AtomicU64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Reading the value would be a visible operation; show identity only.
+        f.debug_struct("AtomicU64").finish_non_exhaustive()
+    }
+}
+
+/// Checked `AtomicBool`.
+pub struct AtomicBool {
+    id: ObjId,
+    cell: UnsafeCell<bool>,
+}
+
+// SAFETY: as for `AtomicU64` — scheduler-token exclusion.
+unsafe impl Sync for AtomicBool {}
+
+impl AtomicBool {
+    pub fn new(v: bool) -> Self {
+        let (exec, _) = runtime::require_ctx("conc AtomicBool::new");
+        AtomicBool {
+            id: exec.alloc_obj(),
+            cell: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> bool {
+        sched("conc AtomicBool::load", Op::AtomicLoad(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe { *self.cell.get() }
+    }
+
+    pub fn store(&self, v: bool, _order: Ordering) {
+        sched("conc AtomicBool::store", Op::AtomicStore(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe { *self.cell.get() = v }
+    }
+
+    pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+        sched("conc AtomicBool::swap", Op::AtomicRmw(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe {
+            let p = self.cell.get();
+            std::mem::replace(&mut *p, v)
+        }
+    }
+
+    pub fn into_inner(self) -> bool {
+        self.cell.into_inner()
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        AtomicBool::new(false)
+    }
+}
+
+impl fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicBool").finish_non_exhaustive()
+    }
+}
+
+/// Checked `AtomicPtr<T>`.
+pub struct AtomicPtr<T> {
+    id: ObjId,
+    cell: UnsafeCell<*mut T>,
+}
+
+// SAFETY: the stored pointer is plain data here (dereferencing it is the
+// *user's* unsafe code, audited at its own sites); cell access itself is
+// serialized by the scheduler grant. Matches std `AtomicPtr<T>`, which is
+// Send + Sync for all T.
+unsafe impl<T> Send for AtomicPtr<T> {}
+// SAFETY: as above.
+unsafe impl<T> Sync for AtomicPtr<T> {}
+
+impl<T> AtomicPtr<T> {
+    pub fn new(p: *mut T) -> Self {
+        let (exec, _) = runtime::require_ctx("conc AtomicPtr::new");
+        AtomicPtr {
+            id: exec.alloc_obj(),
+            cell: UnsafeCell::new(p),
+        }
+    }
+
+    pub fn load(&self, _order: Ordering) -> *mut T {
+        sched("conc AtomicPtr::load", Op::AtomicLoad(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe { *self.cell.get() }
+    }
+
+    pub fn store(&self, p: *mut T, _order: Ordering) {
+        sched("conc AtomicPtr::store", Op::AtomicStore(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe { *self.cell.get() = p }
+    }
+
+    pub fn swap(&self, p: *mut T, _order: Ordering) -> *mut T {
+        sched("conc AtomicPtr::swap", Op::AtomicRmw(self.id));
+        // SAFETY: we hold the scheduler grant.
+        unsafe {
+            let c = self.cell.get();
+            std::mem::replace(&mut *c, p)
+        }
+    }
+
+    /// Exclusive access needs no scheduling point — `&mut self` proves no
+    /// other checked thread can touch the cell.
+    pub fn get_mut(&mut self) -> &mut *mut T {
+        self.cell.get_mut()
+    }
+
+    pub fn into_inner(self) -> *mut T {
+        self.cell.into_inner()
+    }
+}
+
+impl<T> fmt::Debug for AtomicPtr<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AtomicPtr").finish_non_exhaustive()
+    }
+}
+
+/// Checked `RwLock<T>`. Never poisons: a panic inside the model aborts the
+/// whole execution as a counterexample, so `read`/`write` always return
+/// `Ok` — which is exactly the behavior the ported `AtomicRegister` pins
+/// (it treats poison as recoverable and reads through it).
+pub struct RwLock<T> {
+    id: ObjId,
+    cell: UnsafeCell<T>,
+}
+
+// SAFETY: guard access is serialized by the explorer's lock-state table
+// (a write grant excludes all others; read grants exclude writes), so the
+// usual RwLock reasoning applies. Bounds match std.
+unsafe impl<T: Send> Send for RwLock<T> {}
+// SAFETY: as above.
+unsafe impl<T: Send + Sync> Sync for RwLock<T> {}
+
+impl<T> RwLock<T> {
+    pub fn new(v: T) -> Self {
+        let (exec, _) = runtime::require_ctx("conc RwLock::new");
+        RwLock {
+            id: exec.alloc_obj(),
+            cell: UnsafeCell::new(v),
+        }
+    }
+
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        sched("conc RwLock::read", Op::LockRead(self.id));
+        Ok(RwLockReadGuard { lock: self })
+    }
+
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        sched("conc RwLock::write", Op::LockWrite(self.id));
+        Ok(RwLockWriteGuard { lock: self })
+    }
+
+    pub fn into_inner(self) -> LockResult<T> {
+        Ok(self.cell.into_inner())
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Peeking at the value would need a lock grant; show identity only.
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+pub struct RwLockReadGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the explorer's lock table holds a read grant for this
+        // guard, excluding writers.
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        // During an execution-abort unwind, parking again would panic
+        // inside a panic; the run is being torn down, lock state included.
+        if std::thread::panicking() {
+            return;
+        }
+        sched("conc RwLock read unlock", Op::UnlockRead(self.lock.id));
+    }
+}
+
+pub struct RwLockWriteGuard<'a, T> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: the explorer's lock table holds the write grant for this
+        // guard — exclusive access.
+        unsafe { &*self.lock.cell.get() }
+    }
+}
+
+impl<T> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as in `deref` — the write grant is exclusive.
+        unsafe { &mut *self.lock.cell.get() }
+    }
+}
+
+impl<T> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            return;
+        }
+        sched("conc RwLock write unlock", Op::UnlockWrite(self.lock.id));
+    }
+}
+
+/// Handle to a checked thread, mirroring `std::thread::JoinHandle`.
+pub struct JoinHandle<T> {
+    child: Tid,
+    _result: PhantomData<fn() -> T>,
+}
+
+/// Spawn a checked thread. The spawn itself is a visible op; the parent
+/// resumes only after the child has parked at *its* first visible op, so
+/// the explorer always knows every live thread's pending operation.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (exec, tid) = runtime::require_ctx("conc::thread::spawn");
+    let child = exec.alloc_thread();
+    exec.sched_point(tid, Op::Spawn(child));
+    exec.spawn_managed(f, child);
+    JoinHandle {
+        child,
+        _result: PhantomData,
+    }
+}
+
+impl<T: 'static> JoinHandle<T> {
+    /// Wait for the thread to finish. The join is a visible op the
+    /// explorer only grants once the target has finished, so this never
+    /// actually blocks the OS thread beyond the usual park.
+    pub fn join(self) -> std::thread::Result<T> {
+        let (exec, tid) = runtime::require_ctx("conc JoinHandle::join");
+        exec.sched_point(tid, Op::Join(self.child));
+        match exec.take_result(self.child) {
+            Some(b) => Ok(*b.downcast::<T>().expect("join result type matches spawn")),
+            // Unreachable in practice: a panicking child aborts the whole
+            // execution before the join can be granted.
+            None => Err(Box::new("checked thread panicked")),
+        }
+    }
+}
+
+/// Voluntary scheduling point (replaces `std::thread::yield_now` spins).
+pub fn yield_now() {
+    sched("conc::thread::yield_now", Op::Yield);
+}

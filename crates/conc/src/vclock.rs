@@ -1,0 +1,286 @@
+//! Vector clocks: the happens-before algebra shared by the race detector
+//! and the DPOR explorer.
+//!
+//! A [`VClock`] maps each checked thread to a logical timestamp. The
+//! component-wise operations implement the standard happens-before lattice:
+//! [`VClock::join`] is the least upper bound, [`VClock::le`] the partial
+//! order, and [`VClock::tick`] advances one thread's local time. The
+//! algebra's laws (join is an idempotent commutative monoid, `le` is a
+//! partial order, `join` is the lub) are pinned by unit tests in this
+//! module — the detector's soundness reduces to them.
+//!
+//! Clocks are indexed by [`Tid`], the checker's dense thread id (the
+//! *checked-program* thread, not the OS thread running it).
+
+use std::fmt;
+
+/// Dense id of a checked thread. `Tid(0)` is the root thread of a model
+/// run; spawned threads get consecutive ids in spawn order, which is
+/// deterministic under the controlled scheduler.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid(pub usize);
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// A vector clock over the checked threads.
+///
+/// Components default to 0; clocks of different lengths compare as if the
+/// shorter one were zero-extended, so a clock created before a thread was
+/// spawned stays valid after the spawn.
+///
+/// # Example
+///
+/// ```
+/// use swapcons_conc::vclock::{Tid, VClock};
+///
+/// let mut a = VClock::new();
+/// a.tick(Tid(0));
+/// let mut b = VClock::new();
+/// b.tick(Tid(1));
+/// assert!(!a.le(&b) && !b.le(&a)); // concurrent
+/// let mut j = a.clone();
+/// j.join(&b);
+/// assert!(a.le(&j) && b.le(&j)); // join is an upper bound
+/// ```
+#[derive(Clone, Default)]
+pub struct VClock {
+    /// `slots[t]` is thread `t`'s timestamp; missing slots are 0.
+    slots: Vec<u32>,
+}
+
+/// Trailing zero slots are representation, not state: equality and hashing
+/// see the trimmed slice, so `⟨1⟩ == ⟨1,0⟩`.
+impl PartialEq for VClock {
+    fn eq(&self, other: &Self) -> bool {
+        self.trimmed() == other.trimmed()
+    }
+}
+
+impl Eq for VClock {}
+
+impl std::hash::Hash for VClock {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.trimmed().hash(state);
+    }
+}
+
+impl VClock {
+    /// The zero clock (bottom of the lattice).
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The slots with trailing zeros stripped — the canonical view equality
+    /// and hashing use.
+    fn trimmed(&self) -> &[u32] {
+        let end = self
+            .slots
+            .iter()
+            .rposition(|&x| x != 0)
+            .map_or(0, |i| i + 1);
+        &self.slots[..end]
+    }
+
+    /// Thread `t`'s component.
+    pub fn get(&self, t: Tid) -> u32 {
+        self.slots.get(t.0).copied().unwrap_or(0)
+    }
+
+    /// Set thread `t`'s component (used when adopting a snapshot).
+    pub fn set(&mut self, t: Tid, v: u32) {
+        if self.slots.len() <= t.0 {
+            self.slots.resize(t.0 + 1, 0);
+        }
+        self.slots[t.0] = v;
+    }
+
+    /// Advance thread `t`'s local time by one.
+    pub fn tick(&mut self, t: Tid) {
+        let cur = self.get(t);
+        self.set(t, cur + 1);
+    }
+
+    /// Component-wise maximum: `self := self ⊔ other`.
+    pub fn join(&mut self, other: &VClock) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (a, &b) in self.slots.iter_mut().zip(&other.slots) {
+            *a = (*a).max(b);
+        }
+    }
+
+    /// The happens-before partial order: `self ⊑ other` iff every component
+    /// of `self` is at most the corresponding component of `other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.slots
+            .iter()
+            .enumerate()
+            .all(|(i, &a)| a <= other.slots.get(i).copied().unwrap_or(0))
+    }
+
+    /// Strict order: `self ⊑ other` and `self ≠ other` (as clocks, after
+    /// zero-extension).
+    pub fn lt(&self, other: &VClock) -> bool {
+        self.le(other) && !other.le(self)
+    }
+
+    /// Whether neither clock precedes the other — the two events are
+    /// concurrent, the detector's race condition.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+impl fmt::Debug for VClock {
+    /// Prints the dense slice, zero slots included — two clocks differing
+    /// only by zero-extension print differently while comparing equal (the
+    /// tests pin that equality is semantic, not representational).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨")?;
+        for (i, x) in self.slots.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{x}")?;
+        }
+        write!(f, "⟩")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(slots: &[u32]) -> VClock {
+        let mut v = VClock::new();
+        for (i, &x) in slots.iter().enumerate() {
+            v.set(Tid(i), x);
+        }
+        v
+    }
+
+    #[test]
+    fn zero_is_bottom() {
+        let z = VClock::new();
+        assert!(z.le(&c(&[1, 2, 3])));
+        assert!(z.le(&z));
+        assert!(!c(&[0, 1]).le(&z));
+    }
+
+    #[test]
+    fn le_is_a_partial_order() {
+        let a = c(&[1, 2]);
+        let b = c(&[2, 2]);
+        let d = c(&[2, 1]);
+        // Reflexive.
+        assert!(a.le(&a));
+        // Antisymmetric: a ⊑ b, not b ⊑ a.
+        assert!(a.le(&b) && !b.le(&a));
+        // Transitive through b.
+        assert!(c(&[0, 1]).le(&a) && a.le(&b) && c(&[0, 1]).le(&b));
+        // Incomparable pair.
+        assert!(a.concurrent_with(&d));
+        assert!(!a.concurrent_with(&b));
+    }
+
+    #[test]
+    fn lt_excludes_equal_clocks() {
+        let a = c(&[1, 1]);
+        assert!(!a.lt(&a));
+        assert!(a.lt(&c(&[1, 2])));
+        // Zero-extension: ⟨1⟩ == ⟨1,0⟩ semantically, so not strictly less.
+        assert!(!c(&[1]).lt(&c(&[1, 0])));
+    }
+
+    #[test]
+    fn join_is_least_upper_bound() {
+        let a = c(&[1, 5, 0]);
+        let b = c(&[3, 2, 0]);
+        let mut j = a.clone();
+        j.join(&b);
+        assert_eq!(j, c(&[3, 5, 0]));
+        // Upper bound.
+        assert!(a.le(&j) && b.le(&j));
+        // Least: any other upper bound dominates j.
+        let ub = c(&[4, 6, 1]);
+        assert!(a.le(&ub) && b.le(&ub) && j.le(&ub));
+    }
+
+    #[test]
+    fn join_laws() {
+        let a = c(&[1, 2]);
+        let b = c(&[2, 1]);
+        let d = c(&[0, 3]);
+        // Idempotent.
+        let mut x = a.clone();
+        x.join(&a);
+        assert_eq!(x, a);
+        // Commutative.
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+        // Associative.
+        let mut l = a.clone();
+        l.join(&b);
+        l.join(&d);
+        let mut bd = b.clone();
+        bd.join(&d);
+        let mut r = a.clone();
+        r.join(&bd);
+        assert_eq!(l, r);
+        // Identity: join with bottom.
+        let mut z = a.clone();
+        z.join(&VClock::new());
+        assert_eq!(z, a);
+    }
+
+    #[test]
+    fn tick_advances_only_one_component() {
+        let mut a = c(&[1, 2]);
+        let before = a.clone();
+        a.tick(Tid(0));
+        assert_eq!(a.get(Tid(0)), 2);
+        assert_eq!(a.get(Tid(1)), 2);
+        assert!(before.lt(&a), "tick strictly advances");
+    }
+
+    #[test]
+    fn tick_into_fresh_slot() {
+        let mut a = VClock::new();
+        a.tick(Tid(3));
+        assert_eq!(a.get(Tid(3)), 1);
+        assert_eq!(a.get(Tid(0)), 0);
+        assert_eq!(a.get(Tid(7)), 0, "missing slots read as zero");
+    }
+
+    #[test]
+    fn length_mismatch_is_semantic_zero_extension() {
+        // ⟨1⟩ and ⟨1,0⟩ are the same clock.
+        assert!(c(&[1]).le(&c(&[1, 0])));
+        assert!(c(&[1, 0]).le(&c(&[1])));
+        assert!(!c(&[1, 1]).le(&c(&[1])));
+        assert!(c(&[1]).concurrent_with(&c(&[0, 1])));
+        // Equality and hashing agree with the semantic order.
+        assert_eq!(c(&[1]), c(&[1, 0]));
+        fn h<T: std::hash::Hash>(t: &T) -> u64 {
+            use std::hash::Hasher;
+            let mut s = std::collections::hash_map::DefaultHasher::new();
+            t.hash(&mut s);
+            s.finish()
+        }
+        assert_eq!(h(&c(&[1])), h(&c(&[1, 0])));
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", c(&[1, 0, 2])), "⟨1,0,2⟩");
+        assert_eq!(format!("{}", Tid(4)), "t4");
+    }
+}

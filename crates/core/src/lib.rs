@@ -30,6 +30,8 @@
 //! assert!(report.passed(), "{report}");
 //! ```
 
+// Unsafe-code audit (PR 6): the algorithms are pure safe Rust (the unsafe pointer handoff lives in swapcons-objects, behind audited SAFETY comments).
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -143,7 +143,9 @@ impl ThreadedKSet {
                     std::hint::spin_loop();
                 }
                 if contended_passes > 4 {
-                    std::thread::yield_now();
+                    // Through the conc alias: a real yield in production, a
+                    // visible scheduling point under `--cfg conc_check`.
+                    swapcons_conc::thread::yield_now();
                 }
             }
         }
@@ -241,7 +243,11 @@ impl ThreadedPairs {
     }
 }
 
-#[cfg(test)]
+// These tests run the algorithms on free-running std threads (`run()`),
+// which requires the conc aliases to resolve to the real std types; under
+// `--cfg conc_check` the shims demand a model context and the exhaustive
+// suite in `tests/conc_exhaustive.rs` takes over.
+#[cfg(all(test, not(conc_check)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;

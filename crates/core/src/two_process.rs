@@ -69,7 +69,8 @@ impl Default for ThreadedTwoProcess {
     }
 }
 
-#[cfg(test)]
+// Free-running std threads: normal builds only (see `threaded.rs`).
+#[cfg(all(test, not(conc_check)))]
 mod tests {
     use super::*;
     use std::sync::Arc;

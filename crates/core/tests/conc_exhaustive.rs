@@ -1,0 +1,298 @@
+//! Exhaustive model-checking of the threaded layer under the vendored
+//! concurrency checker (`swapcons-conc`).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg conc_check"`, which switches the
+//! `swapcons_conc::{sync, thread}` aliases from std to the instrumented
+//! shims: every atomic, lock, spawn/join, and yield becomes a controlled
+//! scheduling point, and the explorer enumerates interleavings — all of
+//! them for the small two-process gates, all up to a preemption bound for
+//! the `ThreadedKSet` races. The vector-clock detector watches the raw
+//! payload handoff inside `AtomicSwap::swap` on every explored schedule.
+//!
+//! Each gate asserts safety *inside* the checked program, so a violation
+//! surfaces as a counterexample with a replayable schedule (printed via
+//! the failure's `Display`), and also cross-checks DPOR against full
+//! enumeration where the full space is affordable: identical verdicts and
+//! outcome sets from measurably fewer explored interleavings.
+
+#![cfg(conc_check)]
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use swapcons_conc::{CheckReport, Checker, Mode};
+use swapcons_core::threaded::ThreadedKSet;
+use swapcons_core::two_process::ThreadedTwoProcess;
+use swapcons_objects::atomic::AtomicSwap;
+use swapcons_objects::linearize::{chain_consistent, SwapOp};
+
+/// Lap cap for checked races: far above what any finite schedule needs
+/// (a solo run decides in ~3 laps), so hitting it means livelock — which
+/// the in-model `expect` turns into a replayable counterexample.
+const MAX_LAPS: u64 = 16;
+
+/// Model-check a `ThreadedKSet` race: `n` shim threads propose, every
+/// decision is asserted in-model (validity + k-agreement), the decision
+/// vector is the outcome.
+fn check_kset(
+    mode: Mode,
+    n: usize,
+    k: usize,
+    m: u64,
+    inputs: &[u64],
+    preemption_bound: u32,
+) -> CheckReport<Vec<u64>> {
+    let inputs = inputs.to_vec();
+    let checker = Checker::new(mode).with_preemption_bound(preemption_bound);
+    checker.check(move || {
+        let alg = Arc::new(ThreadedKSet::new(n, k, m));
+        let handles: Vec<_> = inputs
+            .iter()
+            .enumerate()
+            .map(|(pid, &input)| {
+                let alg = Arc::clone(&alg);
+                swapcons_conc::thread::spawn(move || {
+                    alg.propose_bounded(pid, input, MAX_LAPS)
+                        .expect("livelock: lap cap reached under a finite schedule")
+                })
+            })
+            .collect();
+        let decisions: Vec<u64> = handles
+            .into_iter()
+            .map(|h| h.join().expect("proposer panicked"))
+            .collect();
+        // Safety asserted inside the model: a violation aborts this
+        // execution as a counterexample carrying its schedule.
+        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        assert!(
+            distinct.len() <= k,
+            "k-agreement violated: {distinct:?} exceeds k={k}"
+        );
+        for d in &decisions {
+            assert!(
+                inputs.contains(d),
+                "validity violated: {d} is nobody's input"
+            );
+        }
+        decisions
+    })
+}
+
+fn assert_clean<V: std::fmt::Debug>(report: &CheckReport<V>, label: &str) {
+    assert!(
+        report.passed(),
+        "{label}: {}",
+        report
+            .failure
+            .as_ref()
+            .map(|f| f.to_string())
+            .unwrap_or_else(|| "failed without failure record".into())
+    );
+    assert!(report.complete, "{label}: exploration truncated");
+    assert!(report.interleavings > 0, "{label}: nothing explored");
+}
+
+#[test]
+fn kset_n2_k1_exhaustive_consensus() {
+    // n=2, k=1: one swap object, full binary consensus. Preemption bound 3
+    // covers every schedule the bound admits, in both modes, for both
+    // input patterns; DPOR must agree with full enumeration on verdict and
+    // outcomes while exploring no more interleavings.
+    for inputs in [[0u64, 1], [1, 0], [1, 1]] {
+        let full = check_kset(Mode::FullEnumeration, 2, 1, 2, &inputs, 3);
+        let dpor = check_kset(Mode::Dpor, 2, 1, 2, &inputs, 3);
+        assert_clean(&full, "kset(2,1) full");
+        assert_clean(&dpor, "kset(2,1) dpor");
+        let full_set: HashSet<_> = full.outcomes.iter().cloned().collect();
+        let dpor_set: HashSet<_> = dpor.outcomes.iter().cloned().collect();
+        assert_eq!(full_set, dpor_set, "outcome sets diverge on {inputs:?}");
+        assert!(
+            dpor.interleavings <= full.interleavings,
+            "DPOR explored more than full enumeration on {inputs:?}"
+        );
+        eprintln!(
+            "kset(2,1) inputs={inputs:?}: full={} dpor={} outcomes={}",
+            full.interleavings,
+            dpor.interleavings,
+            full_set.len()
+        );
+    }
+}
+
+#[test]
+fn kset_n3_k1_exhaustive_consensus() {
+    // n=3, k=1: two swap objects, three proposers. Both modes cover the
+    // bounded space completely; DPOR must reach the same outcome set from
+    // strictly fewer interleavings.
+    let full = check_kset(Mode::FullEnumeration, 3, 1, 2, &[0, 1, 0], 2);
+    let dpor = check_kset(Mode::Dpor, 3, 1, 2, &[0, 1, 0], 2);
+    assert_clean(&full, "kset(3,1) full");
+    assert_clean(&dpor, "kset(3,1) dpor");
+    // Consensus: every explored schedule decided a single value.
+    for outcome in full.outcomes.iter().chain(&dpor.outcomes) {
+        let distinct: HashSet<_> = outcome.iter().collect();
+        assert_eq!(distinct.len(), 1, "k=1 requires unanimity: {outcome:?}");
+    }
+    let full_set: HashSet<_> = full.outcomes.iter().cloned().collect();
+    let dpor_set: HashSet<_> = dpor.outcomes.iter().cloned().collect();
+    assert_eq!(full_set, dpor_set, "outcome sets diverge at (3,1)");
+    assert!(
+        dpor.interleavings < full.interleavings,
+        "no reduction at (3,1)"
+    );
+    eprintln!(
+        "kset(3,1): full={} dpor={} distinct_outcomes={}",
+        full.interleavings,
+        dpor.interleavings,
+        full_set.len()
+    );
+}
+
+#[test]
+fn kset_n3_k2_exhaustive_set_agreement() {
+    // n=3, k=2: one swap object, 3-valued inputs, full-vs-DPOR parity.
+    let full = check_kset(Mode::FullEnumeration, 3, 2, 3, &[0, 1, 2], 2);
+    let dpor = check_kset(Mode::Dpor, 3, 2, 3, &[0, 1, 2], 2);
+    assert_clean(&full, "kset(3,2) full");
+    assert_clean(&dpor, "kset(3,2) dpor");
+    let full_set: HashSet<_> = full.outcomes.iter().cloned().collect();
+    let dpor_set: HashSet<_> = dpor.outcomes.iter().cloned().collect();
+    assert_eq!(full_set, dpor_set, "outcome sets diverge at (3,2)");
+    assert!(
+        dpor.interleavings < full.interleavings,
+        "no reduction at (3,2)"
+    );
+    eprintln!(
+        "kset(3,2): full={} dpor={} distinct_outcomes={}",
+        full.interleavings,
+        dpor.interleavings,
+        full_set.len()
+    );
+}
+
+#[test]
+fn two_process_consensus_every_interleaving() {
+    // The 1-swap 2-process consensus object: small enough for unbounded
+    // full enumeration. Agreement and validity in every interleaving, and
+    // both swap orders must be observed.
+    let run = |mode: Mode| -> CheckReport<(u64, u64)> {
+        Checker::new(mode).check(|| {
+            let obj = Arc::new(ThreadedTwoProcess::new());
+            let a = Arc::clone(&obj);
+            let t = swapcons_conc::thread::spawn(move || a.propose(7));
+            let mine = obj.propose(9);
+            let theirs = t.join().expect("proposer panicked");
+            assert_eq!(mine, theirs, "agreement violated");
+            assert!(mine == 7 || mine == 9, "validity violated");
+            (mine, theirs)
+        })
+    };
+    let full = run(Mode::FullEnumeration);
+    let dpor = run(Mode::Dpor);
+    assert_clean(&full, "two-process full");
+    assert_clean(&dpor, "two-process dpor");
+    let outcomes: HashSet<_> = full.outcomes.iter().cloned().collect();
+    assert_eq!(
+        outcomes,
+        HashSet::from([(7, 7), (9, 9)]),
+        "both swap orders must be reachable"
+    );
+    assert_eq!(
+        outcomes,
+        dpor.outcomes.iter().cloned().collect::<HashSet<_>>(),
+        "DPOR lost an outcome"
+    );
+    assert!(dpor.interleavings <= full.interleavings);
+    eprintln!(
+        "two-process: full={} dpor={}",
+        full.interleavings, dpor.interleavings
+    );
+}
+
+#[test]
+fn atomic_swap_histories_linearize_in_every_interleaving() {
+    // Object-level linearizability: two threads push tokens through one
+    // AtomicSwap while the checker enumerates schedules; every history,
+    // closed by a final drain, must form a single Eulerian chain from the
+    // initial value (`chain_consistent` is the O(ops) decision procedure).
+    let run = |mode: Mode| -> CheckReport<Vec<(u64, u64)>> {
+        Checker::new(mode).check(|| {
+            let obj = Arc::new(AtomicSwap::new(0u64));
+            let spawn_swapper = |obj: &Arc<AtomicSwap<u64>>, tokens: [u64; 2]| {
+                let obj = Arc::clone(obj);
+                swapcons_conc::thread::spawn(move || tokens.map(|t| SwapOp::new(t, obj.swap(t))))
+            };
+            let t1 = spawn_swapper(&obj, [11, 12]);
+            let t2 = spawn_swapper(&obj, [21, 22]);
+            let mut ops: Vec<SwapOp<u64>> = Vec::new();
+            ops.extend(t1.join().expect("swapper panicked"));
+            ops.extend(t2.join().expect("swapper panicked"));
+            let last = Arc::try_unwrap(obj)
+                .unwrap_or_else(|_| panic!("threads joined; Arc must be unique"))
+                .into_inner();
+            ops.push(SwapOp::new(u64::MAX, last));
+            assert!(
+                chain_consistent(&0, &ops),
+                "non-linearizable swap history: {ops:?}"
+            );
+            // Outcome: the history as response pairs, order-normalized.
+            let mut pairs: Vec<(u64, u64)> =
+                ops.iter().map(|o| (o.swapped_in, o.returned)).collect();
+            pairs.sort_unstable();
+            pairs
+        })
+    };
+    let full = run(Mode::FullEnumeration);
+    let dpor = run(Mode::Dpor);
+    assert_clean(&full, "linearize full");
+    assert_clean(&dpor, "linearize dpor");
+    let full_set: HashSet<_> = full.outcomes.iter().cloned().collect();
+    let dpor_set: HashSet<_> = dpor.outcomes.iter().cloned().collect();
+    assert_eq!(full_set, dpor_set, "DPOR changed the set of histories");
+    assert!(dpor.interleavings < full.interleavings);
+    eprintln!(
+        "linearize: full={} dpor={} histories={}",
+        full.interleavings,
+        dpor.interleavings,
+        full_set.len()
+    );
+}
+
+#[test]
+fn counterexample_schedules_replay() {
+    // A seeded safety violation: two "proposers" that skip the swap object
+    // entirely cannot agree; the checker must find the disagreement and
+    // hand back a schedule that `replay` reproduces.
+    let checker = Checker::new(Mode::Dpor);
+    let report: CheckReport<u64> = checker.check(|| {
+        let obj = Arc::new(ThreadedTwoProcess::new());
+        let a = Arc::clone(&obj);
+        let t = swapcons_conc::thread::spawn(move || a.propose(1));
+        let mine = obj.propose(2);
+        let theirs = t.join().expect("proposer panicked");
+        // Deliberately wrong assertion: claims a fixed winner.
+        assert_eq!(mine, 1, "seeded violation");
+        mine + theirs
+    });
+    let failure = report.failure.expect("the seeded violation must be found");
+    let replayed: swapcons_conc::ReplayReport<u64> = checker.replay(
+        || {
+            let obj = Arc::new(ThreadedTwoProcess::new());
+            let a = Arc::clone(&obj);
+            let t = swapcons_conc::thread::spawn(move || a.propose(1));
+            let mine = obj.propose(2);
+            let theirs = t.join().expect("proposer panicked");
+            assert_eq!(mine, 1, "seeded violation");
+            mine + theirs
+        },
+        &failure.schedule,
+    );
+    let refailure = replayed
+        .failure
+        .expect("replaying the counterexample schedule must re-fail");
+    assert_eq!(
+        format!("{:?}", refailure.kind).contains("seeded violation"),
+        true,
+        "replay reproduced a different failure: {refailure}"
+    );
+}

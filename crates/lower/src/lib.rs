@@ -39,6 +39,8 @@
 //! assert_eq!(report.forced_objects.len(), 4); // |Q| = n-1 distinct objects
 //! ```
 
+// Unsafe-code audit (PR 6): the adversaries are pure safe Rust.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -23,8 +23,12 @@
 use std::fmt;
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, Ordering};
-use std::sync::RwLock;
+
+// In normal builds these aliases re-export the std types verbatim; under
+// `--cfg conc_check` they switch to the instrumented shims of
+// `swapcons-conc`, making every object in this module exhaustively
+// model-checkable without further changes.
+use swapcons_conc::sync::{AtomicBool, AtomicPtr, AtomicU64, Ordering, RwLock};
 
 use crate::schema::Domain;
 
@@ -61,8 +65,14 @@ pub struct AtomicSwap<T> {
 impl<T> AtomicSwap<T> {
     /// Create a swap object holding `initial`.
     pub fn new(initial: T) -> Self {
+        let raw = Box::into_raw(Box::new(initial));
+        // Under the checker, declare the initial payload write so a swap
+        // racing with construction (impossible through safe code, since
+        // sharing requires the constructor to finish first) would be caught.
+        #[cfg(conc_check)]
+        swapcons_conc::hooks::data_write(raw as usize);
         AtomicSwap {
-            ptr: AtomicPtr::new(Box::into_raw(Box::new(initial))),
+            ptr: AtomicPtr::new(raw),
             _owned: PhantomData,
         }
     }
@@ -72,7 +82,19 @@ impl<T> AtomicSwap<T> {
     /// ordering is the linearization point.
     pub fn swap(&self, value: T) -> T {
         let new = Box::into_raw(Box::new(value));
+        // The payload write must be declared *before* the pointer is
+        // published: release ordering on the swap is what makes it visible.
+        #[cfg(conc_check)]
+        swapcons_conc::hooks::data_write(new as usize);
         let old = self.ptr.swap(new, Ordering::AcqRel);
+        // The displaced payload is read (moved out) below; the acquire side
+        // of the swap is the edge that orders it after its writer. Retire
+        // the address: the allocator may reuse it for an unrelated Box.
+        #[cfg(conc_check)]
+        {
+            swapcons_conc::hooks::data_read(old as usize);
+            swapcons_conc::hooks::data_retire(old as usize);
+        }
         // SAFETY: `old` was produced by `Box::into_raw` (in `new` or a prior
         // `swap`) and has just been atomically removed from the object; no
         // other thread can obtain it again, so we hold unique ownership.
@@ -84,6 +106,11 @@ impl<T> AtomicSwap<T> {
         let raw = self.ptr.swap(ptr::null_mut(), Ordering::AcqRel);
         // Prevent Drop from double-freeing.
         std::mem::forget(self);
+        #[cfg(conc_check)]
+        {
+            swapcons_conc::hooks::data_read(raw as usize);
+            swapcons_conc::hooks::data_retire(raw as usize);
+        }
         // SAFETY: unique ownership as in `swap`; `raw` is non-null because
         // the pointer is only null transiently inside this method after
         // `mem::forget`.
@@ -95,6 +122,8 @@ impl<T> Drop for AtomicSwap<T> {
     fn drop(&mut self) {
         let raw = *self.ptr.get_mut();
         if !raw.is_null() {
+            #[cfg(conc_check)]
+            swapcons_conc::hooks::data_retire(raw as usize);
             // SAFETY: `&mut self` gives unique access; the pointer was
             // produced by `Box::into_raw`.
             unsafe { drop(Box::from_raw(raw)) }
@@ -102,10 +131,13 @@ impl<T> Drop for AtomicSwap<T> {
     }
 }
 
-// SAFETY: the object owns its T; `swap` transfers T values across threads,
-// so T must be Send. No shared references to the inner T ever exist, so
-// `Sync` for the wrapper also only requires `T: Send`.
+// SAFETY: the object owns its T and `swap` transfers T values across
+// threads by value, so `Send` for the wrapper requires exactly `T: Send`.
 unsafe impl<T: Send> Send for AtomicSwap<T> {}
+// SAFETY: the shared interface never hands out references to the inner T —
+// `swap` moves values in and out — so sharing `&AtomicSwap<T>` across
+// threads only ever transfers owned T values, which `T: Send` covers;
+// `T: Sync` is deliberately not required.
 unsafe impl<T: Send> Sync for AtomicSwap<T> {}
 
 impl<T> fmt::Debug for AtomicSwap<T> {
@@ -191,6 +223,18 @@ impl AtomicWordSwap {
 /// the asynchronous shared-memory model. This is *not* lock-free; the
 /// threaded baselines that use it (racing counters) are baselines for space
 /// accounting and schedule-level behavior, not for lock-freedom.
+///
+/// # Poisoning
+///
+/// The register **never propagates lock poisoning**: a panic while a guard
+/// is held marks the std lock poisoned, but the stored `T` is always a
+/// fully-formed value — `write` replaces it with a single `*guard = v`
+/// assignment, whose new value is in place before the old one is dropped —
+/// so both `read` and `write` recover the guard and proceed. This pins the
+/// model-level semantics: a crashed process leaves the register holding a
+/// legitimate previously-written value, and other processes keep going
+/// (crash-stop, not crash-contaminate). The conc shim's `RwLock` encodes
+/// the same choice by never poisoning at all.
 #[derive(Debug, Default)]
 pub struct AtomicRegister<T> {
     value: RwLock<T>,
@@ -266,7 +310,11 @@ impl AtomicTas {
     }
 }
 
-#[cfg(test)]
+// The unit tests drive the objects on free-running std threads, which only
+// works when the `conc` aliases resolve to the real std types; under
+// `--cfg conc_check` the shims require a model context, and the objects are
+// exercised by the dedicated exhaustive suites instead.
+#[cfg(all(test, not(conc_check)))]
 mod tests {
     use super::*;
     use std::collections::HashSet;
@@ -363,6 +411,48 @@ mod tests {
         assert_eq!(r.read(), vec![1, 2, 3]);
         r.write(vec![4]);
         assert_eq!(r.read(), vec![4]);
+    }
+
+    #[test]
+    fn register_recovers_from_poisoned_lock() {
+        // A panic while the write guard is held poisons the std RwLock.
+        // The register's pinned semantics: subsequent reads and writes
+        // recover the guard and observe a fully-formed value (crash-stop,
+        // not crash-contaminate).
+        struct PanicOnDrop(bool);
+        impl Drop for PanicOnDrop {
+            fn drop(&mut self) {
+                if self.0 && !std::thread::panicking() {
+                    panic!("drop bomb");
+                }
+            }
+        }
+
+        let r = Arc::new(AtomicRegister::new(7u64));
+        let poisoner = Arc::clone(&r);
+        let result = std::panic::catch_unwind(move || {
+            // Panic *while holding the guard*: the drop bomb detonates
+            // inside `write`'s assignment, after the new value is stored.
+            let bomb = PanicOnDrop(true);
+            poisoner.write(9);
+            drop(bomb);
+        });
+        assert!(result.is_err(), "the drop bomb must have fired");
+
+        // The catch_unwind closure panicked after `write` completed, so the
+        // lock may or may not be poisoned depending on guard timing; force
+        // definite poisoning with a panic strictly inside the guard scope.
+        let poisoner = Arc::clone(&r);
+        let t = std::thread::spawn(move || {
+            let _guard = poisoner.value.write();
+            panic!("poison while holding the write guard");
+        });
+        assert!(t.join().is_err());
+
+        // Pinned behavior: both operations recover and behave normally.
+        assert_eq!(r.read(), 9, "read must see the last completed write");
+        r.write(11);
+        assert_eq!(r.read(), 11, "write must succeed after poisoning");
     }
 
     #[test]

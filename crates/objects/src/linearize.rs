@@ -255,6 +255,9 @@ mod tests {
         assert!(reconstruct_chain(&0, &ops).is_some());
     }
 
+    // Uses free-running std threads; meaningless under `--cfg conc_check`
+    // where AtomicSwap routes through the model-only shims.
+    #[cfg(not(conc_check))]
     #[test]
     fn concurrent_atomic_swap_history_is_chain_consistent() {
         use crate::atomic::AtomicSwap;

@@ -1,6 +1,11 @@
 //! Property-based tests for the objects crate: historyless semantics,
 //! schema enforcement, and the atomic objects under concurrency.
 
+// Free-running std threads drive these tests; under `--cfg conc_check` the
+// atomic objects route through the model-only conc shims, so this target is
+// compiled out (the exhaustive conc suites cover the same layer there).
+#![cfg(not(conc_check))]
+
 use proptest::prelude::*;
 use swapcons_objects::atomic::{AtomicSwap, AtomicWordSwap};
 use swapcons_objects::cell::{AnyCell, ReadableSwapCell, SwapCell};

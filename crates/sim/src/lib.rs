@@ -47,6 +47,8 @@
 //! assert!(d0 == 7 || d0 == 9);
 //! ```
 
+// Unsafe-code audit (PR 6): the simulator is pure safe Rust.
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 

@@ -1,0 +1,197 @@
+//! Shared machinery for the threaded-fuzz harnesses: one sampled case of
+//! the `ThreadedKSet` parameter space, with a stable single-line textual
+//! form so failures persist as regression corpus entries.
+//!
+//! The corpus-line format is deliberately greppable and hand-editable:
+//!
+//! ```text
+//! n=3 k=1 m=2 inputs=0,1,0 perturb=0x1b39fa04c2d11e07
+//! ```
+//!
+//! When a fuzz test fails, its panic message carries the failing case in
+//! exactly this form; appending that line to
+//! `tests/corpus/threaded_fuzz.corpus` makes `tests/fuzz_regressions.rs`
+//! replay it on every future run.
+
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use swapcons::core::threaded::ThreadedKSet;
+
+/// Generous ceiling per sampled race (they complete in milliseconds in
+/// practice; the guard exists to convert livelock into failure).
+pub const GUARD: Duration = Duration::from_secs(60);
+
+/// Run `f` on a fresh thread, failing the test if it outlives [`GUARD`].
+pub fn bounded<T: Send + 'static>(label: String, f: impl FnOnce() -> T + Send + 'static) -> T {
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        // A send error only means the receiver timed out and the test
+        // already failed; nothing to do from this side.
+        let _ = tx.send(f());
+    });
+    match rx.recv_timeout(GUARD) {
+        Ok(v) => v,
+        Err(_) => panic!("{label}: no decision within {GUARD:?} (livelock?)"),
+    }
+}
+
+/// One sampled case: instance shape, inputs, and the perturbation seed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCase {
+    pub n: usize,
+    pub k: usize,
+    pub m: u64,
+    pub inputs: Vec<u64>,
+    pub perturb_seed: u64,
+}
+
+impl FuzzCase {
+    /// Sample a case from the given RNG: `2 ≤ n ≤ 8`, `1 ≤ k ≤ n`
+    /// (including the `k = n` zero-object endpoint), `2 ≤ m ≤ 5`, inputs
+    /// uniform over `{0, …, m-1}`.
+    // Only the sampling harness (tests/threaded_fuzz.rs) calls this; the
+    // corpus replayer includes this module too and would warn otherwise.
+    #[allow(dead_code)]
+    pub fn sample(rng: &mut StdRng) -> Self {
+        let n = rng.gen_range(2..9);
+        let k = rng.gen_range(1..n + 1);
+        let m = rng.gen_range(2..6u64);
+        let inputs = (0..n).map(|_| rng.gen_range(0..m)).collect();
+        FuzzCase {
+            n,
+            k,
+            m,
+            inputs,
+            perturb_seed: rng.gen_range(0..u64::MAX),
+        }
+    }
+
+    /// The replayable one-line form: `n=.. k=.. m=.. inputs=a,b,c
+    /// perturb=0x..`. [`FuzzCase::parse`] inverts it.
+    pub fn corpus_line(&self) -> String {
+        let inputs = self
+            .inputs
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "n={} k={} m={} inputs={} perturb={:#x}",
+            self.n, self.k, self.m, inputs, self.perturb_seed
+        )
+    }
+
+    /// Parse a corpus line produced by [`FuzzCase::corpus_line`].
+    pub fn parse(line: &str) -> Result<FuzzCase, String> {
+        let mut n = None;
+        let mut k = None;
+        let mut m = None;
+        let mut inputs: Option<Vec<u64>> = None;
+        let mut perturb = None;
+        for field in line.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| format!("field {field:?} is not key=value"))?;
+            match key {
+                "n" => n = Some(value.parse().map_err(|e| format!("n: {e}"))?),
+                "k" => k = Some(value.parse().map_err(|e| format!("k: {e}"))?),
+                "m" => m = Some(value.parse().map_err(|e| format!("m: {e}"))?),
+                "inputs" => {
+                    inputs = Some(
+                        value
+                            .split(',')
+                            .map(|v| v.parse().map_err(|e| format!("inputs: {e}")))
+                            .collect::<Result<_, _>>()?,
+                    )
+                }
+                "perturb" => {
+                    let raw = value.strip_prefix("0x").unwrap_or(value);
+                    perturb =
+                        Some(u64::from_str_radix(raw, 16).map_err(|e| format!("perturb: {e}"))?)
+                }
+                other => return Err(format!("unknown field {other:?}")),
+            }
+        }
+        let case = FuzzCase {
+            n: n.ok_or("missing n")?,
+            k: k.ok_or("missing k")?,
+            m: m.ok_or("missing m")?,
+            inputs: inputs.ok_or("missing inputs")?,
+            perturb_seed: perturb.ok_or("missing perturb")?,
+        };
+        if case.inputs.len() != case.n {
+            return Err(format!(
+                "inputs count {} != n={}",
+                case.inputs.len(),
+                case.n
+            ));
+        }
+        if case.k == 0 || case.n < case.k || case.inputs.iter().any(|&v| v >= case.m) {
+            return Err("shape violates n >= k >= 1 or an input is out of range".into());
+        }
+        Ok(case)
+    }
+
+    /// Run the race with per-thread yield perturbation: each thread spins
+    /// and yields a seeded-random amount before proposing, skewing thread
+    /// start order and pacing so different seeds exercise genuinely
+    /// different OS interleavings (the threaded model's only scheduler).
+    pub fn run(&self) -> Vec<u64> {
+        let alg = ThreadedKSet::new(self.n, self.k, self.m);
+        let perturb_seed = self.perturb_seed;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .inputs
+                .iter()
+                .enumerate()
+                .map(|(pid, &input)| {
+                    let alg = &alg;
+                    scope.spawn(move || {
+                        let mut rng =
+                            StdRng::seed_from_u64(perturb_seed ^ (pid as u64).wrapping_mul(0x9E37));
+                        for _ in 0..rng.gen_range(0..64u32) {
+                            std::hint::spin_loop();
+                        }
+                        let yields = rng.gen_range(0..4u32);
+                        for _ in 0..yields {
+                            std::thread::yield_now();
+                        }
+                        alg.propose(pid, input)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("proposer panicked"))
+                .collect()
+        })
+    }
+
+    /// k-agreement and validity for this case's decisions. Failure messages
+    /// embed the corpus line so the case can be committed to
+    /// `tests/corpus/threaded_fuzz.corpus` verbatim.
+    pub fn check(&self, decisions: &[u64]) {
+        let replay = self.corpus_line();
+        assert_eq!(
+            decisions.len(),
+            self.n,
+            "decision count mismatch — corpus line: {replay}"
+        );
+        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        assert!(
+            distinct.len() <= self.k,
+            "k-agreement violated: {distinct:?} exceeds k={} — corpus line: {replay}",
+            self.k
+        );
+        for d in decisions {
+            assert!(
+                self.inputs.contains(d),
+                "validity violated: decision {d} is nobody's input — corpus line: {replay}"
+            );
+        }
+    }
+}

@@ -6,6 +6,11 @@
 //! no deterministic termination bound under contention, so a livelock
 //! regression would otherwise hang the suite instead of failing it.
 
+// Free-running std threads drive these tests; under `--cfg conc_check` the
+// atomic objects route through the model-only conc shims, so this target is
+// compiled out (the exhaustive conc suites cover the same layer there).
+#![cfg(not(conc_check))]
+
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::time::Duration;

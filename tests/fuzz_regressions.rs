@@ -1,0 +1,70 @@
+//! Replays the committed fuzz-failure corpus on every test run.
+//!
+//! `tests/corpus/threaded_fuzz.corpus` holds one case per line in the
+//! format the fuzz harness prints on failure (`n=.. k=.. m=.. inputs=..
+//! perturb=0x..`). Each entry is run several times — the OS scheduler gives
+//! a different interleaving per repetition even with identical
+//! perturbation — and checked for k-agreement and validity, so a case that
+//! once exposed a bug keeps guarding against its return.
+
+// Free-running std threads drive these tests; under `--cfg conc_check` the
+// atomic objects route through the model-only conc shims, so this target is
+// compiled out (the exhaustive conc suites cover the same layer there).
+#![cfg(not(conc_check))]
+
+#[path = "common/fuzz_case.rs"]
+mod fuzz_case;
+
+use fuzz_case::{bounded, FuzzCase};
+
+/// The committed corpus, embedded at compile time so a missing file is a
+/// build error, not a silently empty replay.
+const CORPUS: &str = include_str!("corpus/threaded_fuzz.corpus");
+
+/// Repetitions per corpus entry: cheap insurance against a flaky repro.
+const REPS: usize = 3;
+
+fn corpus_cases() -> Vec<(usize, FuzzCase)> {
+    CORPUS
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| {
+            let t = line.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(lineno, line)| {
+            let case = FuzzCase::parse(line.trim()).unwrap_or_else(|e| {
+                panic!("corpus line {} is malformed ({e}): {line:?}", lineno + 1)
+            });
+            (lineno + 1, case)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_is_nonempty_and_well_formed() {
+    let cases = corpus_cases();
+    assert!(
+        !cases.is_empty(),
+        "the committed corpus must contain at least the seed entries"
+    );
+    for (lineno, case) in &cases {
+        // Round-trip: what we parsed is what a failure would have printed.
+        let reparsed = FuzzCase::parse(&case.corpus_line()).unwrap();
+        assert_eq!(&reparsed, case, "corpus line {lineno} does not round-trip");
+    }
+}
+
+#[test]
+fn corpus_entries_replay_safely() {
+    for (lineno, case) in corpus_cases() {
+        for rep in 0..REPS {
+            let label = format!("corpus line {lineno} rep {rep} — {}", case.corpus_line());
+            let decisions = {
+                let case = case.clone();
+                bounded(label, move || case.run())
+            };
+            case.check(&decisions);
+        }
+    }
+}

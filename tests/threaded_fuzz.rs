@@ -13,8 +13,10 @@
 //! * **validity** — every decision is some process's input.
 //!
 //! Seeds are deterministic (derived from a fixed master seed), so a failure
-//! reproduces by rerunning the test; the failing case's parameters are in
-//! the panic message.
+//! reproduces by rerunning the test. Every failure message carries the
+//! failing case as a **corpus line** (`n=.. k=.. m=.. inputs=..
+//! perturb=0x..`); append that line to `tests/corpus/threaded_fuzz.corpus`
+//! and `tests/fuzz_regressions.rs` will replay it on every future run.
 //!
 //! # Widening the sweep
 //!
@@ -27,17 +29,17 @@
 //!   `0x5EED_CA5E`), so distinct nights explore distinct case sets while
 //!   any single run stays reproducible from its printed parameters.
 
-use std::collections::HashSet;
-use std::sync::mpsc;
-use std::time::Duration;
+// Free-running std threads drive these tests; under `--cfg conc_check` the
+// atomic objects route through the model-only conc shims, so this target is
+// compiled out (the exhaustive conc suites cover the same layer there).
+#![cfg(not(conc_check))]
 
+#[path = "common/fuzz_case.rs"]
+mod fuzz_case;
+
+use fuzz_case::{bounded, FuzzCase};
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use swapcons::core::threaded::ThreadedKSet;
-
-/// Generous ceiling per sampled race (they complete in milliseconds in
-/// practice; the guard exists to convert livelock into failure).
-const GUARD: Duration = Duration::from_secs(60);
+use rand::SeedableRng;
 
 /// Number of cases for the main sweep: `SWAPCONS_FUZZ_CASES` or 24.
 fn fuzz_cases() -> usize {
@@ -63,101 +65,6 @@ where
     }
 }
 
-/// Run `f` on a fresh thread, failing the test if it outlives `GUARD`.
-fn bounded<T: Send + 'static>(label: String, f: impl FnOnce() -> T + Send + 'static) -> T {
-    let (tx, rx) = mpsc::channel();
-    std::thread::spawn(move || {
-        // A send error only means the receiver timed out and the test
-        // already failed; nothing to do from this side.
-        let _ = tx.send(f());
-    });
-    match rx.recv_timeout(GUARD) {
-        Ok(v) => v,
-        Err(_) => panic!("{label}: no decision within {GUARD:?} (livelock?)"),
-    }
-}
-
-/// One sampled case: instance shape, inputs, and the perturbation seed.
-#[derive(Clone, Debug)]
-struct FuzzCase {
-    n: usize,
-    k: usize,
-    m: u64,
-    inputs: Vec<u64>,
-    perturb_seed: u64,
-}
-
-impl FuzzCase {
-    /// Sample a case from the given RNG: `2 ≤ n ≤ 8`, `1 ≤ k ≤ n`
-    /// (including the `k = n` zero-object endpoint), `2 ≤ m ≤ 5`, inputs
-    /// uniform over `{0, …, m-1}`.
-    fn sample(rng: &mut StdRng) -> Self {
-        let n = rng.gen_range(2..9);
-        let k = rng.gen_range(1..n + 1);
-        let m = rng.gen_range(2..6u64);
-        let inputs = (0..n).map(|_| rng.gen_range(0..m)).collect();
-        FuzzCase {
-            n,
-            k,
-            m,
-            inputs,
-            perturb_seed: rng.gen_range(0..u64::MAX),
-        }
-    }
-
-    /// Run the race with per-thread yield perturbation: each thread spins
-    /// and yields a seeded-random amount before proposing, skewing thread
-    /// start order and pacing so different seeds exercise genuinely
-    /// different OS interleavings (the threaded model's only scheduler).
-    fn run(&self) -> Vec<u64> {
-        let alg = ThreadedKSet::new(self.n, self.k, self.m);
-        let perturb_seed = self.perturb_seed;
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .inputs
-                .iter()
-                .enumerate()
-                .map(|(pid, &input)| {
-                    let alg = &alg;
-                    scope.spawn(move || {
-                        let mut rng =
-                            StdRng::seed_from_u64(perturb_seed ^ (pid as u64).wrapping_mul(0x9E37));
-                        for _ in 0..rng.gen_range(0..64u32) {
-                            std::hint::spin_loop();
-                        }
-                        let yields = rng.gen_range(0..4u32);
-                        for _ in 0..yields {
-                            std::thread::yield_now();
-                        }
-                        alg.propose(pid, input)
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("proposer panicked"))
-                .collect()
-        })
-    }
-
-    /// k-agreement and validity for this case's decisions.
-    fn check(&self, decisions: &[u64]) {
-        assert_eq!(decisions.len(), self.n, "{self:?}");
-        let distinct: HashSet<u64> = decisions.iter().copied().collect();
-        assert!(
-            distinct.len() <= self.k,
-            "k-agreement violated: {distinct:?} exceeds k={} in {self:?}",
-            self.k
-        );
-        for d in decisions {
-            assert!(
-                self.inputs.contains(d),
-                "validity violated: decision {d} is nobody's input in {self:?}"
-            );
-        }
-    }
-}
-
 #[test]
 fn fuzz_threaded_kset_random_shapes_and_perturbations() {
     // Deterministic master seed: every run of one configuration executes
@@ -166,7 +73,10 @@ fn fuzz_threaded_kset_random_shapes_and_perturbations() {
     let mut rng = StdRng::seed_from_u64(fuzz_seed());
     for case_index in 0..fuzz_cases() {
         let case = FuzzCase::sample(&mut rng);
-        let label = format!("fuzz case {case_index}: {case:?}");
+        let label = format!(
+            "fuzz case {case_index} — corpus line: {}",
+            case.corpus_line()
+        );
         let decisions = {
             let case = case.clone();
             bounded(label, move || case.run())
@@ -184,14 +94,18 @@ fn fuzz_unanimous_inputs_always_decide_the_input() {
         let mut case = FuzzCase::sample(&mut rng);
         let v = case.inputs[0];
         case.inputs = vec![v; case.n];
-        let label = format!("unanimous fuzz case {case_index}: {case:?}");
+        let label = format!(
+            "unanimous fuzz case {case_index} — corpus line: {}",
+            case.corpus_line()
+        );
         let decisions = {
             let case = case.clone();
             bounded(label, move || case.run())
         };
         assert!(
             decisions.iter().all(|&d| d == v),
-            "unanimous input {v} not decided: {decisions:?} in {case:?}"
+            "unanimous input {v} not decided: {decisions:?} — corpus line: {}",
+            case.corpus_line()
         );
     }
 }
@@ -204,11 +118,25 @@ fn fuzz_repeated_same_seed_is_safe_across_reruns() {
     let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 7);
     let case = FuzzCase::sample(&mut rng);
     for round in 0..fuzz_cases().div_ceil(4) {
-        let label = format!("repeat round {round}: {case:?}");
+        let label = format!("repeat round {round} — corpus line: {}", case.corpus_line());
         let decisions = {
             let case = case.clone();
             bounded(label, move || case.run())
         };
         case.check(&decisions);
+    }
+}
+
+#[test]
+fn corpus_line_round_trips() {
+    // The persistence format must invert exactly, or a committed failure
+    // would replay a different case than the one that failed.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0xC0 ^ 0xDE);
+    for _ in 0..64 {
+        let case = FuzzCase::sample(&mut rng);
+        let line = case.corpus_line();
+        let parsed = FuzzCase::parse(&line)
+            .unwrap_or_else(|e| panic!("own corpus line {line:?} failed to parse: {e}"));
+        assert_eq!(parsed, case, "round-trip changed the case: {line}");
     }
 }

@@ -1,6 +1,11 @@
 //! Integration: threaded implementations under genuine OS scheduling,
 //! repeatedly and oversubscribed.
 
+// Free-running std threads drive these tests; under `--cfg conc_check` the
+// atomic objects route through the model-only conc shims, so this target is
+// compiled out (the exhaustive conc suites cover the same layer there).
+#![cfg(not(conc_check))]
+
 use std::collections::HashSet;
 
 use swapcons::core::threaded::{ThreadedKSet, ThreadedPairs};
