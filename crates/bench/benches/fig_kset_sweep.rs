@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use swapcons_baselines::RegisterKSet;
-use swapcons_bench::harness::{cyclic_inputs, decide_all};
+use swapcons_bench::harness::{cyclic_inputs, decide_all, try_decide_all};
 use swapcons_core::pairs::PairsKSet;
 use swapcons_core::SwapKSet;
 use swapcons_lower::Table1Row;
@@ -42,16 +42,23 @@ fn print_sweep() {
         let m = (k + 1) as u64;
         let p = SwapKSet::new(n, k, m);
         let mut total = 0usize;
+        let mut completed = 0usize;
         const SEEDS: usize = 5;
         for seed in 0..SEEDS as u64 {
-            let (steps, decisions) =
-                decide_all(&p, &cyclic_inputs(n, m), 5 * n, seed, p.solo_step_bound());
-            assert!(p.task().check(&cyclic_inputs(n, m), &decisions).is_ok());
-            total += steps;
+            // One failing seed costs a warning line, not the whole sweep.
+            match try_decide_all(&p, &cyclic_inputs(n, m), 5 * n, seed, p.solo_step_bound()) {
+                Ok((steps, decisions)) => {
+                    assert!(p.task().check(&cyclic_inputs(n, m), &decisions).is_ok());
+                    total += steps;
+                    completed += 1;
+                }
+                Err(e) => eprintln!("k={k} seed={seed}: row failed, skipping: {e}"),
+            }
         }
+        assert!(completed > 0, "k={k}: every seed failed");
         println!(
             "k={k:>2}: avg steps {:>6} (space {})",
-            total / SEEDS,
+            total / completed,
             p.space()
         );
     }

@@ -99,6 +99,36 @@ impl ThreadedKSet {
     ///
     /// Panics if `pid >= n` or `input >= m`.
     pub fn propose_bounded(&self, pid: usize, input: u64, max_laps: u64) -> Option<u64> {
+        self.propose_inner(pid, input, max_laps, None)
+    }
+
+    /// Propose, but **crash** after exactly `crash_after_swaps` swap
+    /// operations: the thread stops dead before its next shared-memory
+    /// step — mid-pass if the crash point falls inside one — and returns
+    /// `None`, leaving whatever it already swapped into the objects for the
+    /// survivors to observe. A decision reached strictly before the crash
+    /// point is returned (the decision is part of the final swap's
+    /// transition, as in the simulator's model). `crash_after_swaps == 0`
+    /// crashes before the first step of the race.
+    ///
+    /// This is the threaded counterpart of the model checker's `Crash`
+    /// transition: a crashed process is one the OS scheduler never runs
+    /// again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid >= n` or `input >= m`.
+    pub fn propose_crashing(&self, pid: usize, input: u64, crash_after_swaps: u64) -> Option<u64> {
+        self.propose_inner(pid, input, u64::MAX, Some(crash_after_swaps))
+    }
+
+    fn propose_inner(
+        &self,
+        pid: usize,
+        input: u64,
+        max_laps: u64,
+        crash_after: Option<u64>,
+    ) -> Option<u64> {
         assert!(pid < self.n, "pid {pid} out of range for n={}", self.n);
         assert!(
             input < self.m,
@@ -110,11 +140,21 @@ impl ThreadedKSet {
         let mut rng = StdRng::seed_from_u64((pid as u64) << 32 | input);
         let mut contended_passes: u32 = 0;
         let mut laps: u64 = 0;
+        let mut swaps: u64 = 0;
         loop {
+            // The crash point also strikes between passes — in particular
+            // before the decision of a zero-object (`k == n`) instance.
+            if crash_after.is_some_and(|limit| swaps >= limit) {
+                return None;
+            }
             let mut conflict = false;
             for object in &self.objects {
+                if crash_after.is_some_and(|limit| swaps >= limit) {
+                    return None; // Crashed mid-pass: stale entries remain.
+                }
                 // Line 7: one atomic swap = one shared-memory step.
                 let got = object.swap(SwapEntry::of(u.clone(), me));
+                swaps += 1;
                 if got.id != Some(me) || got.laps != u {
                     conflict = true;
                     if got.laps != u {
@@ -300,6 +340,27 @@ mod tests {
         // A fresh instance decides solo well within 10 laps.
         let alg = ThreadedKSet::new(3, 1, 2);
         assert_eq!(alg.propose_bounded(0, 1, 10), Some(1));
+    }
+
+    #[test]
+    fn propose_crashing_stops_dead_and_survivors_decide() {
+        // Crash before the first step: no decision, no trace in the objects.
+        let alg = ThreadedKSet::new(3, 1, 2);
+        assert_eq!(alg.propose_crashing(1, 1, 0), None);
+        // Crash mid-race: p1 stops after 2 swaps (one full pass of the two
+        // objects), its entries stay behind, and a survivor still decides.
+        assert_eq!(alg.propose_crashing(2, 0, 2), None);
+        let d = alg.propose(0, 0);
+        assert!(d < 2, "survivor decides a valid value, got {d}");
+        // A generous crash point is never reached solo: the proposer
+        // decides first, exactly like plain propose.
+        let alg = ThreadedKSet::new(3, 1, 2);
+        assert_eq!(alg.propose_crashing(0, 1, 1_000), Some(1));
+        // Zero-object (k = n) instances decide without any shared-memory
+        // step, so only a crash point of 0 can pre-empt the decision.
+        let alg = ThreadedKSet::new(2, 2, 2);
+        assert_eq!(alg.propose_crashing(0, 1, 0), None);
+        assert_eq!(alg.propose_crashing(1, 0, 1), Some(0));
     }
 
     #[test]

@@ -109,6 +109,11 @@ pub struct ValencyOracle {
     /// value-moving renamings (a `BinaryRacing` track swap, a `PairsKSet`
     /// pair swap) are admissible, not just `σ = id` ones.
     pub reduce: bool,
+    /// Optional wall-clock deadline per query, passed through to the engine
+    /// ([`Engine::with_deadline`]): an expired query returns gracefully
+    /// with `exhaustive == false` (hence [`Valency::Unknown`] unless
+    /// bivalence was already witnessed) instead of running without bound.
+    pub deadline: Option<std::time::Duration>,
 }
 
 impl ValencyOracle {
@@ -118,12 +123,20 @@ impl ValencyOracle {
             max_depth,
             max_states,
             reduce: false,
+            deadline: None,
         }
     }
 
     /// Enable symmetry-reduced dedup (see [`ValencyOracle::reduce`]).
     pub fn with_symmetry_reduction(mut self) -> Self {
         self.reduce = true;
+        self
+    }
+
+    /// Bound each query by wall-clock time (see [`ValencyOracle::deadline`]).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 
@@ -206,7 +219,7 @@ impl ValencyOracle {
                 _protocol: &P,
                 _config: &Configuration<P>,
                 _ctx: &NodeCtx<'_>,
-                _candidates: &[ProcessId],
+                _candidates: &[swapcons_sim::Action],
             ) -> Control {
                 if self.witnesses.len() >= 2 {
                     Control::Stop
@@ -238,7 +251,11 @@ impl ValencyOracle {
                 Control::Continue
             }
         }
-        let stats = Engine::new(Budget::new(self.max_depth, self.max_states)).run(
+        let mut engine = Engine::new(Budget::new(self.max_depth, self.max_states));
+        if let Some(deadline) = self.deadline {
+            engine = engine.with_deadline(deadline);
+        }
+        let stats = engine.run(
             protocol,
             config.clone(),
             &mut visited,

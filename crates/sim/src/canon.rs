@@ -451,6 +451,9 @@ pub fn apply_renaming<P: Protocol>(
         let renamed = match config.status(src) {
             ProcStatus::Running(s) => ProcStatus::Running(protocol.rename_state(s, g)),
             ProcStatus::Decided(v) => ProcStatus::Decided(g.value(*v)),
+            // A crash carries no state: the renamed process is crashed at
+            // π(i), so renamings respect crashed-process sets.
+            ProcStatus::Crashed => ProcStatus::Crashed,
         };
         let slot = &mut procs[dst.index()];
         assert!(slot.is_none(), "pid renaming is not a permutation: {dst}");
@@ -1062,6 +1065,7 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
                     ProcStatus::Running(protocol.rename_state(s, g)).hash(&mut h)
                 }
                 ProcStatus::Decided(v) => ProcStatus::<P::State>::Decided(g.value(*v)).hash(&mut h),
+                ProcStatus::Crashed => ProcStatus::<P::State>::Crashed.hash(&mut h),
             }
         }
         h.finish()
@@ -1303,23 +1307,39 @@ pub fn assert_equivariant<P: Protocol>(protocol: &P, inputs: &[u64], steps: usiz
                 break;
             }
             let p = running[rng.gen_range(0..running.len())];
+            // Occasionally crash instead of stepping (keeping at least one
+            // process running): renamings must also commute with crash
+            // transitions — `g · crash(C, p) = crash(g·C, π(p))` — so the
+            // symmetry-reduced search respects crashed-process sets.
+            let crash = running.len() > 1 && rng.gen_range(0..4) == 0;
             for g in canon.renamings() {
                 let mut renamed_then_stepped = apply_renaming(protocol, g, &config);
-                renamed_then_stepped
-                    .step_quiet(protocol, g.pid(p))
-                    .expect("renamed step must be legal");
                 let mut original = config.clone();
-                original
-                    .step_quiet(protocol, p)
-                    .expect("step must be legal");
+                if crash {
+                    renamed_then_stepped
+                        .crash(g.pid(p))
+                        .expect("renamed crash must be legal");
+                    original.crash(p).expect("crash must be legal");
+                } else {
+                    renamed_then_stepped
+                        .step_quiet(protocol, g.pid(p))
+                        .expect("renamed step must be legal");
+                    original
+                        .step_quiet(protocol, p)
+                        .expect("step must be legal");
+                }
                 let stepped_then_renamed = apply_renaming(protocol, g, &original);
                 assert!(
                     renamed_then_stepped == stepped_then_renamed,
                     "equivariance violated at seed {seed}, step {step}, \
-                     process {p}, renaming {g:?}"
+                     process {p}, crash {crash}, renaming {g:?}"
                 );
             }
-            config.step_quiet(protocol, p).expect("step must be legal");
+            if crash {
+                config.crash(p).expect("crash must be legal");
+            } else {
+                config.step_quiet(protocol, p).expect("step must be legal");
+            }
         }
     }
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use swapcons_objects::{HistorylessOp, ObjectSchema, OpKind, Response, SchemaError};
 
 use crate::history::StepRecord;
-use crate::ids::{ObjectId, ProcessId};
+use crate::ids::{Action, ObjectId, ProcessId};
 use crate::protocol::{Protocol, SimValue, Transition};
 
 /// Status of one process within a configuration.
@@ -34,6 +34,13 @@ pub enum ProcStatus<S> {
     Running(S),
     /// Terminated with a decision. Decided processes take no further steps.
     Decided(u64),
+    /// Crashed: permanently stopped without deciding (Section 2's crash
+    /// failures — to every other process, indistinguishable from being
+    /// infinitely slow). The local state is dropped: no other process can
+    /// ever observe it, so configurations differing only in a crashed
+    /// process's final local state are identified, which both matches the
+    /// model and shrinks the explored crash state space.
+    Crashed,
 }
 
 impl<S> ProcStatus<S> {
@@ -41,16 +48,21 @@ impl<S> ProcStatus<S> {
     pub fn state(&self) -> Option<&S> {
         match self {
             ProcStatus::Running(s) => Some(s),
-            ProcStatus::Decided(_) => None,
+            ProcStatus::Decided(_) | ProcStatus::Crashed => None,
         }
     }
 
     /// The decision, if decided.
     pub fn decision(&self) -> Option<u64> {
         match self {
-            ProcStatus::Running(_) => None,
+            ProcStatus::Running(_) | ProcStatus::Crashed => None,
             ProcStatus::Decided(v) => Some(*v),
         }
+    }
+
+    /// Whether the process has crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, ProcStatus::Crashed)
     }
 }
 
@@ -272,6 +284,20 @@ impl<P: Protocol> Configuration<P> {
         );
     }
 
+    /// Fill `buf` with one [`Action::Step`] per running process — the
+    /// allocation-free candidate enumeration the engine's default expansion
+    /// strategy uses. `buf` is cleared first.
+    pub fn running_actions_into(&self, buf: &mut Vec<Action>) {
+        buf.clear();
+        buf.extend(
+            self.procs
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, ProcStatus::Running(_)))
+                .map(|(i, _)| Action::Step(ProcessId(i))),
+        );
+    }
+
     /// Decisions of all processes as a non-allocating iterator — pair with
     /// [`crate::task::KSetTask::check_decisions`] on hot paths.
     pub fn decisions_iter(&self) -> impl Iterator<Item = Option<u64>> + Clone + '_ {
@@ -283,6 +309,61 @@ impl<P: Protocol> Configuration<P> {
         self.procs
             .iter()
             .all(|s| matches!(s, ProcStatus::Decided(_)))
+    }
+
+    /// Whether process `pid` has crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn is_crashed(&self, pid: ProcessId) -> bool {
+        self.procs[pid.index()].is_crashed()
+    }
+
+    /// Number of crashed processes — the failure count a crash-bounded
+    /// exploration budgets against.
+    pub fn num_crashed(&self) -> usize {
+        self.procs.iter().filter(|s| s.is_crashed()).count()
+    }
+
+    /// Ids of crashed processes, in id order.
+    pub fn crashed(&self) -> Vec<ProcessId> {
+        self.procs
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_crashed())
+            .map(|(i, _)| ProcessId(i))
+            .collect()
+    }
+
+    /// Crash process `pid`: it permanently stops without deciding, and its
+    /// local state is dropped (see [`ProcStatus::Crashed`]). Returns an undo
+    /// token restoring the pre-crash status, mirroring
+    /// [`Configuration::step_quiet_undoable`] so exploration engines treat
+    /// crash transitions with the same delta-restore discipline as steps.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::ProcessDecided`] if `pid` has already decided (a
+    ///   decision is final; crashing afterwards changes nothing in the
+    ///   model);
+    /// * [`SimError::ProcessCrashed`] if `pid` has already crashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn crash(&mut self, pid: ProcessId) -> Result<StepUndo<P>, SimError> {
+        match &self.procs[pid.index()] {
+            ProcStatus::Running(_) => {}
+            ProcStatus::Decided(_) => return Err(SimError::ProcessDecided(pid)),
+            ProcStatus::Crashed => return Err(SimError::ProcessCrashed(pid)),
+        }
+        let procs = cow_slice(&mut self.procs);
+        let prior = std::mem::replace(&mut procs[pid.index()], ProcStatus::Crashed);
+        Ok(StepUndo {
+            object: None,
+            process: (pid, prior),
+        })
     }
 
     /// The operation process `pid` is poised to apply (Section 2), or `None`
@@ -348,6 +429,7 @@ impl<P: Protocol> Configuration<P> {
         let state = match &self.procs[pid.index()] {
             ProcStatus::Running(s) => s,
             ProcStatus::Decided(_) => return Err(SimError::ProcessDecided(pid)),
+            ProcStatus::Crashed => return Err(SimError::ProcessCrashed(pid)),
         };
         let (obj, op) = protocol.poised(state);
         assert!(
@@ -385,7 +467,9 @@ impl<P: Protocol> Configuration<P> {
         let procs = cow_slice(&mut self.procs);
         let state = match std::mem::replace(&mut procs[pid.index()], ProcStatus::Decided(0)) {
             ProcStatus::Running(s) => s,
-            ProcStatus::Decided(_) => unreachable!("validated_poised checked Running"),
+            ProcStatus::Decided(_) | ProcStatus::Crashed => {
+                unreachable!("validated_poised checked Running")
+            }
         };
         match protocol.observe(state, response) {
             Transition::Continue(next_state) => {
@@ -600,6 +684,17 @@ pub enum SimError {
     BadInputs(String),
     /// A decided process was scheduled.
     ProcessDecided(ProcessId),
+    /// A crashed process was scheduled (or crashed a second time).
+    ProcessCrashed(ProcessId),
+    /// The protocol's `step` code panicked. Produced only by engines that
+    /// isolate protocol panics ([`crate::engine::Engine`]); the panicking
+    /// child configuration is discarded as poisoned, never explored.
+    Panicked {
+        /// The stepping process whose transition panicked.
+        process: ProcessId,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
     /// An operation violated an object's schema.
     Schema {
         /// The stepping process (`None` during initialization).
@@ -616,6 +711,10 @@ impl fmt::Display for SimError {
         match self {
             SimError::BadInputs(msg) => write!(f, "bad inputs: {msg}"),
             SimError::ProcessDecided(p) => write!(f, "{p} has already decided"),
+            SimError::ProcessCrashed(p) => write!(f, "{p} has crashed"),
+            SimError::Panicked { process, message } => {
+                write!(f, "protocol step for {process} panicked: {message}")
+            }
             SimError::Schema {
                 process,
                 object,
@@ -841,5 +940,75 @@ mod tests {
         assert!(c.poised(&TwoProcessSwapConsensus, ProcessId(0)).is_some());
         c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
         assert!(c.poised(&TwoProcessSwapConsensus, ProcessId(0)).is_none());
+    }
+
+    #[test]
+    fn crash_drops_state_and_stops_the_process() {
+        let mut c = init(&[0, 1]);
+        c.crash(ProcessId(0)).unwrap();
+        assert!(c.is_crashed(ProcessId(0)));
+        assert_eq!(c.num_crashed(), 1);
+        assert_eq!(c.crashed(), vec![ProcessId(0)]);
+        assert_eq!(c.state(ProcessId(0)), None);
+        assert_eq!(c.decision(ProcessId(0)), None);
+        assert_eq!(c.running(), vec![ProcessId(1)], "crashed is not running");
+        assert!(!c.all_decided());
+        // A crashed process cannot step or crash again.
+        assert_eq!(
+            c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap_err(),
+            SimError::ProcessCrashed(ProcessId(0))
+        );
+        assert_eq!(
+            c.crash(ProcessId(0)).unwrap_err(),
+            SimError::ProcessCrashed(ProcessId(0))
+        );
+        // The survivor still decides (its peer is just infinitely slow).
+        let rec = c.step(&TwoProcessSwapConsensus, ProcessId(1)).unwrap();
+        assert_eq!(rec.decided, Some(1));
+    }
+
+    #[test]
+    fn crash_of_decided_process_is_rejected() {
+        let mut c = init(&[0, 1]);
+        c.step(&TwoProcessSwapConsensus, ProcessId(0)).unwrap();
+        assert_eq!(
+            c.crash(ProcessId(0)).unwrap_err(),
+            SimError::ProcessDecided(ProcessId(0))
+        );
+    }
+
+    #[test]
+    fn crash_undo_restores_the_exact_state() {
+        let reference = init(&[0, 1]);
+        let mut c = reference.clone();
+        let undo = c.crash(ProcessId(1)).unwrap();
+        assert_ne!(c, reference);
+        assert_ne!(c.fingerprint(), reference.fingerprint());
+        c.undo_step(undo);
+        assert_eq!(c, reference, "undo restores the pre-crash configuration");
+        assert_eq!(c.fingerprint(), reference.fingerprint());
+    }
+
+    #[test]
+    fn crash_is_copy_on_write() {
+        let a = init(&[0, 1]);
+        let mut b = a.clone();
+        b.crash(ProcessId(0)).unwrap();
+        assert!(!a.shares_process_storage(&b));
+        assert!(a.shares_object_storage(&b), "crash touches no object");
+        assert!(!a.is_crashed(ProcessId(0)), "original unaffected");
+    }
+
+    #[test]
+    fn crashed_configurations_with_different_histories_are_identified() {
+        // The state-dropping design: crashing p0 before or after its swap
+        // leads to configurations that differ only in the object — and two
+        // pre-swap crash orders are literally equal.
+        let mut a = init(&[0, 1]);
+        let mut b = init(&[0, 1]);
+        a.crash(ProcessId(0)).unwrap();
+        b.crash(ProcessId(0)).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -51,12 +51,37 @@
 //! scores and records the extremum at discovery time turns the engine into
 //! an adversary synthesizer returning the schedule maximizing a
 //! caller-defined objective as a replayable witness.
+//!
+//! # Crash transitions
+//!
+//! Edges are [`Action`]s, not bare process ids: an expansion policy may
+//! emit crash transitions alongside steps. [`CrashBounded`] wraps any inner
+//! policy and adds a `Crash(p)` edge for every step candidate `p` while
+//! fewer than `max_failures` processes have crashed, which makes the engine
+//! enumerate **every crash pattern up to the failure budget** — the model
+//! the paper's wait-free/obstruction-free distinction lives in.
+//!
+//! # Fault tolerance of the engine itself
+//!
+//! Three engine-level safeguards make long searches interruption-safe:
+//! a wall-clock [`Engine::with_deadline`] (graceful partial
+//! [`SearchStats`] with `deadline_truncated` set, never an unbounded run),
+//! panic isolation around protocol `step` calls (a panicking transition is
+//! reported to [`Visitor::step_error`] as [`SimError::Panicked`] and the
+//! poisoned scratch child is discarded — the engine never aborts), and
+//! checkpoint/resume ([`Checkpointing`], [`SearchImage`],
+//! [`Engine::resume`]) with a parity guarantee: a resumed search visits
+//! exactly the states, in exactly the order, the uninterrupted search would
+//! have.
 
 use std::collections::BinaryHeap;
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use crate::canon::DedupSet;
 use crate::config::{Configuration, SimError};
-use crate::ids::ProcessId;
+use crate::ids::{Action, ProcessId};
 use crate::protocol::Protocol;
 use crate::search::{NodeId, ScheduleArena};
 
@@ -87,7 +112,7 @@ impl Budget {
 }
 
 /// Aggregate counters of one engine run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SearchStats {
     /// Nodes dequeued and visited.
     pub states: usize,
@@ -105,13 +130,35 @@ pub struct SearchStats {
     /// A genuinely new configuration was discarded because the state or
     /// frontier budget was exhausted (or a step error was skipped).
     pub budget_truncated: bool,
+    /// The wall-clock deadline ([`Engine::with_deadline`]) expired with
+    /// work still pending. Unlike `budget_truncated` this is recoverable:
+    /// resuming from a checkpoint clears it.
+    pub deadline_truncated: bool,
+    /// A [`Checkpointing`] sink asked the search to pause. Like
+    /// `deadline_truncated`, cleared on resume.
+    pub paused: bool,
 }
 
 impl SearchStats {
+    fn fresh() -> Self {
+        SearchStats {
+            states: 0,
+            terminal_states: 0,
+            deepest: 0,
+            peak_frontier: 1,
+            stopped: false,
+            depth_truncated: false,
+            budget_truncated: false,
+            deadline_truncated: false,
+            paused: false,
+        }
+    }
+
     /// `true` if no depth/state/frontier cutoff (or skipped step error)
-    /// discarded work: the search covered the whole reachable space.
+    /// discarded work and no deadline or pause interrupted the run: the
+    /// search covered the whole reachable space.
     pub fn complete(&self) -> bool {
-        !self.depth_truncated && !self.budget_truncated
+        !self.depth_truncated && !self.budget_truncated && !self.deadline_truncated && !self.paused
     }
 }
 
@@ -126,36 +173,40 @@ pub enum Control {
     Stop,
 }
 
-/// Which processes may step from a node.
+/// Which transitions may be taken from a node.
 pub trait Expansion<P: Protocol> {
     /// Fill `out` (cleared first by the caller contract being: the engine
-    /// passes a cleared buffer) with the candidate process ids, in the
+    /// passes a cleared buffer) with the candidate actions, in the
     /// order their edges should be generated.
-    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>);
+    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<Action>);
 }
 
-/// Expand every running (undecided) process — the model checker's policy.
+/// Expand every running (undecided, uncrashed) process — the model
+/// checker's policy.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct AllRunning;
 
 impl<P: Protocol> Expansion<P> for AllRunning {
-    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
-        config.running_into(out);
+    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<Action>) {
+        config.running_actions_into(out);
     }
 }
 
-/// Expand only the undecided members of a fixed process group — the valency
-/// oracle's group-only executions.
+/// Expand only the still-running members of a fixed process group — the
+/// valency oracle's group-only executions. (Filters on *running* status,
+/// not merely "no decision": a crashed process has no decision either but
+/// must never step.)
 #[derive(Clone, Copy, Debug)]
 pub struct GroupRestricted<'a>(pub &'a [ProcessId]);
 
 impl<P: Protocol> Expansion<P> for GroupRestricted<'_> {
-    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
+    fn candidates(&mut self, _protocol: &P, config: &Configuration<P>, out: &mut Vec<Action>) {
         out.extend(
             self.0
                 .iter()
                 .copied()
-                .filter(|&p| config.decision(p).is_none()),
+                .filter(|&p| config.decision(p).is_none() && !config.is_crashed(p))
+                .map(Action::Step),
         );
     }
 }
@@ -167,10 +218,57 @@ pub struct PrunedExpansion<F>(pub F);
 
 impl<P: Protocol, F> Expansion<P> for PrunedExpansion<F>
 where
-    F: FnMut(&P, &Configuration<P>, &mut Vec<ProcessId>),
+    F: FnMut(&P, &Configuration<P>, &mut Vec<Action>),
 {
-    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<ProcessId>) {
+    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<Action>) {
         (self.0)(protocol, config, out);
+    }
+}
+
+/// Crash-bounded wrapper: alongside every step candidate the inner policy
+/// emits, offer crashing that process — as long as fewer than
+/// `max_failures` processes have crashed so far. The engine then
+/// exhaustively enumerates **every crash pattern up to the failure budget**
+/// interleaved with every schedule, which is exactly the adversary class
+/// wait-freedom quantifies over.
+///
+/// Crash edges are appended after the inner candidates, so a crash-free
+/// exploration is a strict prefix of the crash-injected one at every node
+/// (DFS order diverges only into the crash branches).
+#[derive(Clone, Copy, Debug)]
+pub struct CrashBounded<E> {
+    /// The wrapped policy producing the step candidates.
+    pub inner: E,
+    /// Maximum number of processes the adversary may crash (the paper's
+    /// `f`). `0` makes this wrapper the identity.
+    pub max_failures: usize,
+}
+
+impl<E> CrashBounded<E> {
+    /// Wrap `inner`, budgeting the adversary at `max_failures` crashes.
+    pub fn new(inner: E, max_failures: usize) -> Self {
+        CrashBounded {
+            inner,
+            max_failures,
+        }
+    }
+}
+
+impl<P: Protocol, E: Expansion<P>> Expansion<P> for CrashBounded<E> {
+    fn candidates(&mut self, protocol: &P, config: &Configuration<P>, out: &mut Vec<Action>) {
+        self.inner.candidates(protocol, config, out);
+        if config.num_crashed() >= self.max_failures {
+            return;
+        }
+        // Crash exactly the processes the inner policy lets step: crashing
+        // a process the policy would never schedule only removes moves the
+        // search was not going to take, so those branches are redundant.
+        let steps = out.len();
+        for i in 0..steps {
+            if let Action::Step(p) = out[i] {
+                out.push(Action::Crash(p));
+            }
+        }
     }
 }
 
@@ -191,6 +289,13 @@ pub trait Frontier<P: Protocol> {
     /// Whether nothing is pending.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// The pending node ids in *push order* (the order re-pushing them
+    /// reproduces this frontier), for checkpointing. Frontiers that cannot
+    /// reproduce their order (or choose not to support snapshots) return
+    /// `None`; [`Lifo`] — the exhaustive clients' order — supports it.
+    fn pending_nodes(&self) -> Option<Vec<NodeId>> {
+        None
     }
 }
 
@@ -223,6 +328,10 @@ impl<P: Protocol> Frontier<P> for Lifo<P> {
 
     fn len(&self) -> usize {
         self.0.len()
+    }
+
+    fn pending_nodes(&self) -> Option<Vec<NodeId>> {
+        Some(self.0.iter().map(|(_, node)| *node).collect())
     }
 }
 
@@ -319,9 +428,16 @@ pub struct NodeCtx<'a> {
 
 impl NodeCtx<'_> {
     /// Materialize the schedule from the root to this node — the cold
-    /// witness path.
+    /// witness path. Crash transitions project to their process id; use
+    /// [`NodeCtx::actions`] when the distinction matters.
     pub fn schedule(&self) -> Vec<ProcessId> {
         self.arena.schedule(self.node)
+    }
+
+    /// Materialize the full action sequence (steps *and* crashes) from the
+    /// root to this node.
+    pub fn actions(&self) -> Vec<Action> {
+        self.arena.actions(self.node)
     }
 }
 
@@ -332,26 +448,41 @@ impl NodeCtx<'_> {
 pub struct EdgeCtx<'a> {
     arena: &'a mut ScheduleArena,
     parent: NodeId,
-    pid: ProcessId,
+    action: Action,
     node: Option<NodeId>,
 }
 
 impl EdgeCtx<'_> {
-    /// The stepping process.
+    /// The edge's transition.
+    pub fn action(&self) -> Action {
+        self.action
+    }
+
+    /// The process the edge steps — or crashes; see [`EdgeCtx::action`].
     pub fn pid(&self) -> ProcessId {
-        self.pid
+        self.action.pid()
     }
 
     /// The edge's arena node, created on first use.
     pub fn node(&mut self) -> NodeId {
-        let (arena, parent, pid) = (&mut *self.arena, self.parent, self.pid);
-        *self.node.get_or_insert_with(|| arena.child(parent, pid))
+        let (arena, parent, action) = (&mut *self.arena, self.parent, self.action);
+        *self
+            .node
+            .get_or_insert_with(|| arena.child_action(parent, action))
     }
 
-    /// Materialize the schedule from the root through this edge.
+    /// Materialize the schedule from the root through this edge (pid
+    /// projection; see [`EdgeCtx::actions`] for crash fidelity).
     pub fn schedule(&mut self) -> Vec<ProcessId> {
         let node = self.node();
         self.arena.schedule(node)
+    }
+
+    /// Materialize the full action sequence from the root through this
+    /// edge.
+    pub fn actions(&mut self) -> Vec<Action> {
+        let node = self.node();
+        self.arena.actions(node)
     }
 }
 
@@ -368,12 +499,13 @@ pub trait Visitor<P: Protocol> {
         protocol: &P,
         config: &Configuration<P>,
         ctx: &NodeCtx<'_>,
-        candidates: &[ProcessId],
+        candidates: &[Action],
     ) -> Control;
 
     /// Called for every generated edge within budget, including edges to
     /// already-known configurations (`is_new == false`), before the child
-    /// is enqueued. `decided` is the decision the step produced, if any.
+    /// is enqueued. `decided` is the decision the step produced, if any
+    /// (always `None` for crash edges).
     fn edge(
         &mut self,
         _protocol: &P,
@@ -385,28 +517,116 @@ pub trait Visitor<P: Protocol> {
         Control::Continue
     }
 
-    /// Called when the simulator rejects a candidate step. Returning
-    /// [`Control::Continue`] skips the edge and marks the search incomplete
-    /// (the oracle's policy); returning [`Control::Stop`] aborts (the
-    /// checker records a protocol-bug violation).
+    /// Called when the simulator rejects a candidate step — or when the
+    /// protocol's step *panics* (reported as [`SimError::Panicked`]; the
+    /// poisoned scratch child is discarded before this hook runs, so the
+    /// search state is intact either way). Returning [`Control::Continue`]
+    /// skips the edge and marks the search incomplete (the oracle's
+    /// policy); returning [`Control::Stop`] aborts (the checker records a
+    /// protocol-bug violation).
     fn step_error(&mut self, _protocol: &P, _error: SimError, _ctx: &mut EdgeCtx<'_>) -> Control {
         Control::Stop
     }
 }
 
-/// The search core. Owns nothing but the budget; dedup set, arena, and
-/// strategies are caller state so clients can keep using them after the
-/// run (materializing witness schedules, reading orbit counts).
+/// A serializable image of an in-flight search — everything needed to
+/// resume it with full parity, minus the configurations themselves (which
+/// are generic and are rebuilt by replaying each node's action schedule
+/// from the root).
+///
+/// Produced by [`Checkpointing`] sinks; consumed by [`Engine::resume`].
+/// The byte-level encoding and the checksummed snapshot-file format live in
+/// [`crate::snapshot`].
+#[derive(Clone, Debug)]
+pub struct SearchImage {
+    /// Counters as of the snapshot; resuming continues from them.
+    pub stats: SearchStats,
+    /// The schedule arena: one node per kept edge, crash bits included.
+    pub arena: ScheduleArena,
+    /// Every discovered node in **discovery order**, root first. Resuming
+    /// re-inserts them into the dedup set in this exact order, which — under
+    /// symmetry reduction — reproduces the same orbit representatives and
+    /// therefore the same future dedup verdicts as the uninterrupted run.
+    pub discovery: Vec<NodeId>,
+    /// The pending frontier in push order ([`Frontier::pending_nodes`]).
+    pub frontier: Vec<NodeId>,
+}
+
+/// Periodic snapshot hook for [`Engine::run_with`]: after every `interval`
+/// visited states (and once more on deadline expiry) the engine hands a
+/// fresh [`SearchImage`] to `sink`. The sink returning [`Control::Stop`]
+/// *pauses* the search — [`SearchStats::paused`] is set and the run
+/// returns; resume later with [`Engine::resume`].
+pub struct Checkpointing<'s> {
+    /// Snapshot every this many visited states (`0` is treated as `1`).
+    pub interval: usize,
+    /// Receives each snapshot.
+    pub sink: &'s mut dyn FnMut(&SearchImage) -> Control,
+}
+
+impl fmt::Debug for Checkpointing<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpointing")
+            .field("interval", &self.interval)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A [`SearchImage`] that cannot seed a resumed search — internally
+/// inconsistent (dangling node ids, replay failures, dedup mismatches).
+/// Distinct from [`crate::snapshot::SnapshotError`], which covers the
+/// file/bytes layer; this is the semantic layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResumeError {
+    /// What was wrong with the image.
+    pub reason: String,
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot resume search: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+impl ResumeError {
+    fn new(reason: impl Into<String>) -> Self {
+        ResumeError {
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The search core. Owns only the budgets and the optional wall-clock
+/// deadline; dedup set, arena, and strategies are caller state so clients
+/// can keep using them after the run (materializing witness schedules,
+/// reading orbit counts).
 #[derive(Clone, Copy, Debug)]
 pub struct Engine {
     /// The run's budgets.
     pub budget: Budget,
+    /// Optional wall-clock deadline; see [`Engine::with_deadline`].
+    pub deadline: Option<Duration>,
 }
 
 impl Engine {
-    /// An engine with the given budget.
+    /// An engine with the given budget and no deadline.
     pub fn new(budget: Budget) -> Self {
-        Engine { budget }
+        Engine {
+            budget,
+            deadline: None,
+        }
+    }
+
+    /// Bound the run by wall-clock time. When the deadline expires the run
+    /// returns gracefully with partial [`SearchStats`] and
+    /// `deadline_truncated` set (and, if checkpointing, takes a final
+    /// snapshot first) — never an abort, never an unbounded run.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Search the configuration graph from `root`.
@@ -432,14 +652,193 @@ impl Engine {
         F: Frontier<P>,
         V: Visitor<P>,
     {
-        let mut stats = SearchStats {
-            states: 0,
-            terminal_states: 0,
-            deepest: 0,
-            peak_frontier: 1,
-            stopped: false,
-            depth_truncated: false,
-            budget_truncated: false,
+        self.run_with(
+            protocol, root, dedup, arena, expansion, frontier, visitor, None,
+        )
+    }
+
+    /// [`Engine::run`] with optional periodic checkpointing. Requires a
+    /// frontier supporting [`Frontier::pending_nodes`] when `ckpt` is
+    /// `Some` (the snapshot must capture the pending work).
+    #[allow(clippy::too_many_arguments)]
+    pub fn run_with<P, E, F, V>(
+        &self,
+        protocol: &P,
+        root: Configuration<P>,
+        dedup: &mut DedupSet<P>,
+        arena: &mut ScheduleArena,
+        expansion: &mut E,
+        frontier: &mut F,
+        visitor: &mut V,
+        ckpt: Option<Checkpointing<'_>>,
+    ) -> SearchStats
+    where
+        P: Protocol,
+        E: Expansion<P>,
+        F: Frontier<P>,
+        V: Visitor<P>,
+    {
+        dedup.insert(protocol, &root);
+        frontier.push(protocol, root, ScheduleArena::ROOT, 0);
+        self.run_impl(
+            protocol,
+            dedup,
+            arena,
+            expansion,
+            frontier,
+            visitor,
+            SearchStats::fresh(),
+            vec![ScheduleArena::ROOT],
+            ckpt,
+        )
+    }
+
+    /// Resume a search from a [`SearchImage`] with full parity: the resumed
+    /// run visits exactly the states, in exactly the order, the
+    /// uninterrupted run would have, and ends with identical stats
+    /// (up to the cleared `deadline_truncated`/`paused` interruption flags).
+    ///
+    /// `root` must be the same initial configuration, and `dedup`, `arena`,
+    /// `frontier` must be freshly constructed with the same parameters
+    /// (same reduction mode, same order) as the interrupted run; the
+    /// visitor and expansion must be re-created by the caller likewise.
+    /// Discovered configurations are rebuilt by replaying each node's
+    /// action schedule from the root and re-inserted in the original
+    /// discovery order, which under symmetry reduction reproduces the same
+    /// orbit representatives — this is what makes the parity guarantee
+    /// hold rather than merely approximate.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if the image is internally inconsistent: dangling
+    /// node ids, schedules that fail to replay, discovery entries that
+    /// deduplicate against each other, or a non-empty `dedup`/`frontier`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn resume<P, E, F, V>(
+        &self,
+        protocol: &P,
+        root: Configuration<P>,
+        image: &SearchImage,
+        dedup: &mut DedupSet<P>,
+        arena: &mut ScheduleArena,
+        expansion: &mut E,
+        frontier: &mut F,
+        visitor: &mut V,
+        ckpt: Option<Checkpointing<'_>>,
+    ) -> Result<SearchStats, ResumeError>
+    where
+        P: Protocol,
+        E: Expansion<P>,
+        F: Frontier<P>,
+        V: Visitor<P>,
+    {
+        if !dedup.is_empty() || !frontier.is_empty() {
+            return Err(ResumeError::new(
+                "resume requires a fresh dedup set and frontier",
+            ));
+        }
+        if image.discovery.first() != Some(&ScheduleArena::ROOT) {
+            return Err(ResumeError::new("discovery order must start at the root"));
+        }
+        let node_ok =
+            |n: NodeId| n == ScheduleArena::ROOT || (n.to_raw() as usize) < image.arena.len();
+        if let Some(bad) = image
+            .discovery
+            .iter()
+            .chain(image.frontier.iter())
+            .find(|&&n| !node_ok(n))
+        {
+            return Err(ResumeError::new(format!(
+                "node id {} out of range (arena has {} nodes)",
+                bad.to_raw(),
+                image.arena.len()
+            )));
+        }
+        let rebuild = |node: NodeId| -> Result<Configuration<P>, ResumeError> {
+            let mut config = root.clone();
+            crate::runner::replay_actions(protocol, &mut config, &image.arena.actions(node))
+                .map_err(|e| {
+                    ResumeError::new(format!(
+                        "schedule of node {} does not replay: {e}",
+                        node.to_raw()
+                    ))
+                })?;
+            Ok(config)
+        };
+        for &node in &image.discovery {
+            let config = if node == ScheduleArena::ROOT {
+                root.clone()
+            } else {
+                rebuild(node)?
+            };
+            if !dedup.insert(protocol, &config) {
+                return Err(ResumeError::new(format!(
+                    "discovery entry {} deduplicates against an earlier one",
+                    node.to_raw()
+                )));
+            }
+        }
+        for &node in &image.frontier {
+            let config = if node == ScheduleArena::ROOT {
+                root.clone()
+            } else {
+                rebuild(node)?
+            };
+            let depth = image.arena.depth(node);
+            frontier.push(protocol, config, node, depth);
+        }
+        *arena = image.arena.clone();
+        let mut stats = image.stats;
+        stats.deadline_truncated = false;
+        stats.paused = false;
+        Ok(self.run_impl(
+            protocol,
+            dedup,
+            arena,
+            expansion,
+            frontier,
+            visitor,
+            stats,
+            image.discovery.clone(),
+            ckpt,
+        ))
+    }
+
+    /// The shared search loop: `run_with` seeds a fresh search, `resume`
+    /// seeds a restored one; both continue here.
+    #[allow(clippy::too_many_arguments)]
+    fn run_impl<P, E, F, V>(
+        &self,
+        protocol: &P,
+        dedup: &mut DedupSet<P>,
+        arena: &mut ScheduleArena,
+        expansion: &mut E,
+        frontier: &mut F,
+        visitor: &mut V,
+        mut stats: SearchStats,
+        mut discovery: Vec<NodeId>,
+        mut ckpt: Option<Checkpointing<'_>>,
+    ) -> SearchStats
+    where
+        P: Protocol,
+        E: Expansion<P>,
+        F: Frontier<P>,
+        V: Visitor<P>,
+    {
+        let started = Instant::now();
+        let snapshot = |stats: &SearchStats,
+                        arena: &ScheduleArena,
+                        discovery: &[NodeId],
+                        frontier: &F|
+         -> SearchImage {
+            SearchImage {
+                stats: *stats,
+                arena: arena.clone(),
+                discovery: discovery.to_vec(),
+                frontier: frontier
+                    .pending_nodes()
+                    .expect("checkpointing requires a frontier with pending_nodes support"),
+            }
         };
         // Scratch buffers reused across nodes: the expansion candidates and
         // one configuration recycled between candidate children. A child is
@@ -447,11 +846,25 @@ impl Engine {
         // rejected (duplicate or over budget) — *delta-restored*: the undo
         // token rolls back exactly the two mutated slots, so rejected
         // children cost O(1) element writes instead of a state re-copy.
-        let mut candidates: Vec<ProcessId> = Vec::new();
+        let mut candidates: Vec<Action> = Vec::new();
         let mut child_scratch: Option<Configuration<P>> = None;
-        dedup.insert(protocol, &root);
-        frontier.push(protocol, root, ScheduleArena::ROOT, 0);
-        while let Some((config, node)) = frontier.pop() {
+        loop {
+            if let Some(deadline) = self.deadline {
+                if started.elapsed() >= deadline && !frontier.is_empty() {
+                    stats.deadline_truncated = true;
+                    if let Some(ckpt) = ckpt.as_mut() {
+                        // Final snapshot so the interrupted run is
+                        // resumable; its verdict (pause or not) no longer
+                        // matters — the run is ending either way.
+                        let image = snapshot(&stats, arena, &discovery, frontier);
+                        let _ = (ckpt.sink)(&image);
+                    }
+                    return stats;
+                }
+            }
+            let Some((config, node)) = frontier.pop() else {
+                break;
+            };
             stats.states += 1;
             let depth = arena.depth(node);
             stats.deepest = stats.deepest.max(depth);
@@ -464,17 +877,25 @@ impl Engine {
             }
             if candidates.is_empty() {
                 stats.terminal_states += 1;
+                self.maybe_checkpoint(&mut stats, arena, &discovery, frontier, &mut ckpt);
+                if stats.paused {
+                    return stats;
+                }
                 continue;
             }
             if depth >= self.budget.max_depth {
                 stats.depth_truncated = true;
+                self.maybe_checkpoint(&mut stats, arena, &discovery, frontier, &mut ckpt);
+                if stats.paused {
+                    return stats;
+                }
                 continue;
             }
             // `true` while the scratch holds exactly `config`'s state (so
             // the next candidate can step it directly); cleared when a kept
             // child leaves the scratch sharing storage with the frontier.
             let mut scratch_synced = false;
-            for &pid in &candidates {
+            for &action in &candidates {
                 let child = match &mut child_scratch {
                     Some(s) => s,
                     None => child_scratch.insert(config.clone()),
@@ -483,7 +904,25 @@ impl Engine {
                     child.clone_state_from(&config);
                 }
                 scratch_synced = true;
-                match child.step_quiet_undoable(protocol, pid) {
+                let stepped = match action {
+                    Action::Step(pid) => {
+                        // Panic isolation: a protocol whose transition
+                        // function panics poisons only this scratch child,
+                        // which is discarded below — the search itself
+                        // survives and reports through `step_error`.
+                        match panic::catch_unwind(AssertUnwindSafe(|| {
+                            child.step_quiet_undoable(protocol, pid)
+                        })) {
+                            Ok(result) => result,
+                            Err(payload) => Err(SimError::Panicked {
+                                process: pid,
+                                message: panic_message(payload),
+                            }),
+                        }
+                    }
+                    Action::Crash(pid) => child.crash(pid).map(|undo| (None, undo)),
+                };
+                match stepped {
                     Ok((decided, undo)) => {
                         if dedup.len() >= self.budget.max_states
                             || frontier.len() >= self.budget.max_frontier
@@ -501,7 +940,7 @@ impl Engine {
                         let mut edge = EdgeCtx {
                             arena,
                             parent: node,
-                            pid,
+                            action,
                             node: None,
                         };
                         if visitor.edge(protocol, child, decided, is_new, &mut edge)
@@ -512,6 +951,9 @@ impl Engine {
                         }
                         if is_new {
                             let child_node = edge.node();
+                            if ckpt.is_some() {
+                                discovery.push(child_node);
+                            }
                             frontier.push(protocol, child.clone(), child_node, depth + 1);
                             scratch_synced = false;
                         } else {
@@ -519,12 +961,18 @@ impl Engine {
                         }
                     }
                     Err(e) => {
-                        // A schema rejection mutates nothing, so the scratch
-                        // stays synced with `config` on this path.
+                        if matches!(e, SimError::Panicked { .. }) {
+                            // The panicking step may have half-mutated the
+                            // scratch: poisoned, drop it. (A schema
+                            // rejection or crash error mutates nothing and
+                            // keeps the scratch synced.)
+                            child_scratch = None;
+                            scratch_synced = false;
+                        }
                         let mut edge = EdgeCtx {
                             arena,
                             parent: node,
-                            pid,
+                            action,
                             node: None,
                         };
                         match visitor.step_error(protocol, e, &mut edge) {
@@ -538,8 +986,52 @@ impl Engine {
                 }
             }
             stats.peak_frontier = stats.peak_frontier.max(frontier.len());
+            self.maybe_checkpoint(&mut stats, arena, &discovery, frontier, &mut ckpt);
+            if stats.paused {
+                return stats;
+            }
         }
         stats
+    }
+
+    /// Snapshot after every `interval` visited states; sets
+    /// [`SearchStats::paused`] when the sink asks to stop.
+    fn maybe_checkpoint<P: Protocol, F: Frontier<P>>(
+        &self,
+        stats: &mut SearchStats,
+        arena: &ScheduleArena,
+        discovery: &[NodeId],
+        frontier: &F,
+        ckpt: &mut Option<Checkpointing<'_>>,
+    ) {
+        let Some(ckpt) = ckpt.as_mut() else {
+            return;
+        };
+        if !stats.states.is_multiple_of(ckpt.interval.max(1)) {
+            return;
+        }
+        let image = SearchImage {
+            stats: *stats,
+            arena: arena.clone(),
+            discovery: discovery.to_vec(),
+            frontier: frontier
+                .pending_nodes()
+                .expect("checkpointing requires a frontier with pending_nodes support"),
+        };
+        if (ckpt.sink)(&image) == Control::Stop {
+            stats.paused = true;
+        }
+    }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -685,7 +1177,7 @@ impl AdversarySynthesis {
                 _protocol: &P,
                 _config: &Configuration<P>,
                 _ctx: &NodeCtx<'_>,
-                _candidates: &[ProcessId],
+                _candidates: &[Action],
             ) -> Control {
                 Control::Continue
             }
@@ -771,7 +1263,7 @@ mod tests {
             _protocol: &P,
             _config: &Configuration<P>,
             ctx: &NodeCtx<'_>,
-            _candidates: &[ProcessId],
+            _candidates: &[Action],
         ) -> Control {
             self.depths.push(ctx.depth);
             Control::Continue
@@ -833,9 +1325,14 @@ mod tests {
         let mut expansion = PrunedExpansion(
             |_: &TwoProcessSwapConsensus,
              c: &Configuration<TwoProcessSwapConsensus>,
-             out: &mut Vec<ProcessId>| {
+             out: &mut Vec<Action>| {
                 if c.decided_values().is_empty() {
-                    out.extend(c.running().into_iter().filter(|p| p.index() == 1));
+                    out.extend(
+                        c.running()
+                            .into_iter()
+                            .filter(|p| p.index() == 1)
+                            .map(Action::Step),
+                    );
                 }
             },
         );
@@ -894,7 +1391,7 @@ mod tests {
                 _p: &P,
                 _c: &Configuration<P>,
                 ctx: &NodeCtx<'_>,
-                _cands: &[ProcessId],
+                _cands: &[Action],
             ) -> Control {
                 if ctx.depth >= 1 {
                     Control::Stop
@@ -931,7 +1428,7 @@ mod tests {
                 _p: &P,
                 _c: &Configuration<P>,
                 _ctx: &NodeCtx<'_>,
-                _cands: &[ProcessId],
+                _cands: &[Action],
             ) -> Control {
                 Control::Continue
             }
@@ -993,7 +1490,7 @@ mod tests {
                 _p: &P,
                 c: &Configuration<P>,
                 _ctx: &NodeCtx<'_>,
-                _cands: &[ProcessId],
+                _cands: &[Action],
             ) -> Control {
                 self.order.push(c.decisions_iter().flatten().count());
                 Control::Continue
@@ -1054,5 +1551,315 @@ mod tests {
         });
         assert!(!report.complete);
         assert!(report.states <= 3);
+    }
+
+    #[test]
+    fn crash_bounded_zero_failures_is_the_identity() {
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut CrashBounded::new(AllRunning, 0),
+            &mut Lifo::new(),
+            &mut Recorder { depths: Vec::new() },
+        );
+        assert_eq!(stats.states, 5, "f = 0 explores the crash-free space");
+        assert!(stats.complete());
+    }
+
+    #[test]
+    fn crash_bounded_enumerates_every_crash_pattern() {
+        struct CrashCensus {
+            crashed_configs: usize,
+            max_crashed: usize,
+        }
+        impl<P: Protocol> Visitor<P> for CrashCensus {
+            fn enter(
+                &mut self,
+                _p: &P,
+                c: &Configuration<P>,
+                _ctx: &NodeCtx<'_>,
+                _cands: &[Action],
+            ) -> Control {
+                let crashed = c.num_crashed();
+                if crashed > 0 {
+                    self.crashed_configs += 1;
+                }
+                self.max_crashed = self.max_crashed.max(crashed);
+                Control::Continue
+            }
+        }
+        let mut visitor = CrashCensus {
+            crashed_configs: 0,
+            max_crashed: 0,
+        };
+        let mut dedup = DedupSet::exact(64);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut CrashBounded::new(AllRunning, 1),
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        assert!(stats.complete());
+        assert!(
+            stats.states > 5,
+            "crash injection must enlarge the space: {}",
+            stats.states
+        );
+        assert!(
+            visitor.crashed_configs > 0,
+            "crashed configurations visited"
+        );
+        assert_eq!(visitor.max_crashed, 1, "failure budget respected");
+    }
+
+    #[test]
+    fn zero_deadline_truncates_gracefully() {
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let stats = Engine::new(Budget::new(10, 10_000))
+            .with_deadline(Duration::ZERO)
+            .run(
+                &TwoProcessSwapConsensus,
+                init(&[0, 1]),
+                &mut dedup,
+                &mut arena,
+                &mut AllRunning,
+                &mut Lifo::new(),
+                &mut Recorder { depths: Vec::new() },
+            );
+        assert!(stats.deadline_truncated);
+        assert!(!stats.complete());
+        assert!(!stats.stopped, "a deadline is not a visitor abort");
+        assert_eq!(stats.states, 0, "expired before the first visit");
+    }
+
+    #[test]
+    fn panicking_step_is_isolated_and_reported() {
+        use crate::task::KSetTask;
+        use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+
+        /// Delegates everything to the two-process consensus protocol but
+        /// panics on every observe — a worst-case protocol bug.
+        struct PanickyProtocol;
+        impl Protocol for PanickyProtocol {
+            type State = <TwoProcessSwapConsensus as Protocol>::State;
+            type Value = <TwoProcessSwapConsensus as Protocol>::Value;
+            fn name(&self) -> String {
+                "panicky".into()
+            }
+            fn task(&self) -> KSetTask {
+                TwoProcessSwapConsensus.task()
+            }
+            fn schemas(&self) -> Vec<ObjectSchema> {
+                TwoProcessSwapConsensus.schemas()
+            }
+            fn initial_value(&self, obj: crate::ObjectId) -> Self::Value {
+                TwoProcessSwapConsensus.initial_value(obj)
+            }
+            fn initial_state(&self, pid: ProcessId, input: u64) -> Self::State {
+                TwoProcessSwapConsensus.initial_state(pid, input)
+            }
+            fn poised(&self, state: &Self::State) -> (crate::ObjectId, HistorylessOp<Self::Value>) {
+                TwoProcessSwapConsensus.poised(state)
+            }
+            fn observe(
+                &self,
+                _state: Self::State,
+                _response: Response<Self::Value>,
+            ) -> crate::Transition<Self::State> {
+                panic!("injected protocol bug")
+            }
+        }
+
+        struct PanicLog {
+            panics: Vec<(ProcessId, String)>,
+        }
+        impl Visitor<PanickyProtocol> for PanicLog {
+            fn enter(
+                &mut self,
+                _p: &PanickyProtocol,
+                _c: &Configuration<PanickyProtocol>,
+                _ctx: &NodeCtx<'_>,
+                _cands: &[Action],
+            ) -> Control {
+                Control::Continue
+            }
+            fn step_error(
+                &mut self,
+                _p: &PanickyProtocol,
+                error: SimError,
+                ctx: &mut EdgeCtx<'_>,
+            ) -> Control {
+                if let SimError::Panicked { process, message } = error {
+                    self.panics.push((process, message));
+                    assert_eq!(ctx.pid(), self.panics.last().unwrap().0);
+                }
+                Control::Continue
+            }
+        }
+
+        let root = Configuration::initial(&PanickyProtocol, &[0, 1]).unwrap();
+        let mut dedup = DedupSet::exact(16);
+        let mut arena = ScheduleArena::new();
+        let mut visitor = PanicLog { panics: Vec::new() };
+        let stats = Engine::new(Budget::new(10, 10_000)).run(
+            &PanickyProtocol,
+            root,
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut visitor,
+        );
+        assert!(!stats.stopped, "Continue from step_error keeps searching");
+        assert_eq!(stats.states, 1, "only the root is reachable");
+        assert!(stats.budget_truncated, "skipped edges mark incompleteness");
+        assert_eq!(visitor.panics.len(), 2, "both processes' steps panicked");
+        assert!(visitor.panics[0].1.contains("injected protocol bug"));
+    }
+
+    #[test]
+    fn pause_and_resume_have_full_parity() {
+        // Uninterrupted baseline.
+        let mut dedup = DedupSet::exact(64);
+        let mut arena = ScheduleArena::new();
+        let mut baseline_visitor = Recorder { depths: Vec::new() };
+        let baseline = Engine::new(Budget::new(10, 10_000)).run(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut CrashBounded::new(AllRunning, 1),
+            &mut Lifo::new(),
+            &mut baseline_visitor,
+        );
+        let baseline_states = dedup.len();
+
+        // Interrupted run: pause at the first snapshot (after 2 states).
+        let mut image: Option<SearchImage> = None;
+        let mut sink = |img: &SearchImage| {
+            image = Some(img.clone());
+            Control::Stop
+        };
+        let mut dedup2 = DedupSet::exact(64);
+        let mut arena2 = ScheduleArena::new();
+        let mut first_visitor = Recorder { depths: Vec::new() };
+        let paused = Engine::new(Budget::new(10, 10_000)).run_with(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup2,
+            &mut arena2,
+            &mut CrashBounded::new(AllRunning, 1),
+            &mut Lifo::new(),
+            &mut first_visitor,
+            Some(Checkpointing {
+                interval: 2,
+                sink: &mut sink,
+            }),
+        );
+        assert!(paused.paused);
+        assert!(!paused.complete());
+        assert_eq!(paused.states, 2);
+        let image = image.expect("a snapshot was taken");
+        assert_eq!(image.stats.states, 2);
+
+        // Resume with entirely fresh state.
+        let mut dedup3 = DedupSet::exact(64);
+        let mut arena3 = ScheduleArena::new();
+        let mut resumed_visitor = Recorder { depths: Vec::new() };
+        let resumed = Engine::new(Budget::new(10, 10_000))
+            .resume(
+                &TwoProcessSwapConsensus,
+                init(&[0, 1]),
+                &image,
+                &mut dedup3,
+                &mut arena3,
+                &mut CrashBounded::new(AllRunning, 1),
+                &mut Lifo::new(),
+                &mut resumed_visitor,
+                None,
+            )
+            .unwrap();
+        assert_eq!(resumed, baseline, "stats parity");
+        assert_eq!(dedup3.len(), baseline_states, "state-count parity");
+        // The resumed run visits exactly the not-yet-visited suffix, in the
+        // same order.
+        assert_eq!(
+            first_visitor.depths.len() + resumed_visitor.depths.len(),
+            baseline_visitor.depths.len()
+        );
+        assert_eq!(
+            resumed_visitor.depths,
+            baseline_visitor.depths[first_visitor.depths.len()..]
+        );
+    }
+
+    #[test]
+    fn resume_rejects_inconsistent_images() {
+        let mut image: Option<SearchImage> = None;
+        let mut sink = |img: &SearchImage| {
+            image = Some(img.clone());
+            Control::Stop
+        };
+        let mut dedup = DedupSet::exact(64);
+        let mut arena = ScheduleArena::new();
+        Engine::new(Budget::new(10, 10_000)).run_with(
+            &TwoProcessSwapConsensus,
+            init(&[0, 1]),
+            &mut dedup,
+            &mut arena,
+            &mut AllRunning,
+            &mut Lifo::new(),
+            &mut Recorder { depths: Vec::new() },
+            Some(Checkpointing {
+                interval: 1,
+                sink: &mut sink,
+            }),
+        );
+        let good = image.unwrap();
+
+        let resume = |img: &SearchImage| {
+            let mut dedup = DedupSet::exact(64);
+            let mut arena = ScheduleArena::new();
+            Engine::new(Budget::new(10, 10_000)).resume(
+                &TwoProcessSwapConsensus,
+                init(&[0, 1]),
+                img,
+                &mut dedup,
+                &mut arena,
+                &mut AllRunning,
+                &mut Lifo::new(),
+                &mut Recorder { depths: Vec::new() },
+                None,
+            )
+        };
+        assert!(resume(&good).is_ok());
+
+        // Dangling frontier node.
+        let mut bad = good.clone();
+        bad.frontier.push(NodeId::from_raw(9_999));
+        assert!(resume(&bad).unwrap_err().reason.contains("out of range"));
+
+        // Discovery not rooted.
+        let mut bad = good.clone();
+        bad.discovery.remove(0);
+        assert!(resume(&bad)
+            .unwrap_err()
+            .reason
+            .contains("start at the root"));
+
+        // Duplicate discovery entry.
+        let mut bad = good.clone();
+        let last = *bad.discovery.last().unwrap();
+        bad.discovery.push(last);
+        assert!(resume(&bad).unwrap_err().reason.contains("deduplicates"));
     }
 }

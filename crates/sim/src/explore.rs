@@ -27,16 +27,23 @@
 //! frontier, and a visitor that evaluates safety plus (memoized) solo
 //! termination on every visited configuration.
 
+use std::collections::VecDeque;
 use std::fmt;
+use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use crate::canon::{self, Canonicalizer, DedupSet};
 use crate::config::Configuration;
-use crate::engine::{AllRunning, Budget, Control, EdgeCtx, Engine, Lifo, NodeCtx, Visitor};
-use crate::ids::ProcessId;
+use crate::engine::{
+    AllRunning, Budget, Checkpointing, Control, CrashBounded, EdgeCtx, Engine, Lifo, NodeCtx,
+    ResumeError, SearchImage, Visitor,
+};
+use crate::ids::{Action, ProcessId};
 use crate::protocol::Protocol;
 use crate::runner::{solo_run, SoloRunError};
 use crate::search::{PrehashedMap, ScheduleArena};
+use crate::snapshot::{read_snapshot, write_snapshot, RunMeta, SnapshotError};
 use crate::task::{KSetTask, TaskViolation};
 
 /// Bounded-exhaustive schedule explorer.
@@ -65,6 +72,25 @@ pub struct ModelChecker {
     /// Memoize solo-termination outcomes keyed on (local state, object
     /// values) — sound, on by default; disable for A/B measurement.
     pub solo_memo: bool,
+    /// Crash-injection failure budget `f`: from every configuration, in
+    /// addition to every running process's step, the search also takes a
+    /// crash transition for every running process as long as fewer than `f`
+    /// processes have crashed — so the explored space covers *every* crash
+    /// pattern with at most `f` failures. `0` (the default) disables crash
+    /// injection and explores exactly the failure-free space.
+    pub max_failures: usize,
+    /// Optional wall-clock deadline for the whole search. Expiry is
+    /// graceful: the run returns a partial report with
+    /// [`CheckReport::deadline_truncated`] set (never a hang, never an
+    /// abort).
+    pub deadline: Option<Duration>,
+    /// If set, verify *wait-freedom* with this per-process step bound: from
+    /// the initial configuration, every process must decide within this many
+    /// of its *own* steps no matter how the other processes are scheduled
+    /// — including schedules where up to `max_failures` of them crash. This
+    /// is strictly stronger than the solo check (`solo_budget`), which only
+    /// covers executions where the process runs alone.
+    pub wait_free_bound: Option<usize>,
 }
 
 impl ModelChecker {
@@ -79,6 +105,9 @@ impl ModelChecker {
             symmetry_reduction: false,
             hash_compaction: false,
             solo_memo: true,
+            max_failures: 0,
+            deadline: None,
+            wait_free_bound: None,
         }
     }
 
@@ -124,6 +153,31 @@ impl ModelChecker {
         self
     }
 
+    /// Enable exhaustive crash injection with failure budget `f`: the
+    /// search additionally takes, from every configuration with fewer than
+    /// `f` crashed processes, a crash transition for each running process.
+    /// Witness schedules then interleave steps and crashes ([`Action`]).
+    pub fn with_max_failures(mut self, f: usize) -> Self {
+        self.max_failures = f;
+        self
+    }
+
+    /// Bound the whole check by wall-clock time; see
+    /// [`ModelChecker::deadline`].
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Enable wait-freedom checking with the given per-process own-step
+    /// bound; see [`ModelChecker::wait_free_bound`]. Crash adversaries obey
+    /// [`ModelChecker::max_failures`] (and never crash the process under
+    /// test — a crashed process trivially takes no more steps).
+    pub fn with_wait_free_bound(mut self, bound: usize) -> Self {
+        self.wait_free_bound = Some(bound);
+        self
+    }
+
     /// Explore all schedules from the initial configuration for `inputs`.
     ///
     /// # Panics
@@ -145,6 +199,24 @@ impl ModelChecker {
         inputs: &[u64],
         memo: &mut SoloMemo<P>,
     ) -> CheckReport {
+        self.run_engine(protocol, inputs, memo, None, None)
+            .expect("fresh runs cannot fail to resume")
+    }
+
+    /// The single engine-driving core behind [`ModelChecker::check`],
+    /// [`ModelChecker::check_paused`], [`ModelChecker::resume`], and the
+    /// snapshot-file entry points: build dedup/arena/visitor, run (or
+    /// resume) the engine under the configured crash and time budgets, then
+    /// — if the safety sweep finished uninterrupted and clean — run the
+    /// wait-freedom product search.
+    fn run_engine<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        memo: &mut SoloMemo<P>,
+        resume_from: Option<&SearchImage>,
+        ckpt: Option<Checkpointing<'_>>,
+    ) -> Result<CheckReport, ResumeError> {
         let initial =
             Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
         // Pre-size the visited set toward the state budget (clamped: tiny
@@ -169,30 +241,239 @@ impl ModelChecker {
             solo_memo_hits: 0,
             violation: None,
         };
-        let stats = Engine::new(Budget {
+        let mut engine = Engine::new(Budget {
             max_depth: self.max_depth,
             max_states: self.max_states,
             max_frontier: self.max_frontier,
-        })
-        .run(
-            protocol,
-            initial,
-            &mut visited,
-            &mut arena,
-            &mut AllRunning,
-            &mut Lifo::new(),
-            &mut visitor,
-        );
-        CheckReport {
+        });
+        if let Some(deadline) = self.deadline {
+            engine = engine.with_deadline(deadline);
+        }
+        // `f = 0` makes `CrashBounded` the identity wrapper, so the
+        // failure-free checker takes this same path.
+        let mut expansion = CrashBounded::new(AllRunning, self.max_failures);
+        let mut frontier = Lifo::new();
+        let stats = match resume_from {
+            None => engine.run_with(
+                protocol,
+                initial.clone(),
+                &mut visited,
+                &mut arena,
+                &mut expansion,
+                &mut frontier,
+                &mut visitor,
+                ckpt,
+            ),
+            Some(image) => engine.resume(
+                protocol,
+                initial.clone(),
+                image,
+                &mut visited,
+                &mut arena,
+                &mut expansion,
+                &mut frontier,
+                &mut visitor,
+                ckpt,
+            )?,
+        };
+        let mut violation = visitor.violation;
+        let mut complete = stats.complete();
+        // Wait-freedom runs only once the safety sweep ran to its natural
+        // end (an interrupted run re-checks it after the resumed leg, so
+        // the final verdict is identical either way).
+        if violation.is_none() && !stats.deadline_truncated && !stats.paused {
+            if let Some(bound) = self.wait_free_bound {
+                let (wf_violation, wf_complete) = wait_free_counterexample(
+                    protocol,
+                    &initial,
+                    bound,
+                    self.max_failures,
+                    self.max_states,
+                );
+                violation = wf_violation;
+                complete &= wf_complete;
+            }
+        }
+        Ok(CheckReport {
             states: stats.states,
             terminal_states: stats.terminal_states,
-            complete: stats.complete(),
+            complete,
             deepest: stats.deepest,
             peak_frontier: stats.peak_frontier,
             symmetry_group: visited.group_order(),
             hash_compaction: self.hash_compaction,
             solo_memo_hits: visitor.solo_memo_hits,
-            violation: visitor.violation,
+            deadline_truncated: stats.deadline_truncated,
+            paused: stats.paused,
+            violation,
+        })
+    }
+
+    /// [`ModelChecker::check`] that pauses itself after roughly
+    /// `pause_after` visited states, returning the partial report and the
+    /// in-memory [`SearchImage`] to hand to [`ModelChecker::resume`]. If the
+    /// search finishes before the first snapshot fires, the image is `None`
+    /// and the report is final.
+    pub fn check_paused<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        pause_after: usize,
+    ) -> (CheckReport, Option<SearchImage>) {
+        let mut memo = SoloMemo::new();
+        let mut image = None;
+        let mut sink = |img: &SearchImage| {
+            image = Some(img.clone());
+            Control::Stop
+        };
+        let report = self
+            .run_engine(
+                protocol,
+                inputs,
+                &mut memo,
+                None,
+                Some(Checkpointing {
+                    interval: pause_after,
+                    sink: &mut sink,
+                }),
+            )
+            .expect("fresh runs cannot fail to resume");
+        if report.paused {
+            (report, image)
+        } else {
+            // Finished before the first snapshot (or exactly at it): the
+            // report is already final, no resume needed.
+            (report, None)
+        }
+    }
+
+    /// Resume a check from an in-memory [`SearchImage`] (produced by
+    /// [`ModelChecker::check_paused`] or a [`Checkpointing`] sink) and run
+    /// it to the end. The final report has full parity with an
+    /// uninterrupted [`ModelChecker::check`]: identical verdict and
+    /// identical state counts.
+    ///
+    /// # Errors
+    ///
+    /// [`ResumeError`] if the image is internally inconsistent or does not
+    /// belong to this checker's parameters.
+    pub fn resume<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        image: &SearchImage,
+    ) -> Result<CheckReport, ResumeError> {
+        let mut memo = SoloMemo::new();
+        self.run_engine(protocol, inputs, &mut memo, Some(image), None)
+    }
+
+    /// The [`RunMeta`] identifying this checker's run over `protocol` and
+    /// `inputs` — written into every snapshot and verified on resume.
+    fn run_meta<P: Protocol>(&self, protocol: &P, inputs: &[u64]) -> RunMeta {
+        RunMeta {
+            protocol_name: protocol.name().to_string(),
+            inputs: inputs.to_vec(),
+            max_depth: self.max_depth as u64,
+            max_states: self.max_states as u64,
+            symmetry_reduction: self.symmetry_reduction,
+            solo_budget: self.solo_budget.map_or(u64::MAX, |b| b as u64),
+            max_failures: self.max_failures as u64,
+        }
+    }
+
+    /// [`ModelChecker::check`] that writes a checksummed snapshot file to
+    /// `path` every `interval` visited states (and once more on deadline
+    /// expiry), so a killed process can pick up from the last snapshot with
+    /// [`ModelChecker::resume_from_file`]. Snapshot writes are atomic
+    /// (write-to-temp, fsync, rename) — a crash mid-write never corrupts an
+    /// existing snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] if a snapshot write fails (the search itself still
+    /// runs to completion; the error is reported afterwards).
+    pub fn check_with_snapshot_file<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        path: &Path,
+        interval: usize,
+    ) -> Result<CheckReport, SnapshotError> {
+        let meta = self.run_meta(protocol, inputs);
+        let mut memo = SoloMemo::new();
+        let mut write_error = None;
+        let mut sink = |img: &SearchImage| {
+            if write_error.is_none() {
+                if let Err(e) = write_snapshot(path, &meta, img) {
+                    write_error = Some(e);
+                }
+            }
+            Control::Continue
+        };
+        let report = self
+            .run_engine(
+                protocol,
+                inputs,
+                &mut memo,
+                None,
+                Some(Checkpointing {
+                    interval,
+                    sink: &mut sink,
+                }),
+            )
+            .expect("fresh runs cannot fail to resume");
+        match write_error {
+            Some(e) => Err(e),
+            None => Ok(report),
+        }
+    }
+
+    /// Resume a check from a snapshot file written by
+    /// [`ModelChecker::check_with_snapshot_file`], continuing to snapshot to
+    /// the same `path`. The stored [`RunMeta`] must match this checker's
+    /// parameters; mismatches, corruption, version skew, and internally
+    /// inconsistent images are all rejected with a typed error — never a
+    /// panic, never a silent wrong verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError`] for file/bytes-layer failures and meta mismatches;
+    /// semantic [`ResumeError`]s surface as [`SnapshotError::Corrupt`].
+    pub fn resume_from_file<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        path: &Path,
+        interval: usize,
+    ) -> Result<CheckReport, SnapshotError> {
+        let (meta, image) = read_snapshot(path)?;
+        meta.ensure_matches(&self.run_meta(protocol, inputs))?;
+        let current = self.run_meta(protocol, inputs);
+        let mut memo = SoloMemo::new();
+        let mut write_error = None;
+        let mut sink = |img: &SearchImage| {
+            if write_error.is_none() {
+                if let Err(e) = write_snapshot(path, &current, img) {
+                    write_error = Some(e);
+                }
+            }
+            Control::Continue
+        };
+        let report = self
+            .run_engine(
+                protocol,
+                inputs,
+                &mut memo,
+                Some(&image),
+                Some(Checkpointing {
+                    interval,
+                    sink: &mut sink,
+                }),
+            )
+            .map_err(|e| SnapshotError::Corrupt(e.to_string()))?;
+        match write_error {
+            Some(e) => Err(e),
+            None => Ok(report),
         }
     }
 
@@ -215,6 +496,8 @@ impl ModelChecker {
             symmetry_group: 1,
             hash_compaction: self.hash_compaction,
             solo_memo_hits: 0,
+            deadline_truncated: false,
+            paused: false,
             violation: None,
         };
         let mut inputs = vec![0u64; task.n];
@@ -228,6 +511,8 @@ impl ModelChecker {
                 aggregate.peak_frontier = aggregate.peak_frontier.max(report.peak_frontier);
                 aggregate.symmetry_group = aggregate.symmetry_group.max(report.symmetry_group);
                 aggregate.solo_memo_hits += report.solo_memo_hits;
+                aggregate.deadline_truncated |= report.deadline_truncated;
+                aggregate.paused |= report.paused;
                 if report.violation.is_some() {
                     aggregate.violation = report.violation;
                     return aggregate;
@@ -270,7 +555,7 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
         protocol: &P,
         config: &Configuration<P>,
         ctx: &NodeCtx<'_>,
-        candidates: &[ProcessId],
+        candidates: &[Action],
     ) -> Control {
         // Safety predicates on every reachable configuration.
         if let Err(v) = self
@@ -279,7 +564,7 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
         {
             self.violation = Some(FoundViolation {
                 kind: ViolationKind::Task(v),
-                schedule: ctx.schedule(),
+                schedule: ctx.actions(),
             });
             return Control::Stop;
         }
@@ -288,9 +573,14 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
         // values, so it is memoized on exactly that key (with the visited
         // set's exact-fallback discipline); misses run on the recycled
         // scratch configuration, not a fresh clone. (Under [`AllRunning`]
-        // the candidates are exactly the running processes.)
+        // the step candidates are exactly the running processes; crash
+        // candidates injected by [`CrashBounded`] are skipped — a crashed
+        // process has no solo run to check.)
         if let Some(budget) = self.solo_budget {
-            for &pid in candidates {
+            for pid in candidates.iter().filter_map(|a| match *a {
+                Action::Step(p) => Some(p),
+                Action::Crash(_) => None,
+            }) {
                 let state = config.state(pid).expect("running implies a state");
                 let outcome = match self
                     .solo_memo
@@ -325,14 +615,14 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
                     SoloVerdict::Stuck => {
                         self.violation = Some(FoundViolation {
                             kind: ViolationKind::SoloTermination { pid, budget },
-                            schedule: ctx.schedule(),
+                            schedule: ctx.actions(),
                         });
                         return Control::Stop;
                     }
                     SoloVerdict::Error(msg) => {
                         self.violation = Some(FoundViolation {
                             kind: ViolationKind::Internal(msg.to_string()),
-                            schedule: ctx.schedule(),
+                            schedule: ctx.actions(),
                         });
                         return Control::Stop;
                     }
@@ -348,11 +638,13 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
         error: crate::config::SimError,
         ctx: &mut EdgeCtx<'_>,
     ) -> Control {
-        // The simulator rejected a step: a protocol bug, reported with the
-        // schedule that reaches it.
+        // The simulator rejected a step (or the protocol panicked inside
+        // it, surfaced as [`crate::config::SimError::Panicked`] by the
+        // engine's isolation): a protocol bug, reported with the schedule
+        // that reaches it.
         self.violation = Some(FoundViolation {
             kind: ViolationKind::Internal(error.to_string()),
-            schedule: ctx.schedule(),
+            schedule: ctx.actions(),
         });
         Control::Stop
     }
@@ -442,6 +734,12 @@ pub struct CheckReport {
     pub hash_compaction: bool,
     /// Solo-termination checks answered from the memo instead of re-run.
     pub solo_memo_hits: usize,
+    /// The wall-clock deadline expired with work still pending. Recoverable
+    /// with checkpoint/resume, unlike the hard budget cutoffs.
+    pub deadline_truncated: bool,
+    /// A checkpoint sink paused the run ([`ModelChecker::check_paused`]);
+    /// hand the returned image to [`ModelChecker::resume`] to finish.
+    pub paused: bool,
     /// The first violation found, if any, with a witnessing schedule.
     pub violation: Option<FoundViolation>,
 }
@@ -488,6 +786,10 @@ impl fmt::Display for CheckReport {
             match (&self.violation, self.complete) {
                 (Some(v), _) => format!("VIOLATION: {v}"),
                 (None, true) => "exhaustive, no violations".to_string(),
+                (None, false) if self.paused => "paused (resumable), no violations".to_string(),
+                (None, false) if self.deadline_truncated => {
+                    "deadline expired (resumable), no violations".to_string()
+                }
                 (None, false) => "bounded (cutoff hit), no violations".to_string(),
             },
             if self.symmetry_group > 1 {
@@ -510,9 +812,10 @@ impl fmt::Display for CheckReport {
 pub struct FoundViolation {
     /// What went wrong.
     pub kind: ViolationKind,
-    /// The witnessing schedule (sequence of process ids from the initial
-    /// configuration).
-    pub schedule: Vec<ProcessId>,
+    /// The witnessing schedule from the initial configuration: steps and —
+    /// under crash injection — crash transitions (`†p` in debug output).
+    /// Replay it with [`crate::runner::replay_actions`].
+    pub schedule: Vec<Action>,
 }
 
 impl fmt::Display for FoundViolation {
@@ -534,6 +837,16 @@ pub enum ViolationKind {
         /// The exhausted budget.
         budget: usize,
     },
+    /// A process can be kept undecided past its wait-freedom bound by a
+    /// schedule of the *other* processes (possibly crashing some of them):
+    /// the protocol is not wait-free with this bound. The witnessing
+    /// schedule is minimal in length (BFS order).
+    WaitFree {
+        /// The starved process.
+        pid: ProcessId,
+        /// The own-step bound it exceeded without deciding.
+        bound: usize,
+    },
     /// The simulator rejected a step (protocol bug, e.g. schema violation).
     Internal(String),
 }
@@ -545,9 +858,129 @@ impl fmt::Display for ViolationKind {
             ViolationKind::SoloTermination { pid, budget } => {
                 write!(f, "{pid} did not decide within {budget} solo steps")
             }
+            ViolationKind::WaitFree { pid, bound } => {
+                write!(
+                    f,
+                    "{pid} kept undecided beyond {bound} of its own steps (not wait-free)"
+                )
+            }
             ViolationKind::Internal(msg) => write!(f, "internal: {msg}"),
         }
     }
+}
+
+/// Exhaustive wait-freedom check for one instance: for every process `p`,
+/// search the product space of (configuration, number of own steps `p` has
+/// taken while undecided) under the full adversary — any running process may
+/// step, and any running process other than `p` may crash while fewer than
+/// `max_failures` have crashed. A state where `p` is still undecided after
+/// `bound` own steps is a counterexample; reaching `p`'s decision prunes the
+/// branch. BFS order makes the returned witness schedule minimal in length.
+///
+/// Soundness of the pruning: whether `p` can be starved from a
+/// configuration depends only on the configuration and on how many own
+/// steps `p` has already spent, and more spent steps is strictly worse for
+/// `p` — so per configuration only the *maximum* `j` seen needs expanding
+/// (max-`j` dominance), keyed by [`Configuration::fingerprint`] with an
+/// exact-equality fallback (hash quality never decides the verdict).
+///
+/// Returns the first counterexample (or `None`) plus a completeness flag:
+/// `false` means the `max_states` budget cut the product search short and a
+/// clean verdict is only a bounded certificate.
+fn wait_free_counterexample<P: Protocol>(
+    protocol: &P,
+    initial: &Configuration<P>,
+    bound: usize,
+    max_failures: usize,
+    max_states: usize,
+) -> (Option<FoundViolation>, bool) {
+    let n = initial.num_processes();
+    let mut complete = true;
+    let mut visited_total = 0usize;
+    for p in (0..n).map(ProcessId) {
+        if initial.decision(p).is_some() {
+            continue;
+        }
+        // Dominance map: fingerprint bucket -> (config, max own-steps seen).
+        let mut seen: PrehashedMap<Vec<(Configuration<P>, usize)>> = PrehashedMap::default();
+        let mut arena = ScheduleArena::new();
+        let mut queue: VecDeque<(Configuration<P>, usize, crate::search::NodeId)> = VecDeque::new();
+        queue.push_back((initial.clone(), 0, ScheduleArena::ROOT));
+        seen.entry(initial.fingerprint())
+            .or_default()
+            .push((initial.clone(), 0));
+        let mut running = Vec::new();
+        while let Some((config, own, node)) = queue.pop_front() {
+            visited_total += 1;
+            if visited_total > max_states {
+                complete = false;
+                break;
+            }
+            if config.decision(p).is_some() {
+                continue; // `p` decided on this branch: wait-freedom held.
+            }
+            if own >= bound {
+                return (
+                    Some(FoundViolation {
+                        kind: ViolationKind::WaitFree { pid: p, bound },
+                        schedule: arena.actions(node),
+                    }),
+                    complete,
+                );
+            }
+            config.running_into(&mut running);
+            let crash_allowed = config.num_crashed() < max_failures;
+            for &q in &running {
+                let mut child = config.clone();
+                if child
+                    .step_quiet(protocol, q)
+                    .expect("wait-free search stepped a running process")
+                    .is_some()
+                    && q == p
+                {
+                    continue; // `p` just decided: nothing left to starve.
+                }
+                let own_after = own + usize::from(q == p);
+                if dominates_insert(&mut seen, &child, own_after) {
+                    let child_node = arena.child(node, q);
+                    queue.push_back((child, own_after, child_node));
+                }
+                if crash_allowed && q != p {
+                    let mut crashed = config.clone();
+                    crashed
+                        .crash(q)
+                        .expect("wait-free search crashed a running process");
+                    if dominates_insert(&mut seen, &crashed, own) {
+                        let crash_node = arena.child_action(node, Action::Crash(q));
+                        queue.push_back((crashed, own, crash_node));
+                    }
+                }
+            }
+        }
+    }
+    (None, complete)
+}
+
+/// Insert `(config, own)` into the wait-free dominance map unless an entry
+/// with the same configuration and `own' >= own` is already present.
+/// Returns whether the entry was new (i.e. worth expanding).
+fn dominates_insert<P: Protocol>(
+    seen: &mut PrehashedMap<Vec<(Configuration<P>, usize)>>,
+    config: &Configuration<P>,
+    own: usize,
+) -> bool {
+    let bucket = seen.entry(config.fingerprint()).or_default();
+    for (existing, max_own) in bucket.iter_mut() {
+        if existing == config {
+            if *max_own >= own {
+                return false;
+            }
+            *max_own = own;
+            return true;
+        }
+    }
+    bucket.push((config.clone(), own));
+    true
 }
 
 #[cfg(test)]
@@ -702,7 +1135,7 @@ mod tests {
         // The witness schedule is a REAL schedule: replaying it from the
         // initial configuration reproduces the violation.
         let mut replay = Configuration::initial(&SelfishConsensus { n: 2 }, &[0, 1]).unwrap();
-        crate::runner::replay(&SelfishConsensus { n: 2 }, &mut replay, &violation.schedule)
+        crate::runner::replay_actions(&SelfishConsensus { n: 2 }, &mut replay, &violation.schedule)
             .unwrap();
         assert_eq!(replay.decided_values().len(), 2, "violation reproduced");
     }
@@ -763,5 +1196,180 @@ mod tests {
             v.kind,
             ViolationKind::SoloTermination { budget: 0, .. }
         ));
+    }
+
+    #[test]
+    fn crash_injection_explores_strictly_more_states() {
+        // With f = 1 the search additionally reaches every configuration
+        // with one crashed process; with f = 0 it is exactly the
+        // failure-free search.
+        let plain = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        let crashy = ModelChecker::new(10, 10_000)
+            .with_max_failures(1)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(plain.proves_safety() && crashy.proves_safety());
+        assert!(
+            crashy.states > plain.states,
+            "crash patterns must add states: {} vs {}",
+            crashy.states,
+            plain.states
+        );
+        let zero = ModelChecker::new(10, 10_000)
+            .with_max_failures(0)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert_eq!(zero.states, plain.states, "f = 0 is the identity");
+    }
+
+    #[test]
+    fn crash_injection_with_symmetry_reduction_has_verdict_parity() {
+        let full = ModelChecker::new(10, 10_000)
+            .with_max_failures(1)
+            .with_solo_budget(4)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_max_failures(1)
+            .with_solo_budget(4)
+            .with_symmetry_reduction()
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert!(reduced.proves_safety(), "{reduced}");
+        assert!(
+            reduced.states < full.states,
+            "crashed-set-aware renamings still reduce: {full} vs {reduced}"
+        );
+    }
+
+    #[test]
+    fn crash_violation_witness_replays_with_actions() {
+        // The broken protocol still violates agreement under crash
+        // injection, and the witness — an Action schedule, possibly with
+        // crash transitions — replays to the violation.
+        let report = ModelChecker::new(10, 50_000)
+            .with_max_failures(1)
+            .check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        let violation = report.violation.expect("agreement violation");
+        let mut replay = Configuration::initial(&SelfishConsensus { n: 2 }, &[0, 1]).unwrap();
+        crate::runner::replay_actions(&SelfishConsensus { n: 2 }, &mut replay, &violation.schedule)
+            .unwrap();
+        assert_eq!(replay.decided_values().len(), 2, "violation reproduced");
+    }
+
+    #[test]
+    fn two_process_consensus_is_wait_free_even_under_a_crash() {
+        // The paper's base fact: one swap object solves 2-process
+        // consensus *wait-free* — every process decides within exactly one
+        // of its own steps under any schedule and any single crash.
+        let report = ModelChecker::new(10, 10_000)
+            .with_max_failures(1)
+            .with_wait_free_bound(1)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn wait_free_bound_zero_is_immediately_violated() {
+        // Degenerate pin of the semantics: with a bound of 0 own steps,
+        // the initial configuration itself is the (empty-schedule, minimal)
+        // counterexample for the first undecided process.
+        let report = ModelChecker::new(10, 10_000)
+            .with_wait_free_bound(0)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.to_string().contains("not wait-free"), "{report}");
+        let v = report.violation.expect("bound 0 must be violated");
+        match &v.kind {
+            ViolationKind::WaitFree { pid, bound } => {
+                assert_eq!((*pid, *bound), (ProcessId(0), 0));
+            }
+            other => panic!("expected a wait-freedom violation, got {other}"),
+        }
+        assert!(v.schedule.is_empty(), "BFS witness is minimal");
+    }
+
+    #[test]
+    fn zero_deadline_reports_resumable_truncation() {
+        let report = ModelChecker::new(10, 10_000)
+            .with_deadline(Duration::ZERO)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.passed());
+        assert!(report.deadline_truncated, "{report}");
+        assert!(!report.complete);
+        assert!(!report.proves_safety());
+        assert!(report.to_string().contains("deadline expired"), "{report}");
+    }
+
+    #[test]
+    fn checker_pause_and_resume_have_verdict_and_count_parity() {
+        let checker = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .with_max_failures(1);
+        let baseline = checker.check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(baseline.proves_safety(), "{baseline}");
+        let (partial, image) = checker.check_paused(&TwoProcessSwapConsensus, &[0, 1], 2);
+        assert!(partial.paused, "{partial}");
+        assert!(partial.states < baseline.states);
+        assert!(partial.to_string().contains("paused"), "{partial}");
+        let image = image.expect("paused run must yield an image");
+        let resumed = checker
+            .resume(&TwoProcessSwapConsensus, &[0, 1], &image)
+            .unwrap();
+        assert!(baseline.same_verdict(&resumed), "{baseline} vs {resumed}");
+        assert_eq!(resumed.states, baseline.states, "state-count parity");
+        assert_eq!(resumed.terminal_states, baseline.terminal_states);
+        assert_eq!(resumed.deepest, baseline.deepest);
+        assert!(resumed.proves_safety(), "{resumed}");
+    }
+
+    #[test]
+    fn checker_pause_and_resume_parity_under_symmetry_reduction() {
+        // The subtle half of the parity guarantee: resuming re-inserts the
+        // discovered configurations in discovery order, so the quotient
+        // search picks the same orbit representatives and the resumed
+        // verdict and orbit counts match the uninterrupted run exactly.
+        let checker = ModelChecker::new(10, 10_000)
+            .with_max_failures(1)
+            .with_symmetry_reduction();
+        let baseline = checker.check(&TwoProcessSwapConsensus, &[0, 1]);
+        let (partial, image) = checker.check_paused(&TwoProcessSwapConsensus, &[0, 1], 2);
+        assert!(partial.paused);
+        let resumed = checker
+            .resume(&TwoProcessSwapConsensus, &[0, 1], &image.unwrap())
+            .unwrap();
+        assert_eq!(resumed.states, baseline.states);
+        assert!(baseline.same_verdict(&resumed));
+        assert_eq!(resumed.symmetry_group, baseline.symmetry_group);
+    }
+
+    #[test]
+    fn snapshot_file_checkpointing_and_file_resume() {
+        let dir = std::env::temp_dir().join(format!("swck-explore-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("checker.swck");
+        let checker = ModelChecker::new(10, 10_000).with_max_failures(1);
+        let baseline = checker.check(&TwoProcessSwapConsensus, &[0, 1]);
+        let filed = checker
+            .check_with_snapshot_file(&TwoProcessSwapConsensus, &[0, 1], &path, 2)
+            .unwrap();
+        assert!(baseline.same_verdict(&filed));
+        assert_eq!(filed.states, baseline.states);
+        assert!(path.exists(), "snapshots were written");
+        // Resuming from the last on-disk snapshot re-runs the tail and
+        // reaches the identical verdict and counts.
+        let resumed = checker
+            .resume_from_file(&TwoProcessSwapConsensus, &[0, 1], &path, 2)
+            .unwrap();
+        assert!(baseline.same_verdict(&resumed));
+        assert_eq!(resumed.states, baseline.states);
+        // A checker with different parameters refuses the snapshot.
+        let other = ModelChecker::new(10, 9_999).with_max_failures(1);
+        let err = other
+            .resume_from_file(&TwoProcessSwapConsensus, &[0, 1], &path, 2)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::MetaMismatch(_)), "got {err:?}");
+        // So does one over different inputs.
+        let err = checker
+            .resume_from_file(&TwoProcessSwapConsensus, &[1, 0], &path, 2)
+            .unwrap_err();
+        assert!(matches!(err, SnapshotError::MetaMismatch(_)));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

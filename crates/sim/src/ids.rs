@@ -38,6 +38,50 @@ impl From<usize> for ProcessId {
     }
 }
 
+/// One transition of the explored execution graph: a normal protocol step
+/// by a process, or a crash failure of a process (Section 2's crash model —
+/// the crashed process permanently stops without deciding).
+///
+/// Crash transitions exist only where an exploration strategy injects them
+/// ([`crate::engine::CrashBounded`]); runs without crash injection consist
+/// of `Step` actions only.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Process `pid` applies its poised operation.
+    Step(ProcessId),
+    /// Process `pid` crashes: it permanently stops without deciding.
+    Crash(ProcessId),
+}
+
+impl Action {
+    /// The process this action concerns (the stepper or the crasher).
+    pub fn pid(self) -> ProcessId {
+        match self {
+            Action::Step(p) | Action::Crash(p) => p,
+        }
+    }
+
+    /// Whether this is a crash transition.
+    pub fn is_crash(self) -> bool {
+        matches!(self, Action::Crash(_))
+    }
+}
+
+impl fmt::Debug for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Action::Step(p) => write!(f, "{p}"),
+            Action::Crash(p) => write!(f, "†{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Action {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
 /// Identifier of a shared object (`B_1, …` in the paper; zero-indexed here).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ObjectId(pub usize);
@@ -94,5 +138,15 @@ mod tests {
     fn conversions() {
         assert_eq!(ProcessId::from(5).index(), 5);
         assert_eq!(ObjectId::from(7).index(), 7);
+    }
+
+    #[test]
+    fn actions_project_pids_and_format() {
+        assert_eq!(Action::Step(ProcessId(2)).pid(), ProcessId(2));
+        assert_eq!(Action::Crash(ProcessId(2)).pid(), ProcessId(2));
+        assert!(Action::Crash(ProcessId(0)).is_crash());
+        assert!(!Action::Step(ProcessId(0)).is_crash());
+        assert_eq!(format!("{:?}", Action::Step(ProcessId(1))), "p1");
+        assert_eq!(format!("{}", Action::Crash(ProcessId(1))), "†p1");
     }
 }

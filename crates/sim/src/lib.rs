@@ -62,6 +62,7 @@ mod protocol;
 pub mod runner;
 pub mod scheduler;
 pub mod search;
+pub mod snapshot;
 pub mod task;
 pub mod testing;
 
@@ -69,7 +70,7 @@ pub use canon::{Canonicalizer, ObjectClasses, Renaming, Symmetry};
 pub use config::{Configuration, ProcStatus, SimError, StepUndo};
 pub use engine::{AdversarySynthesis, SynthesisReport};
 pub use history::{History, StepRecord};
-pub use ids::{ObjectId, ProcessId};
+pub use ids::{Action, ObjectId, ProcessId};
 pub use protocol::{Protocol, SimValue, Transition};
 pub use scheduler::{Scheduler, StateScheduler};
 pub use task::KSetTask;

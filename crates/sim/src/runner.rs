@@ -5,7 +5,7 @@ use std::fmt;
 
 use crate::config::{Configuration, SimError};
 use crate::history::History;
-use crate::ids::ProcessId;
+use crate::ids::{Action, ProcessId};
 use crate::protocol::Protocol;
 use crate::scheduler::StateScheduler;
 
@@ -172,6 +172,39 @@ pub fn replay<P: Protocol>(
     Ok(history)
 }
 
+/// Replay an explicit action sequence — steps *and* crash transitions — as
+/// produced by crash-injected searches ([`crate::search::ScheduleArena::
+/// actions`]). Step picks of decided processes are skipped (matching
+/// [`replay`]); crash and step actions on crashed processes are **not**
+/// skipped, so a schedule that was only valid because of a crash fails
+/// loudly instead of replaying something else. Returns the history of the
+/// performed steps (crashes leave no history record: no object is touched).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from stepping or crashing.
+pub fn replay_actions<P: Protocol>(
+    protocol: &P,
+    config: &mut Configuration<P>,
+    actions: &[Action],
+) -> Result<History<P::Value>, SimError> {
+    let mut history = History::new();
+    for &action in actions {
+        match action {
+            Action::Step(pid) => {
+                if config.decision(pid).is_some() {
+                    continue;
+                }
+                history.push(config.step(protocol, pid)?);
+            }
+            Action::Crash(pid) => {
+                config.crash(pid)?;
+            }
+        }
+    }
+    Ok(history)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +277,28 @@ mod tests {
         .unwrap();
         assert_eq!(h.len(), 2, "second p0 pick skipped (already decided)");
         assert!(c.all_decided());
+    }
+
+    #[test]
+    fn replay_actions_applies_crashes() {
+        let mut c = init(&[0, 1]);
+        let h = replay_actions(
+            &TwoProcessSwapConsensus,
+            &mut c,
+            &[Action::Crash(ProcessId(0)), Action::Step(ProcessId(1))],
+        )
+        .unwrap();
+        assert_eq!(h.len(), 1, "the crash leaves no history record");
+        assert!(c.is_crashed(ProcessId(0)));
+        assert_eq!(c.decision(ProcessId(1)), Some(1), "survivor decides alone");
+        // Stepping or re-crashing a crashed process is a loud failure.
+        let err = replay_actions(
+            &TwoProcessSwapConsensus,
+            &mut c,
+            &[Action::Step(ProcessId(0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::ProcessCrashed(ProcessId(0)));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!   violation or a decision), which is the rare path.
 
 use crate::config::Configuration;
-use crate::ids::ProcessId;
+use crate::ids::{Action, ProcessId};
 use crate::protocol::Protocol;
 
 /// Pass-through hasher for keys that are already hashes: the visited map's
@@ -209,29 +209,50 @@ impl<P: Protocol> std::fmt::Debug for VisitedSet<P> {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct NodeId(u32);
 
+impl NodeId {
+    /// The raw index, for snapshot serialization (crate-internal).
+    pub(crate) fn to_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuild from a raw index, for snapshot deserialization
+    /// (crate-internal; callers validate range against the arena).
+    pub(crate) fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+}
+
 /// A parent-pointer tree of schedule extensions.
 ///
-/// Each explored edge `parent --pid--> child` records one arena node; the
+/// Each explored edge `parent --action--> child` records one arena node; the
 /// schedule reaching a node is reconstructed by walking parent pointers,
 /// paying `O(depth)` exactly once per *witness* instead of once per *edge*.
+/// Actions are either normal steps or crash transitions
+/// ([`crate::Action`]); crash edges are tagged in a high bit of the packed
+/// pid, so the node stays 12 bytes.
 ///
 /// # Example
 ///
 /// ```
 /// use swapcons_sim::search::ScheduleArena;
-/// use swapcons_sim::ProcessId;
+/// use swapcons_sim::{Action, ProcessId};
 ///
 /// let mut arena = ScheduleArena::new();
 /// let a = arena.child(ScheduleArena::ROOT, ProcessId(0));
-/// let b = arena.child(a, ProcessId(1));
+/// let b = arena.child_action(a, Action::Crash(ProcessId(1)));
 /// assert_eq!(arena.depth(b), 2);
 /// assert_eq!(arena.schedule(b), vec![ProcessId(0), ProcessId(1)]);
+/// assert_eq!(
+///     arena.actions(b),
+///     vec![Action::Step(ProcessId(0)), Action::Crash(ProcessId(1))],
+/// );
 /// assert_eq!(arena.schedule(ScheduleArena::ROOT), vec![]);
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct ScheduleArena {
-    /// `(parent, pid, depth)` per node, packed to 12 bytes; depth is cached
-    /// so the hot path (depth cutoff tests) never walks the chain.
+    /// `(parent, tagged pid, depth)` per node, packed to 12 bytes; depth is
+    /// cached so the hot path (depth cutoff tests) never walks the chain.
+    /// The pid's [`ScheduleArena::CRASH_BIT`] marks a crash edge.
     nodes: Vec<(NodeId, u32, u32)>,
 }
 
@@ -239,21 +260,41 @@ impl ScheduleArena {
     /// The root node: the empty schedule.
     pub const ROOT: NodeId = NodeId(u32::MAX);
 
+    /// High bit of the packed pid marking a crash edge.
+    const CRASH_BIT: u32 = 1 << 31;
+
     /// An empty arena.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Record the edge `parent --pid-->` and return the child's id.
+    /// Record the step edge `parent --pid-->` and return the child's id —
+    /// shorthand for [`ScheduleArena::child_action`] with a step action.
     ///
     /// # Panics
     ///
     /// Panics if the arena exceeds `u32::MAX - 1` nodes or `pid` exceeds
-    /// `u32::MAX` (far beyond any explorable instance).
+    /// `2^31 - 1` (far beyond any explorable instance).
     pub fn child(&mut self, parent: NodeId, pid: ProcessId) -> NodeId {
+        self.child_action(parent, Action::Step(pid))
+    }
+
+    /// Record the edge `parent --action-->` and return the child's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena exceeds `u32::MAX - 1` nodes or the pid exceeds
+    /// `2^31 - 1` (far beyond any explorable instance).
+    pub fn child_action(&mut self, parent: NodeId, action: Action) -> NodeId {
         let depth = self.depth(parent) as u32 + 1;
-        let pid32 = u32::try_from(pid.index()).expect("process id fits u32");
-        self.nodes.push((parent, pid32, depth));
+        let pid32 = u32::try_from(action.pid().index()).expect("process id fits u32");
+        assert!(pid32 & Self::CRASH_BIT == 0, "process id fits 31 bits");
+        let tagged = if action.is_crash() {
+            pid32 | Self::CRASH_BIT
+        } else {
+            pid32
+        };
+        self.nodes.push((parent, tagged, depth));
         let id = u32::try_from(self.nodes.len() - 1).expect("arena fits u32");
         assert!(id != u32::MAX, "arena full");
         NodeId(id)
@@ -268,18 +309,48 @@ impl ScheduleArena {
         }
     }
 
-    /// Materialize the schedule from the root to `node` — the cold path,
-    /// called only when a witness must be reported.
+    /// Decode one packed pid back into its action.
+    fn decode(tagged: u32) -> Action {
+        let pid = ProcessId((tagged & !Self::CRASH_BIT) as usize);
+        if tagged & Self::CRASH_BIT != 0 {
+            Action::Crash(pid)
+        } else {
+            Action::Step(pid)
+        }
+    }
+
+    /// Materialize the schedule from the root to `node` as process ids —
+    /// the cold path, called only when a witness must be reported. Crash
+    /// edges contribute the crashing process's id; use
+    /// [`ScheduleArena::actions`] when the step/crash distinction matters
+    /// (it always does for replay of crash-injected searches).
     pub fn schedule(&self, node: NodeId) -> Vec<ProcessId> {
+        self.actions(node).iter().map(|a| a.pid()).collect()
+    }
+
+    /// Materialize the action sequence from the root to `node` — like
+    /// [`ScheduleArena::schedule`] but keeping crash transitions distinct,
+    /// so the result replays exactly via
+    /// [`crate::runner::replay_actions`].
+    pub fn actions(&self, node: NodeId) -> Vec<Action> {
         let mut out = Vec::with_capacity(self.depth(node));
         let mut cur = node;
         while cur != Self::ROOT {
-            let (parent, pid, _) = self.nodes[cur.0 as usize];
-            out.push(ProcessId(pid as usize));
+            let (parent, tagged, _) = self.nodes[cur.0 as usize];
+            out.push(Self::decode(tagged));
             cur = parent;
         }
         out.reverse();
         out
+    }
+
+    /// The action labelling the edge into `node` (`None` for the root).
+    pub fn action(&self, node: NodeId) -> Option<Action> {
+        if node == Self::ROOT {
+            None
+        } else {
+            Some(Self::decode(self.nodes[node.0 as usize].1))
+        }
     }
 
     /// Number of recorded edges.
@@ -290,6 +361,38 @@ impl ScheduleArena {
     /// Whether no edge has been recorded.
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// The raw node table, for snapshot serialization (crate-internal).
+    pub(crate) fn raw_nodes(&self) -> &[(NodeId, u32, u32)] {
+        &self.nodes
+    }
+
+    /// Rebuild an arena from a raw node table, validating the parent-pointer
+    /// and cached-depth invariants (crate-internal; snapshot decoding must
+    /// never construct an arena whose accessors could panic or loop).
+    pub(crate) fn from_raw_nodes(nodes: Vec<(NodeId, u32, u32)>) -> Result<Self, String> {
+        for (i, &(parent, _, depth)) in nodes.iter().enumerate() {
+            let parent_depth = if parent == Self::ROOT {
+                0
+            } else {
+                // Parents must precede children: guarantees acyclicity.
+                if parent.0 as usize >= i {
+                    return Err(format!(
+                        "arena node {i} has forward or self parent {}",
+                        parent.0
+                    ));
+                }
+                nodes[parent.0 as usize].2
+            };
+            if depth != parent_depth + 1 {
+                return Err(format!(
+                    "arena node {i} caches depth {depth}, parent implies {}",
+                    parent_depth + 1
+                ));
+            }
+        }
+        Ok(ScheduleArena { nodes })
     }
 }
 
@@ -384,5 +487,36 @@ mod tests {
         assert_eq!(arena.schedule(b), vec![ProcessId(1), ProcessId(0)]);
         assert_eq!(arena.schedule(c), vec![ProcessId(1), ProcessId(2)]);
         assert_eq!(arena.len(), 3);
+    }
+
+    #[test]
+    fn arena_round_trips_crash_edges() {
+        let mut arena = ScheduleArena::new();
+        let a = arena.child_action(ScheduleArena::ROOT, Action::Crash(ProcessId(2)));
+        let b = arena.child(a, ProcessId(0));
+        assert_eq!(arena.action(a), Some(Action::Crash(ProcessId(2))));
+        assert_eq!(arena.action(b), Some(Action::Step(ProcessId(0))));
+        assert_eq!(arena.action(ScheduleArena::ROOT), None);
+        assert_eq!(
+            arena.actions(b),
+            vec![Action::Crash(ProcessId(2)), Action::Step(ProcessId(0))]
+        );
+        // The pid projection keeps crash entries (as bare pids).
+        assert_eq!(arena.schedule(b), vec![ProcessId(2), ProcessId(0)]);
+        assert_eq!(arena.depth(b), 2);
+    }
+
+    #[test]
+    fn arena_raw_round_trip_validates() {
+        let mut arena = ScheduleArena::new();
+        let a = arena.child(ScheduleArena::ROOT, ProcessId(0));
+        let _ = arena.child_action(a, Action::Crash(ProcessId(1)));
+        let rebuilt = ScheduleArena::from_raw_nodes(arena.raw_nodes().to_vec()).unwrap();
+        assert_eq!(rebuilt.len(), 2);
+        assert_eq!(rebuilt.actions(NodeId(1)), arena.actions(NodeId(1)));
+        // Forward parent pointers and inconsistent depths are rejected.
+        assert!(ScheduleArena::from_raw_nodes(vec![(NodeId(0), 0, 1)]).is_err());
+        assert!(ScheduleArena::from_raw_nodes(vec![(NodeId(5), 0, 1)]).is_err());
+        assert!(ScheduleArena::from_raw_nodes(vec![(ScheduleArena::ROOT, 0, 7)]).is_err());
     }
 }

@@ -6,7 +6,14 @@
 //!
 //! ```text
 //! n=3 k=1 m=2 inputs=0,1,0 perturb=0x1b39fa04c2d11e07
+//! n=3 k=1 m=2 inputs=0,1,0 perturb=0x1b39fa04c2d11e07 crashes=1@0,2@3
 //! ```
+//!
+//! The optional `crashes` field injects crash failures: `pid@steps` stops
+//! that thread dead after exactly `steps` swap operations
+//! (`ThreadedKSet::propose_crashing`), leaving its stale entries behind for
+//! the survivors — the threaded counterpart of the model checker's `Crash`
+//! transition. At least one process always survives.
 //!
 //! When a fuzz test fails, its panic message carries the failing case in
 //! exactly this form; appending that line to
@@ -39,7 +46,8 @@ pub fn bounded<T: Send + 'static>(label: String, f: impl FnOnce() -> T + Send + 
     }
 }
 
-/// One sampled case: instance shape, inputs, and the perturbation seed.
+/// One sampled case: instance shape, inputs, the perturbation seed, and an
+/// optional crash schedule (`(pid, crash_after_swaps)` per crashed thread).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct FuzzCase {
     pub n: usize,
@@ -47,6 +55,7 @@ pub struct FuzzCase {
     pub m: u64,
     pub inputs: Vec<u64>,
     pub perturb_seed: u64,
+    pub crashes: Vec<(usize, u64)>,
 }
 
 impl FuzzCase {
@@ -67,7 +76,29 @@ impl FuzzCase {
             m,
             inputs,
             perturb_seed: rng.gen_range(0..u64::MAX),
+            crashes: Vec::new(),
         }
+    }
+
+    /// [`FuzzCase::sample`] plus a random crash schedule: between 1 and
+    /// `n - 1` distinct threads crash (at least one always survives), each
+    /// after 0–16 swap operations — covering crash-at-birth, mid-pass, and
+    /// deep-in-the-race failure points.
+    #[allow(dead_code)]
+    pub fn sample_with_crashes(rng: &mut StdRng) -> Self {
+        let mut case = Self::sample(rng);
+        let crash_count = rng.gen_range(1..case.n);
+        let mut pids: Vec<usize> = (0..case.n).collect();
+        for i in 0..crash_count {
+            let j = rng.gen_range(i..pids.len());
+            pids.swap(i, j);
+        }
+        case.crashes = pids[..crash_count]
+            .iter()
+            .map(|&pid| (pid, rng.gen_range(0..17u64)))
+            .collect();
+        case.crashes.sort_unstable();
+        case
     }
 
     /// The replayable one-line form: `n=.. k=.. m=.. inputs=a,b,c
@@ -79,10 +110,20 @@ impl FuzzCase {
             .map(|v| v.to_string())
             .collect::<Vec<_>>()
             .join(",");
-        format!(
+        let mut line = format!(
             "n={} k={} m={} inputs={} perturb={:#x}",
             self.n, self.k, self.m, inputs, self.perturb_seed
-        )
+        );
+        if !self.crashes.is_empty() {
+            let crashes = self
+                .crashes
+                .iter()
+                .map(|(pid, steps)| format!("{pid}@{steps}"))
+                .collect::<Vec<_>>()
+                .join(",");
+            line.push_str(&format!(" crashes={crashes}"));
+        }
+        line
     }
 
     /// Parse a corpus line produced by [`FuzzCase::corpus_line`].
@@ -92,6 +133,7 @@ impl FuzzCase {
         let mut m = None;
         let mut inputs: Option<Vec<u64>> = None;
         let mut perturb = None;
+        let mut crashes: Vec<(usize, u64)> = Vec::new();
         for field in line.split_whitespace() {
             let (key, value) = field
                 .split_once('=')
@@ -113,6 +155,20 @@ impl FuzzCase {
                     perturb =
                         Some(u64::from_str_radix(raw, 16).map_err(|e| format!("perturb: {e}"))?)
                 }
+                "crashes" => {
+                    crashes = value
+                        .split(',')
+                        .map(|entry| {
+                            let (pid, steps) = entry
+                                .split_once('@')
+                                .ok_or_else(|| format!("crash entry {entry:?} is not pid@steps"))?;
+                            Ok((
+                                pid.parse().map_err(|e| format!("crash pid: {e}"))?,
+                                steps.parse().map_err(|e| format!("crash steps: {e}"))?,
+                            ))
+                        })
+                        .collect::<Result<_, String>>()?
+                }
                 other => return Err(format!("unknown field {other:?}")),
             }
         }
@@ -122,6 +178,7 @@ impl FuzzCase {
             m: m.ok_or("missing m")?,
             inputs: inputs.ok_or("missing inputs")?,
             perturb_seed: perturb.ok_or("missing perturb")?,
+            crashes,
         };
         if case.inputs.len() != case.n {
             return Err(format!(
@@ -133,14 +190,35 @@ impl FuzzCase {
         if case.k == 0 || case.n < case.k || case.inputs.iter().any(|&v| v >= case.m) {
             return Err("shape violates n >= k >= 1 or an input is out of range".into());
         }
+        let crashed: HashSet<usize> = case.crashes.iter().map(|&(pid, _)| pid).collect();
+        if crashed.len() != case.crashes.len() {
+            return Err("duplicate pid in crashes".into());
+        }
+        if case.crashes.iter().any(|&(pid, _)| pid >= case.n) {
+            return Err("crash pid out of range".into());
+        }
+        if case.crashes.len() >= case.n {
+            return Err("crashes must leave at least one survivor".into());
+        }
         Ok(case)
+    }
+
+    /// The crash point for `pid`, if it is scheduled to crash.
+    fn crash_point(&self, pid: usize) -> Option<u64> {
+        self.crashes
+            .iter()
+            .find(|&&(p, _)| p == pid)
+            .map(|&(_, steps)| steps)
     }
 
     /// Run the race with per-thread yield perturbation: each thread spins
     /// and yields a seeded-random amount before proposing, skewing thread
     /// start order and pacing so different seeds exercise genuinely
     /// different OS interleavings (the threaded model's only scheduler).
-    pub fn run(&self) -> Vec<u64> {
+    /// Threads in the crash schedule stop dead at their crash point
+    /// (`propose_crashing`); `None` in the result marks a crashed,
+    /// undecided thread.
+    pub fn run(&self) -> Vec<Option<u64>> {
         let alg = ThreadedKSet::new(self.n, self.k, self.m);
         let perturb_seed = self.perturb_seed;
         std::thread::scope(|scope| {
@@ -150,6 +228,7 @@ impl FuzzCase {
                 .enumerate()
                 .map(|(pid, &input)| {
                     let alg = &alg;
+                    let crash = self.crash_point(pid);
                     scope.spawn(move || {
                         let mut rng =
                             StdRng::seed_from_u64(perturb_seed ^ (pid as u64).wrapping_mul(0x9E37));
@@ -160,7 +239,10 @@ impl FuzzCase {
                         for _ in 0..yields {
                             std::thread::yield_now();
                         }
-                        alg.propose(pid, input)
+                        match crash {
+                            Some(steps) => alg.propose_crashing(pid, input, steps),
+                            None => Some(alg.propose(pid, input)),
+                        }
                     })
                 })
                 .collect();
@@ -171,23 +253,33 @@ impl FuzzCase {
         })
     }
 
-    /// k-agreement and validity for this case's decisions. Failure messages
+    /// k-agreement and validity over the decided processes, plus the
+    /// progress claim: every thread outside the crash schedule must have
+    /// decided (crashed threads may decide or not, depending on whether the
+    /// crash point fell after the race was already won). Failure messages
     /// embed the corpus line so the case can be committed to
     /// `tests/corpus/threaded_fuzz.corpus` verbatim.
-    pub fn check(&self, decisions: &[u64]) {
+    pub fn check(&self, decisions: &[Option<u64>]) {
         let replay = self.corpus_line();
         assert_eq!(
             decisions.len(),
             self.n,
             "decision count mismatch — corpus line: {replay}"
         );
-        let distinct: HashSet<u64> = decisions.iter().copied().collect();
+        for (pid, d) in decisions.iter().enumerate() {
+            assert!(
+                d.is_some() || self.crash_point(pid).is_some(),
+                "survivor p{pid} did not decide — corpus line: {replay}"
+            );
+        }
+        let decided: Vec<u64> = decisions.iter().flatten().copied().collect();
+        let distinct: HashSet<u64> = decided.iter().copied().collect();
         assert!(
             distinct.len() <= self.k,
             "k-agreement violated: {distinct:?} exceeds k={} — corpus line: {replay}",
             self.k
         );
-        for d in decisions {
+        for d in &decided {
             assert!(
                 self.inputs.contains(d),
                 "validity violated: decision {d} is nobody's input — corpus line: {replay}"

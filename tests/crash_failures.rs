@@ -13,9 +13,10 @@
 
 use swapcons::core::pairs::PairsKSet;
 use swapcons::core::SwapKSet;
+use swapcons::sim::explore::{ModelChecker, ViolationKind};
 use swapcons::sim::scheduler::CrashingRandom;
 use swapcons::sim::testing::TwoProcessSwapConsensus;
-use swapcons::sim::{runner, Configuration, ProcessId, Protocol};
+use swapcons::sim::{runner, Action, Configuration, ProcessId, Protocol};
 
 #[test]
 fn two_process_consensus_survives_peer_crash() {
@@ -87,6 +88,138 @@ fn algorithm1_is_not_wait_free_under_lockstep() {
     )
     .unwrap();
     assert!(!out.all_decided);
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive crash-adversary gates: the randomized tests above sample crash
+// schedules; the model checker's `max_failures` budget enumerates every
+// crash pattern up to `f` failures, and `wait_free_bound` checks the
+// progress claims against the full (stepping + crashing) adversary.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn gate_two_process_consensus_is_wait_free_all_crash_patterns() {
+    // One swap object solves 2-process consensus wait-free: every process
+    // decides within ONE own step under every schedule and every crash
+    // pattern with at most f = n - 1 = 1 failure. Exhaustive over the
+    // crash-extended state space.
+    let p = TwoProcessSwapConsensus;
+    let report = ModelChecker::new(12, 100_000)
+        .with_max_failures(1)
+        .with_solo_budget(1)
+        .with_wait_free_bound(1)
+        .check(&p, &[0, 1]);
+    assert!(report.proves_safety(), "{report}");
+}
+
+#[test]
+fn gate_pairs_is_wait_free_all_crash_patterns() {
+    // The pairs construction is wait-free with own-step bound 1: each
+    // process swaps into its pair object once and decides on the response.
+    // Exhaustively verified for n = 4, k = 2 under every crash pattern with
+    // up to f = n - 1 = 3 failures.
+    let p = PairsKSet::new(4, 2, 3);
+    let report = ModelChecker::new(20, 500_000)
+        .with_max_failures(3)
+        .with_solo_budget(p.step_bound())
+        .with_wait_free_bound(p.step_bound())
+        .check(&p, &[0, 1, 2, 0]);
+    assert!(report.proves_safety(), "{report}");
+
+    // And across every input vector (safety + progress per vector).
+    let all = ModelChecker::new(20, 500_000)
+        .with_max_failures(3)
+        .with_wait_free_bound(p.step_bound())
+        .with_symmetry_reduction()
+        .check_all_inputs(&p);
+    assert!(all.proves_safety(), "{all}");
+}
+
+#[test]
+fn gate_algorithm1_is_not_wait_free_pinned_counterexample() {
+    // Algorithm 1 is obstruction-free (Lemma 8: solo bound 8(n-k)) but NOT
+    // wait-free — the engine's BFS over the crash-extended adversary finds
+    // and we pin the minimal starvation schedule: p1 interferes exactly
+    // twice, each swap resetting p0's race, and p0 burns through its full
+    // solo budget of 8 own steps without deciding. 10 actions total, no
+    // crash needed (a crash only removes contention, so it can never help
+    // the adversary starve anyone).
+    let p = SwapKSet::consensus(2, 2);
+    let bound = p.solo_step_bound();
+    assert_eq!(bound, 8, "Lemma 8 bound for n = 2, k = 1");
+    let report = ModelChecker::new(40, 500_000)
+        .with_max_failures(1)
+        .with_wait_free_bound(bound)
+        .check(&p, &[0, 1]);
+    assert!(!report.passed(), "{report}");
+    let v = report.violation.expect("wait-freedom violation");
+    match v.kind {
+        ViolationKind::WaitFree { pid, bound: b } => {
+            assert_eq!((pid, b), (ProcessId(0), bound));
+        }
+        ref other => panic!("expected a wait-freedom violation, got {other}"),
+    }
+    // Pin the minimal witness exactly.
+    assert_eq!(
+        v.schedule.len(),
+        10,
+        "minimal counterexample: {:?}",
+        v.schedule
+    );
+    let own_steps = v
+        .schedule
+        .iter()
+        .filter(|a| **a == Action::Step(ProcessId(0)))
+        .count();
+    assert_eq!(own_steps, 8, "p0 spends its whole bound: {:?}", v.schedule);
+    assert!(
+        v.schedule.iter().all(|a| !a.is_crash()),
+        "crashes cannot help starvation: {:?}",
+        v.schedule
+    );
+    // The witness replays: after it, p0 has taken `bound` undecided steps.
+    let mut c = Configuration::initial(&p, &[0, 1]).unwrap();
+    runner::replay_actions(&p, &mut c, &v.schedule).unwrap();
+    assert_eq!(c.decision(ProcessId(0)), None, "p0 genuinely starved");
+}
+
+#[test]
+fn gate_crash_exploration_reduced_vs_full_verdict_parity() {
+    // Symmetry reduction composes with crash injection: renamings must map
+    // crashed sets to crashed sets, and the quotient search reaches the
+    // same verdict over strictly fewer states.
+    let p = PairsKSet::new(4, 2, 3);
+    let full = ModelChecker::new(20, 500_000)
+        .with_max_failures(2)
+        .with_solo_budget(p.step_bound())
+        .check(&p, &[0, 1, 2, 0]);
+    let reduced = ModelChecker::new(20, 500_000)
+        .with_max_failures(2)
+        .with_solo_budget(p.step_bound())
+        .with_symmetry_reduction()
+        .check(&p, &[0, 1, 2, 0]);
+    assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+    assert!(full.proves_safety() && reduced.proves_safety());
+    assert!(
+        reduced.states < full.states,
+        "crash-aware reduction must still shrink the space: {} vs {}",
+        reduced.states,
+        full.states
+    );
+}
+
+#[test]
+fn gate_algorithm1_safety_holds_under_all_crash_patterns() {
+    // Crashes never break Algorithm 1's safety (agreement + validity) —
+    // bounded-exhaustive over the crash-extended space (racing makes the
+    // full space infinite; depth-bounded like the failure-free safety
+    // tests).
+    let p = SwapKSet::consensus(3, 2);
+    let report = ModelChecker::new(12, 200_000)
+        .with_max_failures(2)
+        .with_symmetry_reduction()
+        .check(&p, &[0, 1, 0]);
+    assert!(report.passed(), "{report}");
 }
 
 #[test]

@@ -24,10 +24,15 @@
 //! them through environment variables read at test start:
 //!
 //! * `SWAPCONS_FUZZ_CASES` — sampled cases for the main sweep (default 24;
-//!   the unanimous and repeat variants scale proportionally);
+//!   the unanimous, crash, and repeat variants scale proportionally);
 //! * `SWAPCONS_FUZZ_SEED` — master seed for case derivation (default
 //!   `0x5EED_CA5E`), so distinct nights explore distinct case sets while
-//!   any single run stays reproducible from its printed parameters.
+//!   any single run stays reproducible from its printed parameters;
+//! * `SWAPCONS_FUZZ_DEADLINE_SECS` — wall-clock budget per sweep (default
+//!   unlimited): when the budget runs out, the sweep stops cleanly after
+//!   the current case and reports how far it got, so a widened nightly run
+//!   can never hang or overrun the CI runner (each individual case is
+//!   additionally guarded by [`fuzz_case::GUARD`]).
 
 // Free-running std threads drive these tests; under `--cfg conc_check` the
 // atomic objects route through the model-only conc shims, so this target is
@@ -51,6 +56,52 @@ fn fuzz_seed() -> u64 {
     env_or("SWAPCONS_FUZZ_SEED", 0x5EED_CA5E)
 }
 
+/// Per-sweep wall-clock budget tracker driven by
+/// `SWAPCONS_FUZZ_DEADLINE_SECS` (absent = unlimited). [`Sweep::expired`]
+/// is checked between cases; an expired sweep stops cleanly and reports
+/// its coverage instead of overrunning the CI runner.
+struct Sweep {
+    started: std::time::Instant,
+    deadline: Option<std::time::Duration>,
+    completed: usize,
+}
+
+impl Sweep {
+    fn start() -> Self {
+        let deadline = std::env::var("SWAPCONS_FUZZ_DEADLINE_SECS")
+            .ok()
+            .map(|raw| {
+                let secs: u64 = raw
+                    .parse()
+                    .unwrap_or_else(|e| panic!("SWAPCONS_FUZZ_DEADLINE_SECS={raw}: {e:?}"));
+                std::time::Duration::from_secs(secs)
+            });
+        Sweep {
+            started: std::time::Instant::now(),
+            deadline,
+            completed: 0,
+        }
+    }
+
+    /// `true` once the budget is spent; prints the coverage on first expiry.
+    fn expired(&mut self, total: usize) -> bool {
+        match self.deadline {
+            Some(d) if self.started.elapsed() >= d => {
+                eprintln!(
+                    "fuzz sweep deadline ({d:?}) reached after {}/{total} cases; stopping cleanly",
+                    self.completed
+                );
+                true
+            }
+            _ => false,
+        }
+    }
+
+    fn case_done(&mut self) {
+        self.completed += 1;
+    }
+}
+
 /// Parse an env var, panicking on malformed values (a silently ignored
 /// nightly widening would be worse than a loud failure).
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T
@@ -71,7 +122,12 @@ fn fuzz_threaded_kset_random_shapes_and_perturbations() {
     // the same sampled cases; the nightly job widens count and seed via
     // the environment (see the module docs).
     let mut rng = StdRng::seed_from_u64(fuzz_seed());
-    for case_index in 0..fuzz_cases() {
+    let mut sweep = Sweep::start();
+    let total = fuzz_cases();
+    for case_index in 0..total {
+        if sweep.expired(total) {
+            break;
+        }
         let case = FuzzCase::sample(&mut rng);
         let label = format!(
             "fuzz case {case_index} — corpus line: {}",
@@ -82,6 +138,34 @@ fn fuzz_threaded_kset_random_shapes_and_perturbations() {
             bounded(label, move || case.run())
         };
         case.check(&decisions);
+        sweep.case_done();
+    }
+}
+
+#[test]
+fn fuzz_crash_injected_races_stay_safe_and_survivors_decide() {
+    // Crash-failure sweep: 1 to n-1 threads stop dead at random swap
+    // counts (including before their first step), and the survivors must
+    // still decide a k-agreeing, valid set of values — the threaded
+    // counterpart of the model checker's exhaustive crash-pattern gate.
+    let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x0C2A_54E5);
+    let mut sweep = Sweep::start();
+    let total = fuzz_cases();
+    for case_index in 0..total {
+        if sweep.expired(total) {
+            break;
+        }
+        let case = FuzzCase::sample_with_crashes(&mut rng);
+        let label = format!(
+            "crash fuzz case {case_index} — corpus line: {}",
+            case.corpus_line()
+        );
+        let decisions = {
+            let case = case.clone();
+            bounded(label, move || case.run())
+        };
+        case.check(&decisions);
+        sweep.case_done();
     }
 }
 
@@ -103,7 +187,7 @@ fn fuzz_unanimous_inputs_always_decide_the_input() {
             bounded(label, move || case.run())
         };
         assert!(
-            decisions.iter().all(|&d| d == v),
+            decisions.iter().all(|&d| d == Some(v)),
             "unanimous input {v} not decided: {decisions:?} — corpus line: {}",
             case.corpus_line()
         );
@@ -132,11 +216,21 @@ fn corpus_line_round_trips() {
     // The persistence format must invert exactly, or a committed failure
     // would replay a different case than the one that failed.
     let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0xC0 ^ 0xDE);
-    for _ in 0..64 {
-        let case = FuzzCase::sample(&mut rng);
+    for i in 0..64 {
+        let case = if i % 2 == 0 {
+            FuzzCase::sample(&mut rng)
+        } else {
+            FuzzCase::sample_with_crashes(&mut rng)
+        };
         let line = case.corpus_line();
         let parsed = FuzzCase::parse(&line)
             .unwrap_or_else(|e| panic!("own corpus line {line:?} failed to parse: {e}"));
         assert_eq!(parsed, case, "round-trip changed the case: {line}");
     }
+    // Crash-schedule validation is loud, not silent.
+    let base = "n=2 k=1 m=2 inputs=0,1 perturb=0x1";
+    assert!(FuzzCase::parse(&format!("{base} crashes=0@0,1@0")).is_err());
+    assert!(FuzzCase::parse(&format!("{base} crashes=2@0")).is_err());
+    assert!(FuzzCase::parse(&format!("{base} crashes=0@0,0@1")).is_err());
+    assert!(FuzzCase::parse(&format!("{base} crashes=0")).is_err());
 }

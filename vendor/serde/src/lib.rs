@@ -35,3 +35,249 @@ pub mod ser {
 
 #[cfg(feature = "derive")]
 pub use serde_derive::{Deserialize, Serialize};
+
+/// Minimal functional binary encoding, added alongside the marker traits:
+/// the crash-safe checkpoint files of `swapcons-sim` need *working*
+/// serialization, and the marker `Serialize` above is blanket-implemented
+/// (so it cannot carry methods). Little-endian, fixed-width integers,
+/// `u64` length prefixes — deliberately tiny and versioned by the caller.
+pub mod bin {
+    /// Decoding failure.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub enum DecodeError {
+        /// Input ended mid-value.
+        UnexpectedEof,
+        /// A value was structurally invalid (bad bool/option tag, non-UTF-8
+        /// string, length overflow).
+        Invalid,
+    }
+
+    impl core::fmt::Display for DecodeError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+                DecodeError::Invalid => write!(f, "structurally invalid value"),
+            }
+        }
+    }
+
+    impl std::error::Error for DecodeError {}
+
+    /// Cursor over a byte slice being decoded.
+    #[derive(Debug)]
+    pub struct Reader<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl<'a> Reader<'a> {
+        /// A reader at the start of `bytes`.
+        pub fn new(bytes: &'a [u8]) -> Self {
+            Reader { bytes, pos: 0 }
+        }
+
+        /// Bytes not yet consumed.
+        pub fn remaining(&self) -> usize {
+            self.bytes.len() - self.pos
+        }
+
+        /// Consume exactly `n` bytes.
+        pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+            if self.remaining() < n {
+                return Err(DecodeError::UnexpectedEof);
+            }
+            let out = &self.bytes[self.pos..self.pos + n];
+            self.pos += n;
+            Ok(out)
+        }
+    }
+
+    /// Types encodable to the binary format.
+    pub trait Encode {
+        /// Append this value's encoding to `out`.
+        fn encode(&self, out: &mut Vec<u8>);
+    }
+
+    /// Types decodable from the binary format.
+    pub trait Decode: Sized {
+        /// Decode one value, advancing the reader.
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+    }
+
+    /// Encode `value` to a fresh byte vector.
+    pub fn to_bytes<T: Encode + ?Sized>(value: &T) -> Vec<u8> {
+        let mut out = Vec::new();
+        value.encode(&mut out);
+        out
+    }
+
+    /// Decode a `T` from `bytes`, requiring the input to be fully consumed.
+    pub fn from_bytes<T: Decode>(bytes: &[u8]) -> Result<T, DecodeError> {
+        let mut r = Reader::new(bytes);
+        let value = T::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(DecodeError::Invalid);
+        }
+        Ok(value)
+    }
+
+    impl Encode for u8 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.push(*self);
+        }
+    }
+
+    impl Decode for u8 {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(r.take(1)?[0])
+        }
+    }
+
+    impl Encode for u32 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_le_bytes());
+        }
+    }
+
+    impl Decode for u32 {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(u32::from_le_bytes(r.take(4)?.try_into().unwrap()))
+        }
+    }
+
+    impl Encode for u64 {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.extend_from_slice(&self.to_le_bytes());
+        }
+    }
+
+    impl Decode for u64 {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok(u64::from_le_bytes(r.take(8)?.try_into().unwrap()))
+        }
+    }
+
+    impl Encode for usize {
+        fn encode(&self, out: &mut Vec<u8>) {
+            (*self as u64).encode(out);
+        }
+    }
+
+    impl Decode for usize {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            usize::try_from(u64::decode(r)?).map_err(|_| DecodeError::Invalid)
+        }
+    }
+
+    impl Encode for bool {
+        fn encode(&self, out: &mut Vec<u8>) {
+            out.push(u8::from(*self));
+        }
+    }
+
+    impl Decode for bool {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(false),
+                1 => Ok(true),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+    }
+
+    impl Encode for str {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.len().encode(out);
+            out.extend_from_slice(self.as_bytes());
+        }
+    }
+
+    impl Encode for String {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.as_str().encode(out);
+        }
+    }
+
+    impl Decode for String {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let len = usize::decode(r)?;
+            let bytes = r.take(len)?;
+            String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid)
+        }
+    }
+
+    impl<T: Encode> Encode for Vec<T> {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.len().encode(out);
+            for item in self {
+                item.encode(out);
+            }
+        }
+    }
+
+    impl<T: Decode> Decode for Vec<T> {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            let len = usize::decode(r)?;
+            // Guard against adversarial length prefixes: never pre-reserve
+            // more than the input could possibly hold (each element needs at
+            // least one byte).
+            if len > r.remaining() {
+                return Err(DecodeError::Invalid);
+            }
+            let mut out = Vec::with_capacity(len);
+            for _ in 0..len {
+                out.push(T::decode(r)?);
+            }
+            Ok(out)
+        }
+    }
+
+    impl<T: Encode> Encode for Option<T> {
+        fn encode(&self, out: &mut Vec<u8>) {
+            match self {
+                None => out.push(0),
+                Some(v) => {
+                    out.push(1);
+                    v.encode(out);
+                }
+            }
+        }
+    }
+
+    impl<T: Decode> Decode for Option<T> {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            match u8::decode(r)? {
+                0 => Ok(None),
+                1 => Ok(Some(T::decode(r)?)),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+    }
+
+    impl<A: Encode, B: Encode> Encode for (A, B) {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+        }
+    }
+
+    impl<A: Decode, B: Decode> Decode for (A, B) {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok((A::decode(r)?, B::decode(r)?))
+        }
+    }
+
+    impl<A: Encode, B: Encode, C: Encode> Encode for (A, B, C) {
+        fn encode(&self, out: &mut Vec<u8>) {
+            self.0.encode(out);
+            self.1.encode(out);
+            self.2.encode(out);
+        }
+    }
+
+    impl<A: Decode, B: Decode, C: Decode> Decode for (A, B, C) {
+        fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+            Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+        }
+    }
+}
