@@ -1101,11 +1101,49 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         })
     }
 
+    /// The orbit's (masked) bucket key — exposed crate-internally so the
+    /// striped sharded set ([`crate::shard`]) can compute orbit keys through
+    /// **one** shared instance (whose lazily built `OnceLock` inverse tables
+    /// are then shared read-only across workers) and route each insert to a
+    /// stripe. Orbit keys are orbit invariants, so every member of an orbit
+    /// lands in the same stripe.
+    pub(crate) fn key_of(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        self.orbit_key(protocol, config)
+    }
+
+    /// An empty set over the same group, mask, and compaction policy — the
+    /// stripe factory for [`crate::shard`]. The stripe keeps its own copy of
+    /// the renamings for the exact orbit fallback on bucket hits, but its
+    /// `tables` stay unbuilt: stripes only ever see precomputed keys.
+    pub(crate) fn stripe_clone(&self) -> Self {
+        CanonicalVisitedSet {
+            renamings: self.renamings.clone(),
+            tables: std::sync::OnceLock::new(),
+            buckets: PrehashedMap::default(),
+            len: 0,
+            mask: self.mask,
+            compaction: self.compaction,
+            fallback_comparisons: 0,
+        }
+    }
+
     /// Insert `config`'s orbit, returning `true` if no member of the orbit
     /// was already present.
     pub fn insert(&mut self, protocol: &P, config: &Configuration<P>) -> bool {
-        use std::collections::hash_map::Entry;
         let key = self.orbit_key(protocol, config);
+        self.insert_prekeyed(key, protocol, config)
+    }
+
+    /// [`CanonicalVisitedSet::insert`] with the orbit key already computed
+    /// (the sharded set computes keys through its shared keyer, outside the
+    /// stripe lock).
+    pub(crate) fn insert_prekeyed(
+        &mut self,
+        key: u64,
+        protocol: &P,
+        config: &Configuration<P>,
+    ) -> bool {
+        use std::collections::hash_map::Entry;
         match self.buckets.entry(key) {
             Entry::Vacant(slot) => {
                 slot.insert(if self.compaction {
@@ -1144,7 +1182,18 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
     /// does not contribute to [`Self::fallback_comparisons`], which counts
     /// insert probes.)
     pub fn contains(&self, protocol: &P, config: &Configuration<P>) -> bool {
-        match self.buckets.get(&self.orbit_key(protocol, config)) {
+        self.contains_prekeyed(self.orbit_key(protocol, config), protocol, config)
+    }
+
+    /// [`CanonicalVisitedSet::contains`] with the orbit key already
+    /// computed.
+    pub(crate) fn contains_prekeyed(
+        &self,
+        key: u64,
+        protocol: &P,
+        config: &Configuration<P>,
+    ) -> bool {
+        match self.buckets.get(&key) {
             None => false,
             Some(bucket) => self.compaction || self.orbit_hits_bucket(protocol, bucket, config),
         }
@@ -1248,6 +1297,58 @@ impl<P: Protocol> DedupSet<P> {
         match self {
             DedupSet::Exact(_) => 1,
             DedupSet::Reduced(set) => set.group_order(),
+        }
+    }
+
+    /// Exact-equality comparisons performed by the fallback paths.
+    pub fn fallback_comparisons(&self) -> usize {
+        match self {
+            DedupSet::Exact(set) => set.fallback_comparisons(),
+            DedupSet::Reduced(set) => set.fallback_comparisons(),
+        }
+    }
+
+    /// The configuration's (orbit) bucket key — the routing key of the
+    /// striped sharded set ([`crate::shard`]). Crate-internal.
+    pub(crate) fn key_of(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        match self {
+            DedupSet::Exact(set) => set.key_of(config),
+            DedupSet::Reduced(set) => set.key_of(protocol, config),
+        }
+    }
+
+    /// An empty set with the same mode, group, mask, and compaction policy —
+    /// the stripe factory for [`crate::shard`]. Crate-internal.
+    pub(crate) fn stripe_clone(&self) -> Self {
+        match self {
+            DedupSet::Exact(set) => DedupSet::Exact(set.stripe_clone()),
+            DedupSet::Reduced(set) => DedupSet::Reduced(set.stripe_clone()),
+        }
+    }
+
+    /// Insert with the routing key already computed. Crate-internal.
+    pub(crate) fn insert_prekeyed(
+        &mut self,
+        key: u64,
+        protocol: &P,
+        config: &Configuration<P>,
+    ) -> bool {
+        match self {
+            DedupSet::Exact(set) => set.insert_prekeyed(key, config),
+            DedupSet::Reduced(set) => set.insert_prekeyed(key, protocol, config),
+        }
+    }
+
+    /// Membership with the routing key already computed. Crate-internal.
+    pub(crate) fn contains_prekeyed(
+        &self,
+        key: u64,
+        protocol: &P,
+        config: &Configuration<P>,
+    ) -> bool {
+        match self {
+            DedupSet::Exact(set) => set.contains_prekeyed(key, config),
+            DedupSet::Reduced(set) => set.contains_prekeyed(key, protocol, config),
         }
     }
 }

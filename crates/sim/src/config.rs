@@ -738,6 +738,18 @@ mod tests {
         Configuration::initial(&TwoProcessSwapConsensus, inputs).unwrap()
     }
 
+    /// The sharded engine moves configurations between workers and shares
+    /// them behind stripe locks, so the `Arc<[T]>` copy-on-write fields must
+    /// be `Send + Sync` whenever the protocol's associated types are — which
+    /// the `Protocol`/`SimValue` supertraits now guarantee for every
+    /// protocol. Compile-time pin; no runtime body needed.
+    #[test]
+    fn configurations_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Configuration<TwoProcessSwapConsensus>>();
+        assert_send_sync::<SimError>();
+    }
+
     #[test]
     fn initial_configuration_shape() {
         let c = init(&[0, 1]);

@@ -335,6 +335,50 @@ impl<P: Protocol> Frontier<P> for Lifo<P> {
     }
 }
 
+/// Plain FIFO queue: breadth-first search in push order.
+///
+/// This is the frontier the sharded engine's *resume* path uses
+/// ([`crate::explore::ModelChecker::with_threads`]): a sharded run explores
+/// in depth-synchronized waves, so every state in its checkpoint image is
+/// recorded at its **minimum** depth, and the image frontier is ordered
+/// shallowest-first. Re-exploring that frontier FIFO preserves the
+/// min-depth invariant by breadth-first induction, which is what makes a
+/// resumed report's `deepest` (and every other deterministic counter) match
+/// the uninterrupted sharded run exactly.
+#[derive(Debug)]
+pub struct Fifo<P: Protocol>(std::collections::VecDeque<(Configuration<P>, NodeId)>);
+
+impl<P: Protocol> Fifo<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Fifo(std::collections::VecDeque::new())
+    }
+}
+
+impl<P: Protocol> Default for Fifo<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> Frontier<P> for Fifo<P> {
+    fn push(&mut self, _protocol: &P, config: Configuration<P>, node: NodeId, _depth: usize) {
+        self.0.push_back((config, node));
+    }
+
+    fn pop(&mut self) -> Option<(Configuration<P>, NodeId)> {
+        self.0.pop_front()
+    }
+
+    fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    fn pending_nodes(&self) -> Option<Vec<NodeId>> {
+        Some(self.0.iter().map(|(_, node)| *node).collect())
+    }
+}
+
 /// One pending entry of a [`BestFirst`] frontier: ordered by score, ties
 /// broken toward the most recently discovered entry (DFS-like bias), so
 /// traversal order is deterministic.
@@ -560,8 +604,11 @@ pub struct SearchImage {
 pub struct Checkpointing<'s> {
     /// Snapshot every this many visited states (`0` is treated as `1`).
     pub interval: usize,
-    /// Receives each snapshot.
-    pub sink: &'s mut dyn FnMut(&SearchImage) -> Control,
+    /// Receives each snapshot. `Send` so a sharded run
+    /// ([`crate::shard`]) can carry the hook into the worker that performs
+    /// the stop-the-world drain; every sink in the workspace (file writers,
+    /// image-capturing closures) is already `Send`.
+    pub sink: &'s mut (dyn FnMut(&SearchImage) -> Control + Send),
 }
 
 impl fmt::Debug for Checkpointing<'_> {
@@ -1025,7 +1072,7 @@ impl Engine {
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -36,13 +36,14 @@ use std::time::Duration;
 use crate::canon::{self, Canonicalizer, DedupSet};
 use crate::config::Configuration;
 use crate::engine::{
-    AllRunning, Budget, Checkpointing, Control, CrashBounded, EdgeCtx, Engine, Lifo, NodeCtx,
-    ResumeError, SearchImage, Visitor,
+    AllRunning, Budget, Checkpointing, Control, CrashBounded, EdgeCtx, Engine, Fifo, Lifo, NodeCtx,
+    ResumeError, SearchImage, SearchStats, Visitor,
 };
 use crate::ids::{Action, ProcessId};
 use crate::protocol::Protocol;
 use crate::runner::{solo_run, SoloRunError};
 use crate::search::{PrehashedMap, ScheduleArena};
+use crate::shard::{run_sharded, ShardOptions, ShardVisitor, StripedDedup, WitnessRef};
 use crate::snapshot::{read_snapshot, write_snapshot, RunMeta, SnapshotError};
 use crate::task::{KSetTask, TaskViolation};
 
@@ -91,6 +92,14 @@ pub struct ModelChecker {
     /// is strictly stronger than the solo check (`solo_budget`), which only
     /// covers executions where the process runs alone.
     pub wait_free_bound: Option<usize>,
+    /// Worker threads for the safety sweep. `1` (the default) runs the
+    /// sequential engine; `t > 1` runs the work-stealing sharded driver
+    /// ([`crate::shard`]) with **verdict parity**: identical pass/fail and
+    /// — on complete searches — identical state counts, in both exact and
+    /// symmetry-reduced modes. Resumed legs always run sequentially (in
+    /// FIFO order, preserving the sharded run's wave discipline), so a
+    /// checkpointed sharded run finishes to the same report.
+    pub threads: usize,
 }
 
 impl ModelChecker {
@@ -108,6 +117,7 @@ impl ModelChecker {
             max_failures: 0,
             deadline: None,
             wait_free_bound: None,
+            threads: 1,
         }
     }
 
@@ -169,6 +179,23 @@ impl ModelChecker {
         self
     }
 
+    /// Shard the safety sweep across `threads` workers; see
+    /// [`ModelChecker::threads`]. `1` restores the sequential engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is `0` or exceeds
+    /// [`MAX_THREADS`](crate::shard::MAX_THREADS).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(
+            (1..=crate::shard::MAX_THREADS).contains(&threads),
+            "thread count must be in 1..={}",
+            crate::shard::MAX_THREADS
+        );
+        self.threads = threads;
+        self
+    }
+
     /// Enable wait-freedom checking with the given per-process own-step
     /// bound; see [`ModelChecker::wait_free_bound`]. Crash adversaries obey
     /// [`ModelChecker::max_failures`] (and never crash the process under
@@ -219,64 +246,89 @@ impl ModelChecker {
     ) -> Result<CheckReport, ResumeError> {
         let initial =
             Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
-        // Pre-size the visited set toward the state budget (clamped: tiny
-        // protocols should not pay megabytes up front).
-        let capacity = self.max_states.min(1 << 14);
-        let mut visited: DedupSet<P> = if self.symmetry_reduction {
-            DedupSet::reduced(Canonicalizer::for_inputs(protocol, inputs), capacity)
-        } else {
-            DedupSet::exact(capacity)
-        };
-        if self.hash_compaction {
-            visited = visited.unsound_hash_compaction();
-        }
-        let mut arena = ScheduleArena::new();
-        let mut visitor = CheckVisitor {
-            task: protocol.task(),
-            inputs,
-            solo_budget: self.solo_budget,
-            solo_memo: self.solo_memo,
-            memo,
-            solo_scratch: None,
-            solo_memo_hits: 0,
-            violation: None,
-        };
-        let mut engine = Engine::new(Budget {
-            max_depth: self.max_depth,
-            max_states: self.max_states,
-            max_frontier: self.max_frontier,
-        });
-        if let Some(deadline) = self.deadline {
-            engine = engine.with_deadline(deadline);
-        }
-        // `f = 0` makes `CrashBounded` the identity wrapper, so the
-        // failure-free checker takes this same path.
-        let mut expansion = CrashBounded::new(AllRunning, self.max_failures);
-        let mut frontier = Lifo::new();
-        let stats = match resume_from {
-            None => engine.run_with(
-                protocol,
-                initial.clone(),
-                &mut visited,
-                &mut arena,
-                &mut expansion,
-                &mut frontier,
-                &mut visitor,
-                ckpt,
-            ),
-            Some(image) => engine.resume(
-                protocol,
-                initial.clone(),
-                image,
-                &mut visited,
-                &mut arena,
-                &mut expansion,
-                &mut frontier,
-                &mut visitor,
-                ckpt,
-            )?,
-        };
-        let mut violation = visitor.violation;
+        let (stats, sweep_violation, solo_memo_hits, symmetry_group) =
+            if self.threads > 1 && resume_from.is_none() {
+                self.sharded_sweep(protocol, inputs, &initial, memo, ckpt)
+            } else {
+                // Pre-size the visited set toward the state budget (clamped:
+                // tiny protocols should not pay megabytes up front).
+                let capacity = self.max_states.min(1 << 14);
+                let mut visited: DedupSet<P> = if self.symmetry_reduction {
+                    DedupSet::reduced(Canonicalizer::for_inputs(protocol, inputs), capacity)
+                } else {
+                    DedupSet::exact(capacity)
+                };
+                if self.hash_compaction {
+                    visited = visited.unsound_hash_compaction();
+                }
+                let mut arena = ScheduleArena::new();
+                let mut visitor = CheckVisitor {
+                    task: protocol.task(),
+                    inputs,
+                    solo_budget: self.solo_budget,
+                    solo_memo: self.solo_memo,
+                    memo,
+                    solo_scratch: None,
+                    solo_memo_hits: 0,
+                    violation: None,
+                };
+                let mut engine = Engine::new(Budget {
+                    max_depth: self.max_depth,
+                    max_states: self.max_states,
+                    max_frontier: self.max_frontier,
+                });
+                if let Some(deadline) = self.deadline {
+                    engine = engine.with_deadline(deadline);
+                }
+                // `f = 0` makes `CrashBounded` the identity wrapper, so the
+                // failure-free checker takes this same path.
+                let mut expansion = CrashBounded::new(AllRunning, self.max_failures);
+                let stats = match resume_from {
+                    None => engine.run_with(
+                        protocol,
+                        initial.clone(),
+                        &mut visited,
+                        &mut arena,
+                        &mut expansion,
+                        &mut Lifo::new(),
+                        &mut visitor,
+                        ckpt,
+                    ),
+                    // A resumed sharded image is a depth-ordered wave snapshot:
+                    // finishing it in FIFO order preserves the min-depth
+                    // discovery invariant, so the completed report matches an
+                    // uninterrupted sharded run. Resume itself stays sequential.
+                    Some(image) if self.threads > 1 => engine.resume(
+                        protocol,
+                        initial.clone(),
+                        image,
+                        &mut visited,
+                        &mut arena,
+                        &mut expansion,
+                        &mut Fifo::new(),
+                        &mut visitor,
+                        ckpt,
+                    )?,
+                    Some(image) => engine.resume(
+                        protocol,
+                        initial.clone(),
+                        image,
+                        &mut visited,
+                        &mut arena,
+                        &mut expansion,
+                        &mut Lifo::new(),
+                        &mut visitor,
+                        ckpt,
+                    )?,
+                };
+                (
+                    stats,
+                    visitor.violation,
+                    visitor.solo_memo_hits,
+                    visited.group_order(),
+                )
+            };
+        let mut violation = sweep_violation;
         let mut complete = stats.complete();
         // Wait-freedom runs only once the safety sweep ran to its natural
         // end (an interrupted run re-checks it after the resumed leg, so
@@ -300,13 +352,90 @@ impl ModelChecker {
             complete,
             deepest: stats.deepest,
             peak_frontier: stats.peak_frontier,
-            symmetry_group: visited.group_order(),
+            symmetry_group,
             hash_compaction: self.hash_compaction,
-            solo_memo_hits: visitor.solo_memo_hits,
+            solo_memo_hits,
             deadline_truncated: stats.deadline_truncated,
             paused: stats.paused,
             violation,
         })
+    }
+
+    /// The work-stealing leg of [`ModelChecker::run_engine`]: shard the
+    /// safety sweep across `self.threads` workers over a [`StripedDedup`]
+    /// built from the same dedup template the sequential path would use.
+    /// Each worker carries its own checker visitor layered over the shared
+    /// solo-termination memo; after the join, worker memos fold back into
+    /// the caller's memo, hit counters are summed, and the reported
+    /// violation is the deterministic minimum across workers (kind rank,
+    /// then schedule length, then lexicographic schedule).
+    fn sharded_sweep<P: Protocol>(
+        &self,
+        protocol: &P,
+        inputs: &[u64],
+        initial: &Configuration<P>,
+        memo: &mut SoloMemo<P>,
+        ckpt: Option<Checkpointing<'_>>,
+    ) -> (SearchStats, Option<FoundViolation>, usize, usize) {
+        let capacity = self.max_states.min(1 << 14);
+        let mut template: DedupSet<P> = if self.symmetry_reduction {
+            DedupSet::reduced(Canonicalizer::for_inputs(protocol, inputs), capacity)
+        } else {
+            DedupSet::exact(capacity)
+        };
+        if self.hash_compaction {
+            template = template.unsound_hash_compaction();
+        }
+        // More stripes than workers keeps lock contention low without
+        // affecting results (stripe assignment is a pure function of the
+        // fingerprint, so the partition is deterministic).
+        let striped = StripedDedup::new(template, (self.threads * 8).min(64), self.max_states);
+        let mut visitors: Vec<ShardCheckVisitor<'_, P>> = (0..self.threads)
+            .map(|_| ShardCheckVisitor {
+                task: protocol.task(),
+                inputs,
+                solo_budget: self.solo_budget,
+                solo_memo: self.solo_memo,
+                cache: LayeredMemo {
+                    base: &*memo,
+                    local: SoloMemo::new(),
+                },
+                solo_scratch: None,
+                solo_memo_hits: 0,
+                violation: None,
+            })
+            .collect();
+        let opts = ShardOptions {
+            threads: self.threads,
+            budget: Budget {
+                max_depth: self.max_depth,
+                max_states: self.max_states,
+                max_frontier: self.max_frontier,
+            },
+            deadline: self.deadline,
+        };
+        let stats = run_sharded(
+            protocol,
+            initial.clone(),
+            &striped,
+            &opts,
+            || CrashBounded::new(AllRunning, self.max_failures),
+            &mut visitors,
+            ckpt,
+        );
+        let group_order = striped.group_order();
+        let mut hits = 0;
+        let mut violation: Option<FoundViolation> = None;
+        let mut locals = Vec::with_capacity(visitors.len());
+        for worker in visitors {
+            hits += worker.solo_memo_hits;
+            violation = merge_violations(violation, worker.violation);
+            locals.push(worker.cache.local);
+        }
+        for local in locals {
+            memo.merge(local);
+        }
+        (stats, violation, hits, group_order)
     }
 
     /// [`ModelChecker::check`] that pauses itself after roughly
@@ -557,77 +686,21 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
         ctx: &NodeCtx<'_>,
         candidates: &[Action],
     ) -> Control {
-        // Safety predicates on every reachable configuration.
-        if let Err(v) = self
-            .task
-            .check_decisions(self.inputs, config.decisions_iter())
-        {
-            self.violation = Some(FoundViolation {
-                kind: ViolationKind::Task(v),
-                schedule: ctx.actions(),
-            });
+        if let Some(v) = evaluate_state(
+            &self.task,
+            self.inputs,
+            self.solo_budget,
+            self.solo_memo,
+            protocol,
+            config,
+            candidates,
+            &mut *self.memo,
+            &mut self.solo_scratch,
+            &mut self.solo_memo_hits,
+            &mut || ctx.actions(),
+        ) {
+            self.violation = Some(v);
             return Control::Stop;
-        }
-        // Obstruction-freedom: every running process decides solo. The
-        // outcome depends only on the process's local state and the object
-        // values, so it is memoized on exactly that key (with the visited
-        // set's exact-fallback discipline); misses run on the recycled
-        // scratch configuration, not a fresh clone. (Under [`AllRunning`]
-        // the step candidates are exactly the running processes; crash
-        // candidates injected by [`CrashBounded`] are skipped — a crashed
-        // process has no solo run to check.)
-        if let Some(budget) = self.solo_budget {
-            for pid in candidates.iter().filter_map(|a| match *a {
-                Action::Step(p) => Some(p),
-                Action::Crash(_) => None,
-            }) {
-                let state = config.state(pid).expect("running implies a state");
-                let outcome = match self
-                    .solo_memo
-                    .then(|| self.memo.get(state, config))
-                    .flatten()
-                {
-                    Some(cached) => {
-                        self.solo_memo_hits += 1;
-                        cached
-                    }
-                    None => {
-                        let scratch = match &mut self.solo_scratch {
-                            Some(s) => {
-                                s.clone_state_from(config);
-                                s
-                            }
-                            None => self.solo_scratch.insert(config.clone()),
-                        };
-                        let outcome = match solo_run(protocol, scratch, pid, budget) {
-                            Ok(_) => SoloVerdict::Decides,
-                            Err(SoloRunError::BudgetExhausted { .. }) => SoloVerdict::Stuck,
-                            Err(e) => SoloVerdict::Error(Arc::from(e.to_string().as_str())),
-                        };
-                        if self.solo_memo {
-                            self.memo.put(state.clone(), config, outcome.clone());
-                        }
-                        outcome
-                    }
-                };
-                match outcome {
-                    SoloVerdict::Decides => {}
-                    SoloVerdict::Stuck => {
-                        self.violation = Some(FoundViolation {
-                            kind: ViolationKind::SoloTermination { pid, budget },
-                            schedule: ctx.actions(),
-                        });
-                        return Control::Stop;
-                    }
-                    SoloVerdict::Error(msg) => {
-                        self.violation = Some(FoundViolation {
-                            kind: ViolationKind::Internal(msg.to_string()),
-                            schedule: ctx.actions(),
-                        });
-                        return Control::Stop;
-                    }
-                }
-            }
         }
         Control::Continue
     }
@@ -647,6 +720,185 @@ impl<P: Protocol> Visitor<P> for CheckVisitor<'_, P> {
             schedule: ctx.actions(),
         });
         Control::Stop
+    }
+}
+
+/// Per-worker strategy for the sharded sweep: the same per-state checks as
+/// [`CheckVisitor`], with witnesses materialized from the sharded arenas
+/// and solo-memo traffic routed through a thread-local [`LayeredMemo`].
+struct ShardCheckVisitor<'a, P: Protocol> {
+    task: KSetTask,
+    inputs: &'a [u64],
+    solo_budget: Option<usize>,
+    solo_memo: bool,
+    cache: LayeredMemo<'a, P>,
+    solo_scratch: Option<Configuration<P>>,
+    solo_memo_hits: usize,
+    violation: Option<FoundViolation>,
+}
+
+impl<P: Protocol> ShardVisitor<P> for ShardCheckVisitor<'_, P> {
+    fn enter(
+        &mut self,
+        protocol: &P,
+        config: &Configuration<P>,
+        witness: &WitnessRef<'_>,
+        candidates: &[Action],
+    ) -> Control {
+        if let Some(v) = evaluate_state(
+            &self.task,
+            self.inputs,
+            self.solo_budget,
+            self.solo_memo,
+            protocol,
+            config,
+            candidates,
+            &mut self.cache,
+            &mut self.solo_scratch,
+            &mut self.solo_memo_hits,
+            &mut || witness.actions(),
+        ) {
+            self.violation = Some(v);
+            return Control::Stop;
+        }
+        Control::Continue
+    }
+
+    fn step_error(
+        &mut self,
+        _protocol: &P,
+        error: crate::config::SimError,
+        witness: &WitnessRef<'_>,
+    ) -> Control {
+        // Same contract as the sequential visitor's `step_error`.
+        self.violation = Some(FoundViolation {
+            kind: ViolationKind::Internal(error.to_string()),
+            schedule: witness.actions(),
+        });
+        Control::Stop
+    }
+}
+
+/// Per-state evaluation shared by the sequential and sharded checker
+/// visitors.
+///
+/// First the safety predicates on the configuration, then (when
+/// `solo_budget` is set) the obstruction-freedom check: every running
+/// process decides solo. The solo outcome depends only on the process's
+/// local state and the object values, so it is memoized on exactly that
+/// key (with the visited sets' exact-fallback discipline); misses run on
+/// the recycled scratch configuration, not a fresh clone. Under
+/// [`AllRunning`] the step candidates are exactly the running processes;
+/// crash candidates injected by [`CrashBounded`] are skipped — a crashed
+/// process has no solo run to check. `witness` materializes the reaching
+/// schedule only when a violation is actually reported.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_state<P: Protocol>(
+    task: &KSetTask,
+    inputs: &[u64],
+    solo_budget: Option<usize>,
+    use_memo: bool,
+    protocol: &P,
+    config: &Configuration<P>,
+    candidates: &[Action],
+    cache: &mut dyn SoloCache<P>,
+    solo_scratch: &mut Option<Configuration<P>>,
+    solo_memo_hits: &mut usize,
+    witness: &mut dyn FnMut() -> Vec<Action>,
+) -> Option<FoundViolation> {
+    if let Err(v) = task.check_decisions(inputs, config.decisions_iter()) {
+        return Some(FoundViolation {
+            kind: ViolationKind::Task(v),
+            schedule: witness(),
+        });
+    }
+    if let Some(budget) = solo_budget {
+        for pid in candidates.iter().filter_map(|a| match *a {
+            Action::Step(p) => Some(p),
+            Action::Crash(_) => None,
+        }) {
+            let state = config.state(pid).expect("running implies a state");
+            let outcome = match use_memo.then(|| cache.lookup(state, config)).flatten() {
+                Some(cached) => {
+                    *solo_memo_hits += 1;
+                    cached
+                }
+                None => {
+                    let scratch = match solo_scratch {
+                        Some(s) => {
+                            s.clone_state_from(config);
+                            s
+                        }
+                        None => solo_scratch.insert(config.clone()),
+                    };
+                    let outcome = match solo_run(protocol, scratch, pid, budget) {
+                        Ok(_) => SoloVerdict::Decides,
+                        Err(SoloRunError::BudgetExhausted { .. }) => SoloVerdict::Stuck,
+                        Err(e) => SoloVerdict::Error(Arc::from(e.to_string().as_str())),
+                    };
+                    if use_memo {
+                        cache.store(state.clone(), config, outcome.clone());
+                    }
+                    outcome
+                }
+            };
+            match outcome {
+                SoloVerdict::Decides => {}
+                SoloVerdict::Stuck => {
+                    return Some(FoundViolation {
+                        kind: ViolationKind::SoloTermination { pid, budget },
+                        schedule: witness(),
+                    });
+                }
+                SoloVerdict::Error(msg) => {
+                    return Some(FoundViolation {
+                        kind: ViolationKind::Internal(msg.to_string()),
+                        schedule: witness(),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Deterministically pick between two candidate violations: kind rank
+/// (task violations strongest), then schedule length, then lexicographic
+/// comparison of the schedules. Sharded workers race to different
+/// witnesses; this merge makes the reported one independent of thread
+/// scheduling whenever the same set of violations is found.
+fn merge_violations(
+    a: Option<FoundViolation>,
+    b: Option<FoundViolation>,
+) -> Option<FoundViolation> {
+    fn kind_rank(kind: &ViolationKind) -> u8 {
+        match kind {
+            ViolationKind::Task(_) => 0,
+            ViolationKind::SoloTermination { .. } => 1,
+            ViolationKind::WaitFree { .. } => 2,
+            ViolationKind::Internal(_) => 3,
+        }
+    }
+    fn schedule_key(schedule: &[Action]) -> Vec<(bool, usize)> {
+        schedule
+            .iter()
+            .map(|a| (matches!(a, Action::Crash(_)), a.pid().0))
+            .collect()
+    }
+    match (a, b) {
+        (None, other) | (other, None) => other,
+        (Some(x), Some(y)) => {
+            let keep_x = (
+                kind_rank(&x.kind),
+                x.schedule.len(),
+                schedule_key(&x.schedule),
+            ) <= (
+                kind_rank(&y.kind),
+                y.schedule.len(),
+                schedule_key(&y.schedule),
+            );
+            Some(if keep_x { x } else { y })
+        }
     }
 }
 
@@ -708,6 +960,64 @@ impl<P: Protocol> SoloMemo<P> {
             .entry(Self::key(&state, config))
             .or_default()
             .push((state, Arc::clone(config.objects_handle()), verdict));
+    }
+
+    /// Fold another memo into this one (absorbing a sharded worker's local
+    /// overlay after the join). Keys already present keep their entry: the
+    /// verdict for a given key is deterministic, so which copy survives is
+    /// immaterial.
+    fn merge(&mut self, other: SoloMemo<P>) {
+        for (key, entries) in other.buckets {
+            let bucket = self.buckets.entry(key).or_default();
+            for (state, objects, verdict) in entries {
+                if !bucket
+                    .iter()
+                    .any(|(s, o, _)| *s == state && o[..] == objects[..])
+                {
+                    bucket.push((state, objects, verdict));
+                }
+            }
+        }
+    }
+}
+
+/// Solo-memo access abstracted over the sequential visitor (one mutable
+/// memo) and the sharded workers (a shared read-only base under a
+/// thread-local overlay).
+trait SoloCache<P: Protocol> {
+    fn lookup(&self, state: &P::State, config: &Configuration<P>) -> Option<SoloVerdict>;
+    fn store(&mut self, state: P::State, config: &Configuration<P>, verdict: SoloVerdict);
+}
+
+impl<P: Protocol> SoloCache<P> for SoloMemo<P> {
+    fn lookup(&self, state: &P::State, config: &Configuration<P>) -> Option<SoloVerdict> {
+        self.get(state, config)
+    }
+
+    fn store(&mut self, state: P::State, config: &Configuration<P>, verdict: SoloVerdict) {
+        self.put(state, config, verdict);
+    }
+}
+
+/// Two-level solo memo for sharded workers: lookups consult the shared
+/// base (results accumulated by earlier runs or inputs) and then the
+/// worker-local overlay; new verdicts land in the overlay only, so workers
+/// never contend on the memo. [`SoloMemo::merge`] folds overlays back into
+/// the base after the join.
+struct LayeredMemo<'a, P: Protocol> {
+    base: &'a SoloMemo<P>,
+    local: SoloMemo<P>,
+}
+
+impl<P: Protocol> SoloCache<P> for LayeredMemo<'_, P> {
+    fn lookup(&self, state: &P::State, config: &Configuration<P>) -> Option<SoloVerdict> {
+        self.base
+            .get(state, config)
+            .or_else(|| self.local.get(state, config))
+    }
+
+    fn store(&mut self, state: P::State, config: &Configuration<P>, verdict: SoloVerdict) {
+        self.local.put(state, config, verdict);
     }
 }
 
@@ -1371,5 +1681,129 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, SnapshotError::MetaMismatch(_)));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Everything `same_verdict` compares plus the exact counters that must
+    /// agree between a sequential and a sharded complete run.
+    fn full_parity_view(r: &CheckReport) -> (bool, usize, usize, bool, usize, usize, bool, bool) {
+        (
+            r.passed(),
+            r.states,
+            r.terminal_states,
+            r.complete,
+            r.deepest,
+            r.symmetry_group,
+            r.deadline_truncated,
+            r.paused,
+        )
+    }
+
+    #[test]
+    fn sharded_checker_matches_sequential_report() {
+        for symmetry in [false, true] {
+            let mut base = ModelChecker::new(10, 10_000)
+                .with_solo_budget(4)
+                .with_max_failures(1);
+            base.symmetry_reduction = symmetry;
+            let sequential = base.check(&TwoProcessSwapConsensus, &[0, 1]);
+            assert!(sequential.proves_safety(), "{sequential}");
+            for threads in [2, 4] {
+                let sharded = base
+                    .with_threads(threads)
+                    .check(&TwoProcessSwapConsensus, &[0, 1]);
+                assert_eq!(
+                    full_parity_view(&sharded),
+                    full_parity_view(&sequential),
+                    "threads={threads} symmetry={symmetry}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_checker_catches_the_same_violation_kind() {
+        let sequential = ModelChecker::new(10, 10_000).check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        let sharded = ModelChecker::new(10, 10_000)
+            .with_threads(2)
+            .check(&SelfishConsensus { n: 2 }, &[0, 1]);
+        let seq_kind = sequential.violation.expect("sequential catches it").kind;
+        let shard_kind = sharded.violation.expect("sharded catches it").kind;
+        assert!(matches!(
+            (&seq_kind, &shard_kind),
+            (
+                ViolationKind::Task(TaskViolation::Agreement { .. }),
+                ViolationKind::Task(TaskViolation::Agreement { .. })
+            )
+        ));
+    }
+
+    #[test]
+    fn sharded_solo_memo_survives_the_join() {
+        // Two back-to-back sharded checks share one memo through
+        // `check_with_memo`'s caller — `check_all_inputs` exercises that
+        // path; here the merged overlays must produce hits on the second
+        // run of the identical input vector.
+        let checker = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .with_threads(2);
+        let mut memo = SoloMemo::new();
+        let first = checker
+            .run_engine(&TwoProcessSwapConsensus, &[0, 1], &mut memo, None, None)
+            .unwrap();
+        let second = checker
+            .run_engine(&TwoProcessSwapConsensus, &[0, 1], &mut memo, None, None)
+            .unwrap();
+        assert!(first.proves_safety() && second.proves_safety());
+        assert!(
+            second.solo_memo_hits > first.solo_memo_hits,
+            "first={} second={}",
+            first.solo_memo_hits,
+            second.solo_memo_hits
+        );
+    }
+
+    #[test]
+    fn sharded_check_all_inputs_matches_sequential() {
+        let sequential = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .check_all_inputs(&TwoProcessSwapConsensus);
+        let sharded = ModelChecker::new(10, 10_000)
+            .with_solo_budget(4)
+            .with_threads(2)
+            .check_all_inputs(&TwoProcessSwapConsensus);
+        assert_eq!(full_parity_view(&sharded), full_parity_view(&sequential));
+    }
+
+    #[test]
+    fn sharded_pause_resumes_to_the_sequential_report() {
+        let sequential = ModelChecker::new(10, 10_000).check(&TwoProcessSwapConsensus, &[0, 1]);
+        let checker = ModelChecker::new(10, 10_000).with_threads(2);
+        let (partial, image) = checker.check_paused(&TwoProcessSwapConsensus, &[0, 1], 2);
+        let image = image.expect("2 states pauses well before the end");
+        assert!(partial.paused && !partial.complete);
+        assert!(partial.states < sequential.states);
+        // The resumed leg runs sequentially (FIFO) over the drained waves
+        // and lands on the exact sequential totals.
+        let resumed = checker
+            .resume(&TwoProcessSwapConsensus, &[0, 1], &image)
+            .unwrap();
+        assert_eq!(full_parity_view(&resumed), full_parity_view(&sequential));
+    }
+
+    #[test]
+    fn sharded_zero_deadline_reports_an_empty_truncated_run() {
+        let report = ModelChecker::new(10, 10_000)
+            .with_threads(2)
+            .with_deadline(Duration::ZERO)
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(report.deadline_truncated && !report.complete && !report.paused);
+        assert_eq!(report.states, 0);
+        assert!(report.passed(), "no violation can be found without work");
+    }
+
+    #[test]
+    #[should_panic(expected = "thread count")]
+    fn zero_threads_is_rejected() {
+        let _ = ModelChecker::new(10, 10_000).with_threads(0);
     }
 }

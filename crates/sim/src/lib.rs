@@ -62,6 +62,7 @@ mod protocol;
 pub mod runner;
 pub mod scheduler;
 pub mod search;
+pub mod shard;
 pub mod snapshot;
 pub mod task;
 pub mod testing;

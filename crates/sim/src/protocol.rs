@@ -26,7 +26,11 @@ use crate::task::KSetTask;
 /// directly. Bounded-domain enforcement (Section 5's objects) applies to
 /// values that expose an integer *domain point*; composite values return
 /// `None` and may only inhabit unbounded-domain objects.
-pub trait SimValue: Clone + Eq + Hash + Debug {
+///
+/// Values are `Send + Sync` so configurations can migrate between the
+/// sharded engine's workers (see [`crate::shard`]); values are plain data,
+/// so the bound is vacuous in practice.
+pub trait SimValue: Clone + Eq + Hash + Debug + Send + Sync {
     /// The integer the value denotes, when the value type embeds into a
     /// bounded integer domain. Used by [`crate::Configuration`] to enforce
     /// [`swapcons_objects::Domain::Bounded`] schemas.
@@ -74,9 +78,14 @@ pub enum Transition<S> {
 /// enforces that every operation conforms to the schema of the object it
 /// targets, so an algorithm's claimed object kinds (the Table 1 row it
 /// belongs to) are machine-checked on every step.
-pub trait Protocol {
+///
+/// Protocols are `Sync` (and their states `Send + Sync`): a protocol is an
+/// immutable *description* of an algorithm, and the sharded engine
+/// ([`crate::shard`]) shares one `&P` across its workers. Every protocol in
+/// the workspace is plain data, so the bounds cost nothing.
+pub trait Protocol: Sync {
     /// Per-process local state.
-    type State: Clone + Eq + Hash + Debug;
+    type State: Clone + Eq + Hash + Debug + Send + Sync;
     /// Object value type.
     type Value: SimValue;
 

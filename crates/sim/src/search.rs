@@ -131,12 +131,38 @@ impl<P: Protocol> VisitedSet<P> {
         config.fingerprint() & self.mask
     }
 
+    /// The (masked) bucket key of `config` — exposed crate-internally so the
+    /// striped sharded set ([`crate::shard`]) can compute keys through one
+    /// shared instance and route each insert to a stripe.
+    pub(crate) fn key_of(&self, config: &Configuration<P>) -> u64 {
+        self.key(config)
+    }
+
+    /// An empty set with this set's mask and compaction policy — the stripe
+    /// factory for [`crate::shard`]: each stripe deduplicates its share of
+    /// the key space under the same exact-fallback discipline.
+    pub(crate) fn stripe_clone(&self) -> Self {
+        VisitedSet {
+            buckets: PrehashedMap::default(),
+            len: 0,
+            mask: self.mask,
+            compaction: self.compaction,
+            fallback_comparisons: 0,
+        }
+    }
+
     /// Insert `config`, returning `true` if it was not already present.
     /// Stores a copy-on-write clone (refcount bumps, no state copied), and
     /// fingerprints the configuration exactly once.
     pub fn insert(&mut self, config: &Configuration<P>) -> bool {
-        use std::collections::hash_map::Entry;
         let key = self.key(config);
+        self.insert_prekeyed(key, config)
+    }
+
+    /// [`VisitedSet::insert`] with the bucket key already computed (the
+    /// sharded set computes keys outside the stripe lock).
+    pub(crate) fn insert_prekeyed(&mut self, key: u64, config: &Configuration<P>) -> bool {
+        use std::collections::hash_map::Entry;
         match self.buckets.entry(key) {
             Entry::Vacant(slot) => {
                 slot.insert(Bucket {
@@ -167,7 +193,12 @@ impl<P: Protocol> VisitedSet<P> {
     /// Whether `config` is already present (under hash compaction: whether
     /// its fingerprint is).
     pub fn contains(&self, config: &Configuration<P>) -> bool {
-        match self.buckets.get(&self.key(config)) {
+        self.contains_prekeyed(self.key(config), config)
+    }
+
+    /// [`VisitedSet::contains`] with the bucket key already computed.
+    pub(crate) fn contains_prekeyed(&self, key: u64, config: &Configuration<P>) -> bool {
+        match self.buckets.get(&key) {
             Some(bucket) => {
                 self.compaction
                     || bucket.first.as_ref() == Some(config)
@@ -287,13 +318,7 @@ impl ScheduleArena {
     /// `2^31 - 1` (far beyond any explorable instance).
     pub fn child_action(&mut self, parent: NodeId, action: Action) -> NodeId {
         let depth = self.depth(parent) as u32 + 1;
-        let pid32 = u32::try_from(action.pid().index()).expect("process id fits u32");
-        assert!(pid32 & Self::CRASH_BIT == 0, "process id fits 31 bits");
-        let tagged = if action.is_crash() {
-            pid32 | Self::CRASH_BIT
-        } else {
-            pid32
-        };
+        let tagged = Self::encode_action(action);
         self.nodes.push((parent, tagged, depth));
         let id = u32::try_from(self.nodes.len() - 1).expect("arena fits u32");
         assert!(id != u32::MAX, "arena full");
@@ -307,6 +332,25 @@ impl ScheduleArena {
         } else {
             self.nodes[node.0 as usize].2 as usize
         }
+    }
+
+    /// Encode an action into the packed-pid form of
+    /// [`ScheduleArena::raw_nodes`] — exposed crate-internally so the
+    /// sharded arenas ([`crate::shard`]) store edges in the exact format a
+    /// drained sequential arena expects.
+    pub(crate) fn encode_action(action: Action) -> u32 {
+        let pid32 = u32::try_from(action.pid().index()).expect("process id fits u32");
+        assert!(pid32 & Self::CRASH_BIT == 0, "process id fits 31 bits");
+        if action.is_crash() {
+            pid32 | Self::CRASH_BIT
+        } else {
+            pid32
+        }
+    }
+
+    /// Inverse of [`ScheduleArena::encode_action`] (crate-internal).
+    pub(crate) fn decode_action(tagged: u32) -> Action {
+        Self::decode(tagged)
     }
 
     /// Decode one packed pid back into its action.

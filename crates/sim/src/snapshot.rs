@@ -24,6 +24,12 @@
 //!
 //! Every failure mode is a typed [`SnapshotError`] — corrupted checkpoints
 //! are reported, never panicked on.
+//!
+//! Sharded searches ([`crate::shard`]) drain their per-worker arenas and
+//! wave buffers into this same single-arena [`SearchImage`] shape at
+//! checkpoint time, so snapshots carry no trace of the thread count that
+//! wrote them: a file written by a sharded run resumes sequentially (and
+//! vice versa) with no format change or version bump.
 
 use std::fmt;
 use std::fs;

@@ -32,7 +32,16 @@
 //!   unlimited): when the budget runs out, the sweep stops cleanly after
 //!   the current case and reports how far it got, so a widened nightly run
 //!   can never hang or overrun the CI runner (each individual case is
-//!   additionally guarded by [`fuzz_case::GUARD`]).
+//!   additionally guarded by [`fuzz_case::GUARD`]);
+//! * `SWAPCONS_FUZZ_WORKERS` — worker threads driving the main and crash
+//!   sweeps (default 2) on the same vendored work-stealing pool as the
+//!   sharded search engine. Cases are sampled **up front** from the master
+//!   seed, so coverage is identical at every worker count — only the
+//!   execution overlaps — and the deadline is shared by all workers;
+//! * `SWAPCONS_FUZZ_PERSIST` — a file path: every failing case's corpus
+//!   line is appended there (one per line, ready to copy into
+//!   `tests/corpus/threaded_fuzz.corpus`), and the sweep reports **all**
+//!   failures at once instead of stopping at the first.
 
 // Free-running std threads drive these tests; under `--cfg conc_check` the
 // atomic objects route through the model-only conc shims, so this target is
@@ -56,50 +65,121 @@ fn fuzz_seed() -> u64 {
     env_or("SWAPCONS_FUZZ_SEED", 0x5EED_CA5E)
 }
 
-/// Per-sweep wall-clock budget tracker driven by
-/// `SWAPCONS_FUZZ_DEADLINE_SECS` (absent = unlimited). [`Sweep::expired`]
-/// is checked between cases; an expired sweep stops cleanly and reports
-/// its coverage instead of overrunning the CI runner.
-struct Sweep {
-    started: std::time::Instant,
-    deadline: Option<std::time::Duration>,
-    completed: usize,
+/// Worker threads driving the main and crash sweeps:
+/// `SWAPCONS_FUZZ_WORKERS` or 2. Each sampled case still spawns its own
+/// `n` protocol threads; the pool overlaps *cases*, which shortens a
+/// widened nightly's wall clock on a multi-core runner (and on one core
+/// costs nothing but extra interleaving noise — itself useful to a fuzzer).
+fn fuzz_workers() -> usize {
+    env_or("SWAPCONS_FUZZ_WORKERS", 2).max(1)
 }
 
-impl Sweep {
-    fn start() -> Self {
-        let deadline = std::env::var("SWAPCONS_FUZZ_DEADLINE_SECS")
-            .ok()
-            .map(|raw| {
-                let secs: u64 = raw
-                    .parse()
-                    .unwrap_or_else(|e| panic!("SWAPCONS_FUZZ_DEADLINE_SECS={raw}: {e:?}"));
-                std::time::Duration::from_secs(secs)
+/// The shared per-sweep wall-clock budget: `SWAPCONS_FUZZ_DEADLINE_SECS`
+/// (absent = unlimited), checked by every worker between cases.
+fn sweep_deadline() -> Option<std::time::Duration> {
+    std::env::var("SWAPCONS_FUZZ_DEADLINE_SECS")
+        .ok()
+        .map(|raw| {
+            let secs: u64 = raw
+                .parse()
+                .unwrap_or_else(|e| panic!("SWAPCONS_FUZZ_DEADLINE_SECS={raw}: {e:?}"));
+            std::time::Duration::from_secs(secs)
+        })
+}
+
+/// Render a caught panic payload for the failure report.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Drive pre-sampled cases across the work-stealing pool under one shared
+/// deadline. Panics inside a case (including the per-case livelock guard)
+/// are caught and collected; after the join, every failing case's corpus
+/// line is appended to `SWAPCONS_FUZZ_PERSIST` (if set) and the sweep
+/// fails with all lines at once — a widened nightly reports its whole
+/// harvest, not just the first hit.
+fn parallel_sweep(
+    kind: &str,
+    cases: Vec<fuzz_case::FuzzCase>,
+    run_case: impl Fn(usize, &fuzz_case::FuzzCase) + Send + Sync,
+) {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let total = cases.len();
+    let workers = fuzz_workers();
+    let pool = workpool::WorkQueues::new(workers);
+    for (i, case) in cases.into_iter().enumerate() {
+        pool.push(i % workers, (i, case));
+    }
+    let deadline = sweep_deadline();
+    let started = std::time::Instant::now();
+    let completed = AtomicUsize::new(0);
+    // (corpus line, panic message) per failing case.
+    let failures: Mutex<Vec<(String, String)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let (pool, run_case) = (&pool, &run_case);
+            let (completed, failures) = (&completed, &failures);
+            scope.spawn(move || loop {
+                if deadline.is_some_and(|d| started.elapsed() >= d) {
+                    return;
+                }
+                let Some((i, case)) = pool.pop(w) else { return };
+                let outcome = catch_unwind(AssertUnwindSafe(|| run_case(i, &case)));
+                pool.complete_one();
+                completed.fetch_add(1, Ordering::Relaxed);
+                if let Err(payload) = outcome {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push((case.corpus_line(), panic_text(payload)));
+                }
             });
-        Sweep {
-            started: std::time::Instant::now(),
-            deadline,
-            completed: 0,
         }
+    });
+    let done = completed.load(Ordering::Relaxed);
+    if done < total {
+        eprintln!(
+            "{kind} fuzz sweep deadline ({:?}) reached after {done}/{total} cases; stopping cleanly",
+            deadline.expect("only a deadline stops a sweep early")
+        );
     }
-
-    /// `true` once the budget is spent; prints the coverage on first expiry.
-    fn expired(&mut self, total: usize) -> bool {
-        match self.deadline {
-            Some(d) if self.started.elapsed() >= d => {
-                eprintln!(
-                    "fuzz sweep deadline ({d:?}) reached after {}/{total} cases; stopping cleanly",
-                    self.completed
-                );
-                true
-            }
-            _ => false,
+    let failures = failures.into_inner().unwrap();
+    if failures.is_empty() {
+        return;
+    }
+    if let Ok(path) = std::env::var("SWAPCONS_FUZZ_PERSIST") {
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap_or_else(|e| panic!("SWAPCONS_FUZZ_PERSIST={path}: {e}"));
+        for (line, _) in &failures {
+            writeln!(file, "{line}").expect("corpus persistence write");
         }
+        eprintln!(
+            "persisted {} failing corpus line(s) to {path}",
+            failures.len()
+        );
     }
-
-    fn case_done(&mut self) {
-        self.completed += 1;
-    }
+    let report: Vec<String> = failures
+        .iter()
+        .map(|(line, msg)| format!("  {line}\n    ↳ {msg}"))
+        .collect();
+    panic!(
+        "{kind} fuzz sweep: {} failing case(s):\n{}",
+        failures.len(),
+        report.join("\n")
+    );
 }
 
 /// Parse an env var, panicking on malformed values (a silently ignored
@@ -119,16 +199,13 @@ where
 #[test]
 fn fuzz_threaded_kset_random_shapes_and_perturbations() {
     // Deterministic master seed: every run of one configuration executes
-    // the same sampled cases; the nightly job widens count and seed via
-    // the environment (see the module docs).
+    // the same sampled cases (at any worker count); the nightly job widens
+    // count and seed via the environment (see the module docs).
     let mut rng = StdRng::seed_from_u64(fuzz_seed());
-    let mut sweep = Sweep::start();
-    let total = fuzz_cases();
-    for case_index in 0..total {
-        if sweep.expired(total) {
-            break;
-        }
-        let case = FuzzCase::sample(&mut rng);
+    let cases: Vec<FuzzCase> = (0..fuzz_cases())
+        .map(|_| FuzzCase::sample(&mut rng))
+        .collect();
+    parallel_sweep("main", cases, |case_index, case| {
         let label = format!(
             "fuzz case {case_index} — corpus line: {}",
             case.corpus_line()
@@ -138,8 +215,7 @@ fn fuzz_threaded_kset_random_shapes_and_perturbations() {
             bounded(label, move || case.run())
         };
         case.check(&decisions);
-        sweep.case_done();
-    }
+    });
 }
 
 #[test]
@@ -149,13 +225,10 @@ fn fuzz_crash_injected_races_stay_safe_and_survivors_decide() {
     // still decide a k-agreeing, valid set of values — the threaded
     // counterpart of the model checker's exhaustive crash-pattern gate.
     let mut rng = StdRng::seed_from_u64(fuzz_seed() ^ 0x0C2A_54E5);
-    let mut sweep = Sweep::start();
-    let total = fuzz_cases();
-    for case_index in 0..total {
-        if sweep.expired(total) {
-            break;
-        }
-        let case = FuzzCase::sample_with_crashes(&mut rng);
+    let cases: Vec<FuzzCase> = (0..fuzz_cases())
+        .map(|_| FuzzCase::sample_with_crashes(&mut rng))
+        .collect();
+    parallel_sweep("crash", cases, |case_index, case| {
         let label = format!(
             "crash fuzz case {case_index} — corpus line: {}",
             case.corpus_line()
@@ -165,8 +238,7 @@ fn fuzz_crash_injected_races_stay_safe_and_survivors_decide() {
             bounded(label, move || case.run())
         };
         case.check(&decisions);
-        sweep.case_done();
-    }
+    });
 }
 
 #[test]

@@ -1,0 +1,241 @@
+//! Minimal work-stealing deque pool for the offline build.
+//!
+//! The real-world crates for this job (`crossbeam-deque`, `rayon`) are not
+//! available offline, so this vendored stand-in covers exactly the surface
+//! the `swapcons-sim` sharded engine needs: per-worker deques behind plain
+//! mutexes, **steal-half** balancing, and a global *pending-work counter*
+//! that makes quiescence detection sound.
+//!
+//! # Why a counter, not empty-deque checks
+//!
+//! A thief moves half of a victim's deque into its own deque through a
+//! private intermediate buffer. While that transfer is in flight the items
+//! are in *no* deque, so "every deque is empty" does **not** imply "no work
+//! remains" — a termination protocol built on deque emptiness has a lost
+//! -wakeup race. The [`WorkQueues::pending`] counter closes it: `push`
+//! increments at publication time, [`WorkQueues::complete_one`] decrements
+//! only after an item has been fully *processed* (not merely popped), and
+//! steals never touch the counter. `pending() == 0` therefore means every
+//! published item has been processed — stolen-but-unfinished work keeps the
+//! counter positive. (The sharded engine's interleaving test in
+//! `swapcons-conc` model-checks exactly this protocol.)
+//!
+//! # Safety
+//!
+//! Pure safe Rust (`forbid(unsafe_code)`). Locks are only ever held one at
+//! a time — a steal drains the victim under its lock, releases it, and only
+//! then locks the thief's own deque to deposit the surplus — so there is no
+//! lock-order deadlock by construction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Per-worker work deques with steal-half balancing and a pending-work
+/// counter for sound quiescence detection.
+///
+/// Owned pops are LIFO (depth-first within a worker's own backlog); steals
+/// take the **oldest half** of a victim's deque, so large subtrees migrate
+/// wholesale instead of item by item.
+pub struct WorkQueues<T> {
+    queues: Vec<Mutex<VecDeque<T>>>,
+    /// Items pushed but not yet *processed* (see the module docs).
+    pending: AtomicUsize,
+}
+
+impl<T> WorkQueues<T> {
+    /// A pool of `workers` empty deques.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "a work pool needs at least one worker");
+        WorkQueues {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of worker deques.
+    pub fn workers(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Publish `item` onto `worker`'s deque and count it as pending.
+    pub fn push(&self, worker: usize, item: T) {
+        self.queues[worker]
+            .lock()
+            .expect("queue poisoned")
+            .push_back(item);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Claim an item for `worker`: its own newest item first (LIFO), else a
+    /// steal-half from the first non-empty victim in round-robin order
+    /// starting after `worker`. Returns `None` when every deque is
+    /// *currently* empty — which, per the module docs, does **not** mean the
+    /// pool is done; check [`Self::pending`] for that.
+    ///
+    /// The claimed item stays counted as pending until the caller invokes
+    /// [`Self::complete_one`] for it.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        if let Some(item) = self.queues[worker]
+            .lock()
+            .expect("queue poisoned")
+            .pop_back()
+        {
+            return Some(item);
+        }
+        self.steal(worker)
+    }
+
+    /// Steal the oldest half of the first non-empty victim's deque: one item
+    /// is returned, the surplus is deposited onto the thief's own deque.
+    fn steal(&self, thief: usize) -> Option<T> {
+        let n = self.queues.len();
+        for offset in 1..n {
+            let victim = (thief + offset) % n;
+            let mut batch: VecDeque<T> = {
+                let mut q = self.queues[victim].lock().expect("queue poisoned");
+                let len = q.len();
+                if len == 0 {
+                    continue;
+                }
+                // Oldest half (front of the deque), rounded up so a
+                // single-item deque is still stealable.
+                q.drain(..len.div_ceil(2)).collect()
+            };
+            let first = batch.pop_front();
+            if !batch.is_empty() {
+                let mut own = self.queues[thief].lock().expect("queue poisoned");
+                own.extend(batch);
+            }
+            return first;
+        }
+        None
+    }
+
+    /// Record that one previously claimed item has been fully processed.
+    pub fn complete_one(&self) {
+        let before = self.pending.fetch_sub(1, Ordering::SeqCst);
+        debug_assert!(before > 0, "complete_one without a pending item");
+    }
+
+    /// Items pushed but not yet processed. `0` means the pool is quiescent:
+    /// every published item has been claimed *and* completed.
+    pub fn pending(&self) -> usize {
+        self.pending.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot every deque's contents, front to back, without disturbing
+    /// them. Only meaningful at a rendezvous where no claims are in flight
+    /// (otherwise claimed-but-unfinished items are invisibly absent).
+    pub fn freeze(&self) -> Vec<Vec<T>>
+    where
+        T: Clone,
+    {
+        self.queues
+            .iter()
+            .map(|q| q.lock().expect("queue poisoned").iter().cloned().collect())
+            .collect()
+    }
+}
+
+impl<T> std::fmt::Debug for WorkQueues<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkQueues")
+            .field("workers", &self.queues.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    #[test]
+    fn steal_takes_oldest_half_and_deposits_surplus() {
+        let pool: WorkQueues<u32> = WorkQueues::new(2);
+        for i in 0..8 {
+            pool.push(0, i);
+        }
+        // Worker 1 owns nothing: the pop must steal the oldest half of
+        // worker 0's deque (items 0..4), return the oldest, and deposit the
+        // other three onto worker 1's own deque.
+        assert_eq!(pool.pop(1), Some(0));
+        let frozen = pool.freeze();
+        assert_eq!(frozen[0], vec![4, 5, 6, 7]);
+        assert_eq!(frozen[1], vec![1, 2, 3]);
+        // Subsequent pops by worker 1 drain its own deque LIFO first.
+        assert_eq!(pool.pop(1), Some(3));
+        // Pending counts publications, not claims: nothing completed yet.
+        assert_eq!(pool.pending(), 8);
+    }
+
+    #[test]
+    fn single_item_deques_are_stealable() {
+        let pool: WorkQueues<u32> = WorkQueues::new(3);
+        pool.push(2, 42);
+        assert_eq!(pool.pop(0), Some(42));
+        assert_eq!(pool.pop(1), None);
+        assert_eq!(pool.pending(), 1);
+        pool.complete_one();
+        assert_eq!(pool.pending(), 0);
+    }
+
+    #[test]
+    fn pending_tracks_processing_not_popping() {
+        let pool: WorkQueues<u32> = WorkQueues::new(1);
+        pool.push(0, 1);
+        pool.push(0, 2);
+        let _claimed = pool.pop(0).unwrap();
+        // One item is claimed but unprocessed: the pool must not look done.
+        assert_eq!(pool.pending(), 2);
+        pool.complete_one();
+        assert_eq!(pool.pending(), 1);
+    }
+
+    #[test]
+    fn concurrent_workers_process_every_item_exactly_once() {
+        const WORKERS: usize = 4;
+        const ITEMS: u32 = 1000;
+        let pool: WorkQueues<u32> = WorkQueues::new(WORKERS);
+        for i in 0..ITEMS {
+            pool.push((i as usize) % WORKERS, i);
+        }
+        let seen: Mutex<Vec<u32>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let pool = &pool;
+                let seen = &seen;
+                scope.spawn(move || loop {
+                    match pool.pop(w) {
+                        Some(item) => {
+                            seen.lock().unwrap().push(item);
+                            pool.complete_one();
+                        }
+                        None => {
+                            if pool.pending() == 0 {
+                                break;
+                            }
+                            std::thread::yield_now();
+                        }
+                    }
+                });
+            }
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len() as u32, ITEMS, "every item processed");
+        let distinct: HashSet<u32> = seen.iter().copied().collect();
+        assert_eq!(distinct.len() as u32, ITEMS, "no item processed twice");
+        assert_eq!(pool.pending(), 0);
+    }
+}
