@@ -220,6 +220,20 @@ fn verify_reduction_consistency() {
                 c.with_symmetry_reduction().check_all_inputs(&p),
             )
         },
+        {
+            // The n=4 full-process-symmetry row: unanimous inputs leave the
+            // whole S4 (|G| = 24) as the run group. Under the old
+            // enumerate-the-group canonicalization every insert hashed 24
+            // whole images and this row was left out of the smoke budget;
+            // the pruned stabilizer-chain search gates it per commit.
+            let p = SwapKSet::consensus(4, 2);
+            let c = ModelChecker::new(10, 500_000);
+            (
+                "alg1 n=4 full-symmetry [1,1,1,1]",
+                c.check(&p, &[1, 1, 1, 1]),
+                c.with_symmetry_reduction().check(&p, &[1, 1, 1, 1]),
+            )
+        },
     ];
     for (label, full, reduced) in checks {
         assert!(
@@ -250,6 +264,23 @@ fn verify_reduction_consistency() {
             row.full_states >= 2 * row.reduced_states,
             "{label}: object symmetry must halve the explored states: \
              {} -> {}",
+            row.full_states,
+            row.reduced_states
+        );
+    }
+    // The stabilizer-chain acceptance row: the n=4 unanimous run must carry
+    // the *whole* S4 — group order exactly 24, no silent degrade — and buy
+    // well past the factor the old per-insert group scan could afford.
+    {
+        let label = "alg1 n=4 full-symmetry [1,1,1,1]";
+        let row = table.iter().find(|r| r.label == label).expect("row exists");
+        assert_eq!(
+            row.group, 24,
+            "{label}: expected the full S4 as the run group"
+        );
+        assert!(
+            row.full_states >= 4 * row.reduced_states,
+            "{label}: the S4 reduction collapsed: {} -> {}",
             row.full_states,
             row.reduced_states
         );

@@ -68,6 +68,12 @@ pub struct ValencyResult {
     /// reduction, or a reduced query whose stabilizer degenerated to
     /// trivial).
     pub symmetry_group: usize,
+    /// Whether the run group the stabilizer was carved from is itself a
+    /// degraded subgroup of the protocol's declared symmetry (cap exceeded
+    /// or inconsistent declaration — see
+    /// `swapcons_sim::Canonicalizer::degraded`). Sound either way; reported
+    /// so a declared-but-lost reduction never passes silently.
+    pub symmetry_degraded: bool,
 }
 
 impl ValencyResult {
@@ -212,6 +218,7 @@ impl ValencyOracle {
                 exhaustive: false,
                 states: 0,
                 symmetry_group: canon.group_order(),
+                symmetry_degraded: canon.degraded(),
             };
         }
         // The shared search core ([`swapcons_sim::engine`]) owns the loop:
@@ -326,6 +333,7 @@ impl ValencyOracle {
             exhaustive,
             states,
             symmetry_group: canon.group_order(),
+            symmetry_degraded: canon.degraded(),
         }
     }
 

@@ -43,10 +43,11 @@
 //! is step-for-step equivariant. Crucially the searches keep exploring
 //! **real** configurations (the first-discovered representative of each
 //! orbit) — witness schedules remain genuine, replayable schedules — and
-//! membership is *exact*: [`CanonicalVisitedSet`] keys on the minimum
-//! fingerprint over the orbit but falls back to full orbit comparison on
-//! every bucket hit, mirroring [`VisitedSet`]'s discipline, so soundness
-//! never rests on hash quality.
+//! membership is *exact*: [`CanonicalVisitedSet`] keys on the orbit-minimal
+//! image key (found by a pruned stabilizer-chain search, not a full group
+//! scan) but falls back to full orbit comparison on every bucket hit,
+//! mirroring [`VisitedSet`]'s discipline, so soundness never rests on hash
+//! quality.
 //!
 //! The hooks come with an equivariance contract (see [`crate::Protocol`]);
 //! [`assert_equivariant`] brute-force checks it on random executions and is
@@ -66,15 +67,19 @@ use crate::search::{PrehashedMap, VisitedSet};
 use crate::ProcStatus;
 
 /// Largest renaming group [`Canonicalizer::for_inputs`] will enumerate
-/// (7! — far beyond the instance sizes the explorers handle). Protocols
-/// whose class structure would exceed it degrade soundly to no reduction.
+/// (7! — far beyond the instance sizes the explorers handle).
 ///
 /// The order is computed on the **composed product**: the factorials of the
 /// process classes multiplied by the factorials of every process-coupled
 /// object class's block count. (Value-coupled object permutations are
 /// *derived* from `σ`, never independently enumerated, so they contribute no
-/// factor.) Exceeding the cap degrades the whole group to trivial — never a
-/// partial subgroup, which could silently bias which orbits collapse.
+/// factor.) A declaration exceeding the cap degrades **gracefully**: the
+/// enumeration keeps a maximal genuine *subgroup* within the budget —
+/// factors claim budget largest-first, each contributing the symmetric
+/// group on the longest prefix of its members that still fits — instead of
+/// dropping symmetry entirely. Any subgroup yields sound (merely coarser)
+/// orbit dedup, and the degrade is reported ([`Canonicalizer::degraded`],
+/// surfaced as `CheckReport::symmetry_degraded`) rather than silent.
 pub const MAX_GROUP_ORDER: usize = 5040;
 
 /// A declaration of interchangeable **object blocks** and the coupling that
@@ -486,6 +491,13 @@ pub fn apply_renaming<P: Protocol>(
 pub struct Canonicalizer {
     /// The non-identity group elements (the identity is implicit).
     renamings: Vec<Renaming>,
+    /// Whether the enumerated group is a proper subgroup of the *declared*
+    /// one — the declaration exceeded [`MAX_GROUP_ORDER`] (prefix subgroups
+    /// were kept) or was inconsistent with the instance (degraded to
+    /// trivial). Reduction stays sound either way, but a degraded run
+    /// explores more orbits than the declaration promised, so the engines
+    /// surface the flag in their reports.
+    degraded: bool,
 }
 
 impl Canonicalizer {
@@ -509,10 +521,12 @@ impl Canonicalizer {
     /// renaming (it is not a symmetry).
     ///
     /// Class structures whose **composed** group would exceed
-    /// [`MAX_GROUP_ORDER`] (or a symmetry declaration inconsistent with the
-    /// instance) degrade to the trivial group — always sound, never wrong,
-    /// just unreduced. The degrade is all-or-nothing: enumerating a partial
-    /// subgroup could silently bias which orbits collapse.
+    /// [`MAX_GROUP_ORDER`] degrade gracefully to a maximal subgroup within
+    /// the cap (see [`MAX_GROUP_ORDER`]); a declaration inconsistent with
+    /// the instance degrades to the trivial group. Both are always sound —
+    /// any subgroup gives exact, merely coarser, orbit dedup — and both set
+    /// [`Canonicalizer::degraded`] so reports can surface the lost
+    /// reduction instead of silently running wider than declared.
     pub fn for_inputs<P: Protocol>(protocol: &P, inputs: &[u64]) -> Self {
         let sym = protocol.symmetry();
         let task = protocol.task();
@@ -523,15 +537,21 @@ impl Canonicalizer {
             .classes()
             .iter()
             .any(|c| c.iter().any(|p| p.index() >= task.n))
+            || !object_classes_valid(&sym, task.n, protocol.num_objects())
         {
-            return Canonicalizer::trivial();
+            // An inconsistent declaration cannot be partially honored: no
+            // subset of its renamings is known to be a symmetry. Degrade to
+            // trivial, but flag it — a declared-but-lost group must show up
+            // in `CheckReport`, not vanish.
+            return Canonicalizer {
+                renamings: Vec::new(),
+                degraded: true,
+            };
         }
-        if !object_classes_valid(&sym, task.n, protocol.num_objects()) {
-            return Canonicalizer::trivial();
-        }
-        let Some(skeletons) = enumerate_skeletons(&sym, task.n) else {
-            return Canonicalizer::trivial();
-        };
+        let SkeletonSet {
+            skeletons,
+            degraded,
+        } = enumerate_skeletons(&sym, task.n);
         let mut renamings = Vec::new();
         for skeleton in skeletons {
             let Some(value_map) = derive_value_map(
@@ -556,12 +576,21 @@ impl Canonicalizer {
                 renamings.push(g);
             }
         }
-        Canonicalizer { renamings }
+        Canonicalizer {
+            renamings,
+            degraded,
+        }
     }
 
     /// Order of the group, including the identity.
     pub fn group_order(&self) -> usize {
         self.renamings.len() + 1
+    }
+
+    /// Whether the enumerated group is a proper subgroup of the declared
+    /// one (cap exceeded, or declaration inconsistent with the instance).
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Whether only the identity survived (no reduction possible).
@@ -683,27 +712,67 @@ struct Skeleton {
     obj_map: Vec<ObjectId>,
 }
 
-/// All skeletons drawn from the declaration: the product over process
-/// classes of the full symmetric group on each class, composed with the
-/// product over process-coupled object classes of all block permutations
-/// (each dragging its owner lists slot-for-slot). `None` if the composed
-/// product would exceed [`MAX_GROUP_ORDER`].
-fn enumerate_skeletons(sym: &Symmetry, n: usize) -> Option<Vec<Skeleton>> {
+/// The enumerable skeletons of a declaration, after fitting under the cap.
+struct SkeletonSet {
+    skeletons: Vec<Skeleton>,
+    /// Whether the cap trimmed any factor: the enumerated set generates a
+    /// proper subgroup of the declared group.
+    degraded: bool,
+}
+
+/// How many leading elements of each enumerated factor (process classes in
+/// declaration order, then process-coupled object classes) survive the
+/// [`MAX_GROUP_ORDER`] budget. Factors claim budget from largest to
+/// smallest (stable on declaration order for ties); each keeps the
+/// symmetric group on the longest prefix of its members whose factorial
+/// still fits the running product. Prefix symmetric groups on disjoint
+/// supports multiply into a genuine subgroup of the declared group, so the
+/// trimmed enumeration stays a sound dedup group — unlike an arbitrary
+/// truncation of the element list, which would not be closed under
+/// composition.
+fn fit_factors_under_cap(factor_sizes: &[usize]) -> (Vec<usize>, bool) {
+    let mut by_size: Vec<usize> = (0..factor_sizes.len()).collect();
+    by_size.sort_by_key(|&i| (std::cmp::Reverse(factor_sizes[i]), i));
+    let mut kept = vec![0usize; factor_sizes.len()];
     let mut order: usize = 1;
-    let enumerated_sizes = sym.classes().iter().map(Vec::len).chain(
-        sym.object_classes()
-            .iter()
-            .filter(|c| matches!(c.coupling, ObjectCoupling::Processes { .. }))
-            .map(|c| c.blocks.len()),
-    );
-    for len in enumerated_sizes {
-        for i in 2..=len {
-            order = order.checked_mul(i)?;
-            if order > MAX_GROUP_ORDER {
-                return None;
+    let mut degraded = false;
+    for i in by_size {
+        let len = factor_sizes[i];
+        let mut keep = len.min(1);
+        while keep < len {
+            match order.checked_mul(keep + 1) {
+                Some(next) if next <= MAX_GROUP_ORDER => {
+                    order = next;
+                    keep += 1;
+                }
+                _ => break,
             }
         }
+        kept[i] = keep;
+        degraded |= keep < len;
     }
+    (kept, degraded)
+}
+
+/// All skeletons drawn from the declaration: the product over process
+/// classes of the symmetric group on each class, composed with the product
+/// over process-coupled object classes of the block permutations (each
+/// dragging its owner lists slot-for-slot). Declarations whose composed
+/// product exceeds [`MAX_GROUP_ORDER`] are trimmed to the maximal prefix
+/// subgroup fitting the cap ([`fit_factors_under_cap`]) and flagged.
+fn enumerate_skeletons(sym: &Symmetry, n: usize) -> SkeletonSet {
+    let factor_sizes: Vec<usize> = sym
+        .classes()
+        .iter()
+        .map(Vec::len)
+        .chain(
+            sym.object_classes()
+                .iter()
+                .filter(|c| matches!(c.coupling, ObjectCoupling::Processes { .. }))
+                .map(|c| c.blocks.len()),
+        )
+        .collect();
+    let (kept, degraded) = fit_factors_under_cap(&factor_sizes);
     // Objects past every declared block are fixed by all skeletons; sizing
     // the maps to the declared bound keeps undeclared protocols at the
     // empty (identity) object map.
@@ -717,11 +786,16 @@ fn enumerate_skeletons(sym: &Symmetry, n: usize) -> Option<Vec<Skeleton>> {
         pid_map: ProcessId::all(n).collect(),
         obj_map: ObjectId::all(object_bound).collect(),
     }];
+    let mut factor = 0;
     for class in sym.classes() {
-        if class.len() < 2 {
+        let k = kept[factor].min(class.len());
+        factor += 1;
+        if k < 2 {
             continue;
         }
-        let perms = index_permutations(class.len());
+        // Only the first `k` members of the class permute; the rest stay
+        // fixed (the prefix subgroup the cap left affordable).
+        let perms = index_permutations(k);
         let mut next = Vec::with_capacity(maps.len() * perms.len());
         for skeleton in &maps {
             for perm in &perms {
@@ -741,10 +815,12 @@ fn enumerate_skeletons(sym: &Symmetry, n: usize) -> Option<Vec<Skeleton>> {
         let ObjectCoupling::Processes { owners } = &class.coupling else {
             continue;
         };
-        if class.blocks.len() < 2 {
+        let k = kept[factor].min(class.blocks.len());
+        factor += 1;
+        if k < 2 {
             continue;
         }
-        let perms = index_permutations(class.blocks.len());
+        let perms = index_permutations(k);
         let mut next = Vec::with_capacity(maps.len() * perms.len());
         for skeleton in &maps {
             for perm in &perms {
@@ -763,7 +839,10 @@ fn enumerate_skeletons(sym: &Symmetry, n: usize) -> Option<Vec<Skeleton>> {
         }
         maps = next;
     }
-    Some(maps)
+    SkeletonSet {
+        skeletons: maps,
+        degraded,
+    }
 }
 
 /// Compose into `obj_map` the block moves `σ` induces on the value-coupled
@@ -845,12 +924,10 @@ fn derive_value_map(
 /// candidate, so every orbit contains a self-canonical vector.
 pub fn canonical_input_vector(sym: &Symmetry, inputs: &[u64]) -> Vec<u64> {
     let n = inputs.len();
-    let skeletons = enumerate_skeletons(sym, n).unwrap_or_else(|| {
-        vec![Skeleton {
-            pid_map: ProcessId::all(n).collect(),
-            obj_map: Vec::new(),
-        }]
-    });
+    // The same (possibly cap-trimmed) subgroup `for_inputs` enumerates:
+    // grid skipping and per-run dedup must agree on the group, or a skipped
+    // vector's representative might not be explored.
+    let skeletons = enumerate_skeletons(sym, n).skeletons;
     let mut best: Option<Vec<u64>> = None;
     let consider = |candidate: Vec<u64>, best: &mut Option<Vec<u64>>| {
         if best.as_ref().is_none_or(|b| candidate < *b) {
@@ -929,24 +1006,36 @@ struct RenamingTables {
 
 /// A visited set over symmetry *orbits* with an exact-fallback discipline.
 ///
-/// Keys are the minimum fingerprint over a configuration's orbit (an orbit
-/// invariant); every bucket hit falls back to full orbit comparison, so —
-/// exactly as with [`VisitedSet`] — exactness never depends on fingerprint
-/// quality. Stored representatives are cheap copy-on-write clones of the
-/// *real* configurations the search visited.
+/// Keys are the orbit-minimal image key — the lexicographically smallest
+/// per-slot hash sequence any group element can give the configuration (an
+/// orbit invariant), folded to a `u64`; every bucket hit falls back to full
+/// orbit comparison, so — exactly as with [`VisitedSet`] — exactness never
+/// depends on hash quality. Stored representatives are cheap copy-on-write
+/// clones of the *real* configurations the search visited.
 ///
-/// # Incremental orbit fingerprints
+/// # The pruned minimal-image search
 ///
-/// The orbit key is computed without materializing the orbit: per-renaming
-/// inverse permutation tables (built once, on first probe) let each image's
-/// fingerprint be rolled up slot by slot in destination order, renaming one
-/// element at a time — bit-identical to materializing the image and
-/// fingerprinting it (pinned by a parity test), at zero allocations.
+/// The key is computed without materializing the orbit and without
+/// visiting most of the group. Per-renaming inverse permutation tables
+/// (built once, on first probe) let each image be read off slot by slot in
+/// destination order; the search walks destination slots as the base of a
+/// stabilizer chain, carrying the set of candidates that still achieve the
+/// minimal slot-hash prefix. At each slot every live candidate hashes only
+/// that slot of its image; candidates above the minimum are pruned (their
+/// whole branch of the backtrack tree dies — the prefix-cutoff rule), and
+/// the survivors are exactly the coset of the minimal-prefix stabilizer.
+/// Generic configurations collapse to a single candidate after one or two
+/// slots, so the cost is ~|G| single-slot hashes plus a geometric tail —
+/// versus |G| *full* image fingerprints for the pre-chain scan (kept as
+/// [`CanonicalVisitedSet::orbit_key_unpruned`], the parity baseline).
 /// Renamed twins are materialized only inside the exact fallback of a
 /// *bucket hit* (a duplicate probe or a genuine collision), one renaming at
 /// a time with early exit.
 pub struct CanonicalVisitedSet<P: Protocol> {
     renamings: Vec<Renaming>,
+    /// Whether the group is a cap- or validity-degraded subgroup of the
+    /// declaration (see [`Canonicalizer::degraded`]).
+    degraded: bool,
     /// Inverse-permutation tables, one per renaming; built lazily on the
     /// first probe (the object permutation needs the protocol, which `new`
     /// does not see). `OnceLock` keeps probes `&self` and the set shareable
@@ -959,11 +1048,26 @@ pub struct CanonicalVisitedSet<P: Protocol> {
     fallback_comparisons: usize,
 }
 
+/// Candidate id of the implicit identity renaming in the minimal-image
+/// search; indices into `renamings` are the other candidates.
+const IDENTITY_CANDIDATE: u32 = u32::MAX;
+
+std::thread_local! {
+    /// Scratch candidate buffers for the minimal-image search (live set and
+    /// next-level set). Thread-local rather than per-set because the
+    /// sharded path ([`crate::shard`]) computes keys through one *shared*
+    /// keyer from many workers at once — probes are `&self` and must not
+    /// contend on common scratch.
+    static MIN_IMAGE_SCRATCH: std::cell::RefCell<(Vec<u32>, Vec<u32>)> =
+        const { std::cell::RefCell::new((Vec::new(), Vec::new())) };
+}
+
 impl<P: Protocol> CanonicalVisitedSet<P> {
     /// An empty set deduplicating modulo `canon`'s group.
     pub fn new(canon: Canonicalizer) -> Self {
         CanonicalVisitedSet {
             renamings: canon.renamings,
+            degraded: canon.degraded,
             tables: std::sync::OnceLock::new(),
             buckets: PrehashedMap::default(),
             len: 0,
@@ -1002,6 +1106,12 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         self.renamings.len() + 1
     }
 
+    /// Whether the group is a degraded subgroup of the protocol's declared
+    /// symmetry (see [`Canonicalizer::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.degraded
+    }
+
     /// The inverse-permutation tables, built on first use. The object
     /// permutation (and hence the tables) depends only on the protocol and
     /// the group, both fixed for the lifetime of a set.
@@ -1033,33 +1143,48 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         })
     }
 
-    /// Fingerprint of the image `g · config`, rolled up slot by slot in
-    /// destination order — **bit-identical** to
-    /// `apply_renaming(protocol, g, config).fingerprint()` (the parity is
-    /// pinned by `orbit_fingerprints_match_materialized_images`), but with
-    /// no configuration materialized and no allocation.
-    fn image_fingerprint(
+    /// Hash of the value landing in **object** slot `dst` of the image
+    /// `cand · config` (the configuration's own slot for the identity
+    /// candidate) — read through the inverse tables, no image materialized.
+    fn object_slot_hash(
         protocol: &P,
         config: &Configuration<P>,
-        g: &Renaming,
-        tables: &RenamingTables,
+        renamings: &[Renaming],
+        tables: &[RenamingTables],
+        cand: u32,
+        dst: usize,
     ) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = fxhash::FxHasher::default();
-        // Mirror `Configuration::fingerprint`: the object slice (length
-        // prefix, then elements in slot order), then the process slice.
-        let b = config.num_objects();
-        h.write_usize(b);
-        for dst in 0..b {
-            let src = ObjectId(tables.inv_obj[dst]);
+        if cand == IDENTITY_CANDIDATE {
+            config.value(ObjectId(dst)).hash(&mut h);
+        } else {
+            let g = &renamings[cand as usize];
+            let src = ObjectId(tables[cand as usize].inv_obj[dst]);
             protocol
                 .rename_value(src, config.value(src), g)
                 .hash(&mut h);
         }
-        let n = config.num_processes();
-        h.write_usize(n);
-        for dst in 0..n {
-            let src = ProcessId(tables.inv_pid[dst]);
+        h.finish()
+    }
+
+    /// Hash of the status landing in **process** slot `dst` of the image
+    /// `cand · config`.
+    fn process_slot_hash(
+        protocol: &P,
+        config: &Configuration<P>,
+        renamings: &[Renaming],
+        tables: &[RenamingTables],
+        cand: u32,
+        dst: usize,
+    ) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = fxhash::FxHasher::default();
+        if cand == IDENTITY_CANDIDATE {
+            config.status(ProcessId(dst)).hash(&mut h);
+        } else {
+            let g = &renamings[cand as usize];
+            let src = ProcessId(tables[cand as usize].inv_pid[dst]);
             match config.status(src) {
                 ProcStatus::Running(s) => {
                     ProcStatus::Running(protocol.rename_state(s, g)).hash(&mut h)
@@ -1071,21 +1196,169 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         h.finish()
     }
 
-    /// The orbit's bucket key: the minimum fingerprint across the whole
-    /// orbit (an orbit invariant), masked. No image is materialized.
-    fn orbit_key(&self, protocol: &P, config: &Configuration<P>) -> u64 {
-        let tables = self.tables(protocol, config);
-        let mut key = config.fingerprint();
-        for (g, t) in self.renamings.iter().zip(tables) {
-            key = key.min(Self::image_fingerprint(protocol, config, g, t));
+    /// One refinement level of the minimal-image search: hash the current
+    /// slot for every live candidate, keep exactly the minimum achievers
+    /// (the coset of the minimal-prefix stabilizer), and return the
+    /// minimum. Candidates above the minimum are pruned here — the
+    /// prefix-cutoff rule — and never evaluated on later slots. A single
+    /// survivor short-circuits: the rest of the key is forced.
+    fn refine(
+        live: &mut Vec<u32>,
+        next: &mut Vec<u32>,
+        mut slot_hash: impl FnMut(u32) -> u64,
+    ) -> u64 {
+        if live.len() == 1 {
+            return slot_hash(live[0]);
         }
-        key & self.mask
+        let mut min = u64::MAX;
+        next.clear();
+        for &cand in live.iter() {
+            let hv = slot_hash(cand);
+            if hv < min {
+                min = hv;
+                next.clear();
+                next.push(cand);
+            } else if hv == min {
+                next.push(cand);
+            }
+        }
+        std::mem::swap(live, next);
+        min
+    }
+
+    /// The orbit's bucket key: the fold of the lexicographically minimal
+    /// per-slot hash sequence over the orbit (identity included), masked —
+    /// an orbit invariant, computed by the pruned stabilizer-chain search
+    /// (see the type-level docs) with no image materialized.
+    fn orbit_key(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        use std::hash::Hasher;
+        let tables = self.tables(protocol, config);
+        let renamings = &self.renamings;
+        let b = config.num_objects();
+        let n = config.num_processes();
+        MIN_IMAGE_SCRATCH.with(|scratch| {
+            let (live, next) = &mut *scratch.borrow_mut();
+            live.clear();
+            live.push(IDENTITY_CANDIDATE);
+            live.extend(0..renamings.len() as u32);
+            // Base order: **process slots first**, then object slots.
+            // Process states carry the per-pid payload (lap counters, local
+            // views) and split the candidate set within a slot or two;
+            // object slots are often σ-invariant across the whole group
+            // (e.g. any unanimous-input run, where σ = id), so leading with
+            // them would pay |G| hashes per slot without pruning anything.
+            let mut h = fxhash::FxHasher::default();
+            h.write_usize(n);
+            for dst in 0..n {
+                let min = Self::refine(live, next, |cand| {
+                    Self::process_slot_hash(protocol, config, renamings, tables, cand, dst)
+                });
+                h.write_u64(min);
+            }
+            h.write_usize(b);
+            for dst in 0..b {
+                let min = Self::refine(live, next, |cand| {
+                    Self::object_slot_hash(protocol, config, renamings, tables, cand, dst)
+                });
+                h.write_u64(min);
+            }
+            h.finish() & self.mask
+        })
+    }
+
+    /// Full-|G| reference for the pruned search: every candidate's complete
+    /// slot-hash sequence, lexicographic minimum, folded exactly as
+    /// [`CanonicalVisitedSet::orbit_key`] folds it. This is the pre-chain
+    /// scan's O(|G| · (b + n)) cost profile, kept **test-only** as the
+    /// parity baseline for `tests/canon_soundness.rs` — never on a hot
+    /// path.
+    #[doc(hidden)]
+    pub fn orbit_key_unpruned(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        use std::hash::Hasher;
+        let tables = self.tables(protocol, config);
+        let renamings = &self.renamings;
+        let b = config.num_objects();
+        let n = config.num_processes();
+        let sequence = |cand: u32| -> Vec<u64> {
+            (0..n)
+                .map(|dst| Self::process_slot_hash(protocol, config, renamings, tables, cand, dst))
+                .chain((0..b).map(|dst| {
+                    Self::object_slot_hash(protocol, config, renamings, tables, cand, dst)
+                }))
+                .collect()
+        };
+        let mut best = sequence(IDENTITY_CANDIDATE);
+        for cand in 0..renamings.len() as u32 {
+            let candidate = sequence(cand);
+            if candidate < best {
+                best = candidate;
+            }
+        }
+        let mut h = fxhash::FxHasher::default();
+        h.write_usize(n);
+        for &slot in &best[..n] {
+            h.write_u64(slot);
+        }
+        h.write_usize(b);
+        for &slot in &best[n..] {
+            h.write_u64(slot);
+        }
+        h.finish() & self.mask
+    }
+
+    /// The pruned orbit key — exposed for the brute-force parity suite
+    /// (`tests/canon_soundness.rs`) only; engines go through
+    /// [`CanonicalVisitedSet::insert`]/[`CanonicalVisitedSet::contains`].
+    #[doc(hidden)]
+    pub fn orbit_key_pruned(&self, protocol: &P, config: &Configuration<P>) -> u64 {
+        self.orbit_key(protocol, config)
+    }
+
+    /// Whether `g · config == stored`, compared slot by slot through the
+    /// inverse tables with early exit on the first mismatch — no image
+    /// materialized. Process slots go first for the same reason the chain
+    /// search walks them first: they carry the per-pid payload and reject a
+    /// wrong renaming within a slot or two, while object slots are often
+    /// identical across the whole group.
+    fn renamed_eq(
+        protocol: &P,
+        config: &Configuration<P>,
+        stored: &Configuration<P>,
+        g: &Renaming,
+        t: &RenamingTables,
+    ) -> bool {
+        let n = config.num_processes();
+        let b = config.num_objects();
+        for dst in 0..n {
+            let src = ProcessId(t.inv_pid[dst]);
+            let eq = match (config.status(src), stored.status(ProcessId(dst))) {
+                (ProcStatus::Running(s), ProcStatus::Running(d)) => {
+                    &protocol.rename_state(s, g) == d
+                }
+                (ProcStatus::Decided(v), ProcStatus::Decided(d)) => g.value(*v) == *d,
+                (ProcStatus::Crashed, ProcStatus::Crashed) => true,
+                _ => false,
+            };
+            if !eq {
+                return false;
+            }
+        }
+        for dst in 0..b {
+            let src = ObjectId(t.inv_obj[dst]);
+            if protocol.rename_value(src, config.value(src), g) != *stored.value(ObjectId(dst)) {
+                return false;
+            }
+        }
+        true
     }
 
     /// Whether any member of `config`'s orbit equals a stored
-    /// representative in `bucket` — the exact fallback, reached only on a
-    /// bucket hit. Images are materialized lazily, one renaming at a time,
-    /// with early exit on the first match.
+    /// representative in `bucket` — the exact fallback, reached on every
+    /// bucket hit, i.e. on every duplicate successor, which makes it as hot
+    /// as the key computation itself. Each candidate renaming is tested by
+    /// [`Self::renamed_eq`]'s slot-wise early-exit comparison instead of
+    /// materializing the image: a wrong renaming costs about one rename
+    /// call, not a full configuration clone.
     fn orbit_hits_bucket(
         &self,
         protocol: &P,
@@ -1095,9 +1368,11 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
         if bucket.iter().any(|stored| stored == config) {
             return true;
         }
-        self.renamings.iter().any(|g| {
-            let image = apply_renaming(protocol, g, config);
-            bucket.contains(&image)
+        let tables = self.tables(protocol, config);
+        self.renamings.iter().zip(tables).any(|(g, t)| {
+            bucket
+                .iter()
+                .any(|stored| Self::renamed_eq(protocol, config, stored, g, t))
         })
     }
 
@@ -1113,11 +1388,13 @@ impl<P: Protocol> CanonicalVisitedSet<P> {
 
     /// An empty set over the same group, mask, and compaction policy — the
     /// stripe factory for [`crate::shard`]. The stripe keeps its own copy of
-    /// the renamings for the exact orbit fallback on bucket hits, but its
-    /// `tables` stay unbuilt: stripes only ever see precomputed keys.
+    /// the renamings for the exact orbit fallback on bucket hits (which
+    /// builds the stripe's own inverse tables on first use); keys are still
+    /// only ever computed through the shared keyer.
     pub(crate) fn stripe_clone(&self) -> Self {
         CanonicalVisitedSet {
             renamings: self.renamings.clone(),
+            degraded: self.degraded,
             tables: std::sync::OnceLock::new(),
             buckets: PrehashedMap::default(),
             len: 0,
@@ -1244,9 +1521,11 @@ impl<P: Protocol> DedupSet<P> {
 
     /// A reduced set for `canon`'s group; degrades to exact when the group
     /// is trivial (so the orbit machinery costs nothing when it buys
-    /// nothing).
+    /// nothing). A trivial-but-**degraded** group (an inconsistent
+    /// declaration) stays `Reduced` so the flag survives into reports —
+    /// with zero renamings the orbit machinery is plain exact dedup.
     pub fn reduced(canon: Canonicalizer, expected: usize) -> Self {
-        if canon.is_trivial() {
+        if canon.is_trivial() && !canon.degraded() {
             DedupSet::exact(expected)
         } else {
             DedupSet::Reduced(CanonicalVisitedSet::new(canon).with_capacity(expected))
@@ -1297,6 +1576,16 @@ impl<P: Protocol> DedupSet<P> {
         match self {
             DedupSet::Exact(_) => 1,
             DedupSet::Reduced(set) => set.group_order(),
+        }
+    }
+
+    /// Whether the dedup group is a degraded subgroup of the protocol's
+    /// declared symmetry (see [`Canonicalizer::degraded`]; always `false`
+    /// for exact sets).
+    pub fn degraded(&self) -> bool {
+        match self {
+            DedupSet::Exact(_) => false,
+            DedupSet::Reduced(set) => set.degraded(),
         }
     }
 
@@ -1530,24 +1819,78 @@ mod tests {
     }
 
     #[test]
-    fn composed_group_order_degrades_to_trivial() {
+    fn composed_group_order_degrades_gracefully() {
         // 8 freely interchangeable blocks would be 8! = 40320 > 5040: the
-        // composed product degrades whole, not partially.
+        // cap keeps the prefix subgroup S₇ on the first seven blocks and
+        // flags the degrade instead of dropping symmetry whole.
         let big: Vec<Vec<ObjectId>> = (0..8).map(|i| vec![ObjectId(i)]).collect();
         let sym = Symmetry::none()
             .with_object_classes(ObjectClasses::process_coupled(big, vec![Vec::new(); 8]));
-        assert!(enumerate_skeletons(&sym, 2).is_none());
-        // 7 blocks are exactly 5040 — still enumerated.
+        let set = enumerate_skeletons(&sym, 2);
+        assert!(set.degraded);
+        assert_eq!(set.skeletons.len(), 5040);
+        // 7 blocks are exactly 5040 — fully enumerated, no degrade.
         let edge: Vec<Vec<ObjectId>> = (0..7).map(|i| vec![ObjectId(i)]).collect();
         let sym = Symmetry::none()
             .with_object_classes(ObjectClasses::process_coupled(edge, vec![Vec::new(); 7]));
-        assert_eq!(enumerate_skeletons(&sym, 2).unwrap().len(), 5040);
-        // Process classes multiply in: 3! process permutations × 7! blocks
-        // overflows the cap again.
+        let set = enumerate_skeletons(&sym, 2);
+        assert!(!set.degraded);
+        assert_eq!(set.skeletons.len(), 5040);
+        // Composed factors: 3! × 7! overflows; the larger factor claims the
+        // budget first (S₇ fits exactly) and the process class degrades to
+        // fixed points.
         let seven: Vec<Vec<ObjectId>> = (0..7).map(|i| vec![ObjectId(i)]).collect();
         let sym = Symmetry::full_process(3)
             .with_object_classes(ObjectClasses::process_coupled(seven, vec![Vec::new(); 7]));
-        assert!(enumerate_skeletons(&sym, 3).is_none());
+        let set = enumerate_skeletons(&sym, 3);
+        assert!(set.degraded);
+        assert_eq!(set.skeletons.len(), 5040);
+    }
+
+    #[test]
+    fn cap_budget_is_claimed_largest_first() {
+        // [3, 8]: the 8-element factor claims S₇ (exactly 5040) and leaves
+        // nothing for the 3-element one — largest-first beats declaration
+        // order, which would settle for 3! × S₆ = 4320.
+        let (kept, degraded) = fit_factors_under_cap(&[3, 8]);
+        assert_eq!(kept, vec![1, 7]);
+        assert!(degraded);
+        // [4, 4]: 24 × 24 = 576 fits whole.
+        let (kept, degraded) = fit_factors_under_cap(&[4, 4]);
+        assert_eq!(kept, vec![4, 4]);
+        assert!(!degraded);
+        // [4, 4, 4]: 24³ overflows — the third factor keeps the prefix S₃
+        // (24 · 24 · 6 = 3456 ≤ 5040, × 4 would burst).
+        let (kept, degraded) = fit_factors_under_cap(&[4, 4, 4]);
+        assert_eq!(kept, vec![4, 4, 3]);
+        assert!(degraded);
+        // Degenerate factors pass through untouched.
+        let (kept, degraded) = fit_factors_under_cap(&[0, 1, 2]);
+        assert_eq!(kept, vec![0, 1, 2]);
+        assert!(!degraded);
+    }
+
+    #[test]
+    fn inconsistent_declarations_degrade_to_flagged_trivial() {
+        // An owner list overlapping a declared class without equaling it is
+        // not partially honorable: the group degrades to trivial but the
+        // canonicalizer reports it, and `DedupSet::reduced` keeps the
+        // flagged (exact-behaving) reduced set instead of silently going
+        // exact.
+        let sym = Symmetry::process_classes(vec![vec![ProcessId(0), ProcessId(1)]])
+            .with_object_classes(ObjectClasses::process_coupled(
+                vec![vec![ObjectId(0)], vec![ObjectId(1)]],
+                vec![vec![ProcessId(0)], vec![ProcessId(2)]],
+            ));
+        assert!(!object_classes_valid(&sym, 3, 2));
+        let degraded_trivial = Canonicalizer {
+            renamings: Vec::new(),
+            degraded: true,
+        };
+        let set: DedupSet<TwoProcessSwapConsensus> = DedupSet::reduced(degraded_trivial, 8);
+        assert!(matches!(set, DedupSet::Reduced(_)));
+        assert_eq!(set.group_order(), 1);
+        assert!(set.degraded());
     }
 
     #[test]
@@ -1700,12 +2043,32 @@ mod tests {
         assert!(set.contains(&TwoProcessSwapConsensus, &b));
     }
 
+    /// Per-slot hashes of a materialized configuration, in the destination
+    /// order the incremental path walks (objects, then processes).
+    fn materialized_slot_hashes(config: &Configuration<TwoProcessSwapConsensus>) -> Vec<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut out = Vec::new();
+        for o in 0..config.num_objects() {
+            let mut h = fxhash::FxHasher::default();
+            config.value(ObjectId(o)).hash(&mut h);
+            out.push(h.finish());
+        }
+        for p in 0..config.num_processes() {
+            let mut h = fxhash::FxHasher::default();
+            config.status(ProcessId(p)).hash(&mut h);
+            out.push(h.finish());
+        }
+        out
+    }
+
     #[test]
-    fn orbit_fingerprints_match_materialized_images() {
-        // The incremental orbit-fingerprint path must agree bit for bit
-        // with materializing the renamed twin and fingerprinting it —
-        // otherwise min-over-orbit is not an orbit invariant and the
-        // reduced sets would silently stop deduplicating twins.
+    fn orbit_slot_hashes_match_materialized_images() {
+        // The incremental per-slot hash path must agree bit for bit with
+        // materializing the renamed twin and hashing its slots — otherwise
+        // the lex-min slot sequence is not an orbit invariant and the
+        // reduced sets would silently stop deduplicating twins. The pruned
+        // search must also agree with the unpruned full-|G| reference, and
+        // the key must be constant across each orbit.
         use rand::{Rng, SeedableRng};
         let protocol = TwoProcessSwapConsensus;
         for inputs in [[0u64, 1], [5, 5], [3, 9]] {
@@ -1715,16 +2078,51 @@ mod tests {
             let mut running = Vec::new();
             loop {
                 let tables = set.tables(&protocol, &config);
-                for (g, t) in set.renamings.iter().zip(tables) {
+                let b = config.num_objects();
+                let n = config.num_processes();
+                let incremental = |cand: u32| -> Vec<u64> {
+                    (0..b)
+                        .map(|d| {
+                            CanonicalVisitedSet::object_slot_hash(
+                                &protocol,
+                                &config,
+                                &set.renamings,
+                                tables,
+                                cand,
+                                d,
+                            )
+                        })
+                        .chain((0..n).map(|d| {
+                            CanonicalVisitedSet::process_slot_hash(
+                                &protocol,
+                                &config,
+                                &set.renamings,
+                                tables,
+                                cand,
+                                d,
+                            )
+                        }))
+                        .collect()
+                };
+                assert_eq!(
+                    incremental(IDENTITY_CANDIDATE),
+                    materialized_slot_hashes(&config),
+                    "identity candidate must read the configuration itself"
+                );
+                for (i, g) in set.renamings.iter().enumerate() {
                     let materialized = apply_renaming(&protocol, g, &config);
                     assert_eq!(
-                        CanonicalVisitedSet::image_fingerprint(&protocol, &config, g, t),
-                        materialized.fingerprint(),
+                        incremental(i as u32),
+                        materialized_slot_hashes(&materialized),
                         "inputs {inputs:?}, renaming {g:?}"
                     );
                 }
-                // The key itself is an orbit invariant: every member of the
-                // orbit maps to the same bucket.
+                // Pruned chain == unpruned scan, and the key is an orbit
+                // invariant: every member of the orbit maps to one bucket.
+                assert_eq!(
+                    set.orbit_key(&protocol, &config),
+                    set.orbit_key_unpruned(&protocol, &config)
+                );
                 for g in &set.renamings {
                     let image = apply_renaming(&protocol, g, &config);
                     assert_eq!(

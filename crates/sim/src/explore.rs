@@ -246,7 +246,7 @@ impl ModelChecker {
     ) -> Result<CheckReport, ResumeError> {
         let initial =
             Configuration::initial(protocol, inputs).expect("model checker requires valid inputs");
-        let (stats, sweep_violation, solo_memo_hits, symmetry_group) =
+        let (stats, sweep_violation, solo_memo_hits, symmetry_group, symmetry_degraded) =
             if self.threads > 1 && resume_from.is_none() {
                 self.sharded_sweep(protocol, inputs, &initial, memo, ckpt)
             } else {
@@ -326,6 +326,7 @@ impl ModelChecker {
                     visitor.violation,
                     visitor.solo_memo_hits,
                     visited.group_order(),
+                    visited.degraded(),
                 )
             };
         let mut violation = sweep_violation;
@@ -353,6 +354,7 @@ impl ModelChecker {
             deepest: stats.deepest,
             peak_frontier: stats.peak_frontier,
             symmetry_group,
+            symmetry_degraded,
             hash_compaction: self.hash_compaction,
             solo_memo_hits,
             deadline_truncated: stats.deadline_truncated,
@@ -376,7 +378,7 @@ impl ModelChecker {
         initial: &Configuration<P>,
         memo: &mut SoloMemo<P>,
         ckpt: Option<Checkpointing<'_>>,
-    ) -> (SearchStats, Option<FoundViolation>, usize, usize) {
+    ) -> (SearchStats, Option<FoundViolation>, usize, usize, bool) {
         let capacity = self.max_states.min(1 << 14);
         let mut template: DedupSet<P> = if self.symmetry_reduction {
             DedupSet::reduced(Canonicalizer::for_inputs(protocol, inputs), capacity)
@@ -424,6 +426,7 @@ impl ModelChecker {
             ckpt,
         );
         let group_order = striped.group_order();
+        let group_degraded = striped.degraded();
         let mut hits = 0;
         let mut violation: Option<FoundViolation> = None;
         let mut locals = Vec::with_capacity(visitors.len());
@@ -435,7 +438,7 @@ impl ModelChecker {
         for local in locals {
             memo.merge(local);
         }
-        (stats, violation, hits, group_order)
+        (stats, violation, hits, group_order, group_degraded)
     }
 
     /// [`ModelChecker::check`] that pauses itself after roughly
@@ -623,6 +626,7 @@ impl ModelChecker {
             deepest: 0,
             peak_frontier: 0,
             symmetry_group: 1,
+            symmetry_degraded: false,
             hash_compaction: self.hash_compaction,
             solo_memo_hits: 0,
             deadline_truncated: false,
@@ -639,6 +643,7 @@ impl ModelChecker {
                 aggregate.deepest = aggregate.deepest.max(report.deepest);
                 aggregate.peak_frontier = aggregate.peak_frontier.max(report.peak_frontier);
                 aggregate.symmetry_group = aggregate.symmetry_group.max(report.symmetry_group);
+                aggregate.symmetry_degraded |= report.symmetry_degraded;
                 aggregate.solo_memo_hits += report.solo_memo_hits;
                 aggregate.deadline_truncated |= report.deadline_truncated;
                 aggregate.paused |= report.paused;
@@ -1039,6 +1044,15 @@ pub struct CheckReport {
     /// Order of the symmetry group the visited set deduplicated by (1 = no
     /// reduction; `states` then counts orbits, not raw configurations).
     pub symmetry_group: usize,
+    /// Whether the dedup group is a **degraded subgroup** of the protocol's
+    /// declared symmetry — the declaration exceeded
+    /// [`MAX_GROUP_ORDER`](crate::canon::MAX_GROUP_ORDER) (a maximal
+    /// subgroup under the cap was kept) or was inconsistent with the
+    /// instance (trivial group). The verdict stays sound either way; the
+    /// flag exists so a declared-but-lost reduction is reported, like
+    /// `hash_compaction` is, instead of silently running wider than
+    /// declared.
+    pub symmetry_degraded: bool,
     /// Whether the (unsound, opt-in) hash-compaction mode was active — if
     /// so, a passing verdict is probabilistic and never a safety proof.
     pub hash_compaction: bool,
@@ -1089,7 +1103,7 @@ impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states ({} terminal), deepest schedule {}, {}{}{}",
+            "{} states ({} terminal), deepest schedule {}, {}{}{}{}",
             self.states,
             self.terminal_states,
             self.deepest,
@@ -1106,6 +1120,11 @@ impl fmt::Display for CheckReport {
                 format!(" [symmetry-reduced /{}]", self.symmetry_group)
             } else {
                 String::new()
+            },
+            if self.symmetry_degraded {
+                " [symmetry-degraded: declared group exceeds the cap]"
+            } else {
+                ""
             },
             if self.hash_compaction {
                 " [hash-compacted: probabilistic]"
@@ -1451,6 +1470,43 @@ mod tests {
     }
 
     #[test]
+    fn over_cap_declaration_is_reported_not_silent() {
+        // SelfishConsensus at n=8 declares S8 x S2 (order 80640), far over
+        // MAX_GROUP_ORDER. The checker must degrade to a subgroup under the
+        // cap (the S7 prefix, order 5040) and *say so* in the report — a
+        // silently-unreduced run would look identical to a reduced one on a
+        // passing verdict.
+        let p = SelfishConsensus { n: 8 };
+        let inputs = [1u64; 8];
+        let full = ModelChecker::new(10, 10_000).check(&p, &inputs);
+        let reduced = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&p, &inputs);
+        assert!(reduced.symmetry_degraded, "{reduced}");
+        assert_eq!(reduced.symmetry_group, 5040, "{reduced}");
+        assert!(
+            reduced.to_string().contains("symmetry-degraded"),
+            "{reduced}"
+        );
+        // The degraded subgroup is still a genuine symmetry: same verdict,
+        // fewer states than the unreduced run.
+        assert!(full.same_verdict(&reduced), "{full} vs {reduced}");
+        assert!(reduced.proves_safety(), "{reduced}");
+        assert!(reduced.states < full.states, "{full} vs {reduced}");
+        // Violations survive the degrade too.
+        let bad = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&p, &[0, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(bad.symmetry_degraded);
+        assert!(bad.violation.is_some(), "{bad}");
+        // An undegraded protocol never sets the flag.
+        let clean = ModelChecker::new(10, 10_000)
+            .with_symmetry_reduction()
+            .check(&TwoProcessSwapConsensus, &[0, 1]);
+        assert!(!clean.symmetry_degraded, "{clean}");
+    }
+
+    #[test]
     fn hash_compaction_is_reported_and_never_proves_safety() {
         let report = ModelChecker::new(10, 10_000)
             .unsound_hash_compaction()
@@ -1685,7 +1741,10 @@ mod tests {
 
     /// Everything `same_verdict` compares plus the exact counters that must
     /// agree between a sequential and a sharded complete run.
-    fn full_parity_view(r: &CheckReport) -> (bool, usize, usize, bool, usize, usize, bool, bool) {
+    #[allow(clippy::type_complexity)]
+    fn full_parity_view(
+        r: &CheckReport,
+    ) -> (bool, usize, usize, bool, usize, usize, bool, bool, bool) {
         (
             r.passed(),
             r.states,
@@ -1693,6 +1752,7 @@ mod tests {
             r.complete,
             r.deepest,
             r.symmetry_group,
+            r.symmetry_degraded,
             r.deadline_truncated,
             r.paused,
         )

@@ -294,6 +294,12 @@ impl<P: Protocol> StripedDedup<P> {
         self.keyer.group_order()
     }
 
+    /// Whether the dedup group is a degraded subgroup of the declared
+    /// symmetry (see [`crate::Canonicalizer::degraded`]).
+    pub fn degraded(&self) -> bool {
+        self.keyer.degraded()
+    }
+
     /// Exact-equality fallback comparisons summed across stripes.
     pub fn fallback_comparisons(&self) -> usize {
         self.stripes

@@ -6,17 +6,87 @@
 //! whole-zoo versions.)
 
 use proptest::prelude::*;
-use swapcons::baselines::{BinaryRacing, CommitAdoptConsensus};
+use proptest::test_runner::TestCaseError;
+use swapcons::baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing, RegisterKSet};
+use swapcons::core::hierarchy::TasConsensus;
 use swapcons::core::pairs::PairsKSet;
 use swapcons::core::SwapKSet;
 use swapcons::lower::ValencyOracle;
+use swapcons::sim::canon::CanonicalVisitedSet;
 use swapcons::sim::explore::ModelChecker;
 use swapcons::sim::scheduler::SeededRandom;
-use swapcons::sim::testing::TwoProcessSwapConsensus;
-use swapcons::sim::{runner, Configuration, ProcessId};
+use swapcons::sim::testing::{SelfishConsensus, TwoProcessSwapConsensus};
+use swapcons::sim::{runner, Canonicalizer, Configuration, ProcessId, Protocol};
+
+/// Asserts the pruned stabilizer-chain minimal-image key equals the
+/// test-only full-|G| enumeration key on every configuration along a
+/// seeded random execution of `p` from `inputs`.
+fn chain_matches_scan<P: Protocol>(
+    p: &P,
+    inputs: &[u64],
+    seed: u64,
+    steps: usize,
+) -> Result<(), TestCaseError> {
+    let vs: CanonicalVisitedSet<P> = CanonicalVisitedSet::new(Canonicalizer::for_inputs(p, inputs));
+    let mut config = Configuration::initial(p, inputs).unwrap();
+    let mut sched = SeededRandom::new(seed);
+    prop_assert_eq!(
+        vs.orbit_key_pruned(p, &config),
+        vs.orbit_key_unpruned(p, &config),
+        "initial config of {}",
+        p.name()
+    );
+    for _ in 0..steps {
+        if runner::run(p, &mut config, &mut sched, 1).unwrap().steps == 0 {
+            break; // execution over: everyone decided
+        }
+        prop_assert_eq!(
+            vs.orbit_key_pruned(p, &config),
+            vs.orbit_key_unpruned(p, &config),
+            "reached config of {}",
+            p.name()
+        );
+    }
+    Ok(())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PR 9 tentpole parity: the pruned stabilizer-chain search and the old
+    /// full-group scan (kept behind the test-only `orbit_key_unpruned`
+    /// path) compute the same orbit-minimal image key, on random reachable
+    /// states, across every protocol in the zoo's declared group — the two
+    /// paper algorithms, the four baselines, the hierarchy witness, and
+    /// both self-test protocols (including an over-cap declaration, so the
+    /// degraded prefix subgroup is covered too).
+    #[test]
+    fn chain_minimal_image_matches_full_scan(
+        seed in 0u64..500, steps in 0usize..10, a in 0u64..2, b in 0u64..2, c in 0u64..2
+    ) {
+        chain_matches_scan(&SwapKSet::consensus(3, 2), &[a, b, c], seed, steps)?;
+        chain_matches_scan(&PairsKSet::new(4, 2, 3), &[a + b, c, a, b + c], seed, steps)?;
+        chain_matches_scan(&TasConsensus, &[a + 3, b + 9], seed, steps)?;
+        chain_matches_scan(&BinaryRacing::with_track_len(3, 8), &[a, b, c], seed, steps)?;
+        chain_matches_scan(&CommitAdoptConsensus::new(3, 3), &[a + c, b, a], seed, steps)?;
+        chain_matches_scan(&ReadableRacing::new(3, 2), &[a, b, c], seed, steps)?;
+        chain_matches_scan(&RegisterKSet::new(3, 2, 2), &[a, b, c], seed, steps)?;
+        chain_matches_scan(&TwoProcessSwapConsensus, &[a + 4, b + 11], seed, steps)?;
+        chain_matches_scan(&SelfishConsensus { n: 8 }, &[a, b, c, a, b, c, a, b], seed, steps)?;
+
+        // Oracle-style retained stabilizer subgroups (the valency query
+        // path) keep the parity too: the chain search never assumed the
+        // full input-stabilizer group.
+        let p = PairsKSet::new(4, 2, 3);
+        let inputs = [a, b + 1, c + 1, a + b];
+        let mut config = Configuration::initial(&p, &inputs).unwrap();
+        runner::run(&p, &mut config, &mut SeededRandom::new(seed), steps).unwrap();
+        let mut canon = Canonicalizer::for_inputs(&p, &inputs);
+        let group = [ProcessId(0), ProcessId(1)];
+        canon.retain(|g| g.stabilizes(&group));
+        let vs: CanonicalVisitedSet<PairsKSet> = CanonicalVisitedSet::new(canon);
+        prop_assert_eq!(vs.orbit_key_pruned(&p, &config), vs.orbit_key_unpruned(&p, &config));
+    }
 
     /// Reduced and full model checks of Algorithm 1 reach the same verdict
     /// on every input vector, never exploring more states.

@@ -41,6 +41,66 @@ fn corpus_cases() -> Vec<(usize, FuzzCase)> {
         .collect()
 }
 
+/// Entries harvested by a widened sweep: when `SWAPCONS_FUZZ_PERSIST`
+/// names an existing file (the nightly job points it at the night's
+/// counterexample harvest), its lines are parsed and replayed exactly like
+/// committed corpus entries. This is the sweep-into-the-corpus workflow:
+/// download the artifact, point the variable at it, run this target — a
+/// malformed line fails the parse immediately, a reproducing line fails
+/// the replay with its ready-to-paste corpus line, and a line that
+/// replays clean is flagged as an interleaving-dependent repro worth
+/// pinning anyway. Unset variable or missing file → no cases, no failure.
+fn persisted_cases() -> Vec<(String, FuzzCase)> {
+    let Ok(path) = std::env::var("SWAPCONS_FUZZ_PERSIST") else {
+        return Vec::new();
+    };
+    let Ok(contents) = std::fs::read_to_string(&path) else {
+        return Vec::new();
+    };
+    contents
+        .lines()
+        .enumerate()
+        .filter(|(_, line)| {
+            let t = line.trim();
+            !t.is_empty() && !t.starts_with('#')
+        })
+        .map(|(lineno, line)| {
+            let case = FuzzCase::parse(line.trim()).unwrap_or_else(|e| {
+                panic!(
+                    "persisted corpus {path} line {} is malformed ({e}): {line:?}",
+                    lineno + 1
+                )
+            });
+            (format!("{path}:{}", lineno + 1), case)
+        })
+        .collect()
+}
+
+#[test]
+fn persisted_corpus_parses_and_replays() {
+    let cases = persisted_cases();
+    if cases.is_empty() {
+        return; // no harvest mounted — nothing to sweep
+    }
+    println!(
+        "sweeping {} persisted case(s) through the replayer",
+        cases.len()
+    );
+    for (origin, case) in cases {
+        // Round-trip first: the paste-into-corpus format is load-bearing.
+        let reparsed = FuzzCase::parse(&case.corpus_line()).unwrap();
+        assert_eq!(reparsed, case, "{origin} does not round-trip");
+        for rep in 0..REPS {
+            let label = format!("{origin} rep {rep} — {}", case.corpus_line());
+            let decisions = {
+                let case = case.clone();
+                bounded(label, move || case.run())
+            };
+            case.check(&decisions);
+        }
+    }
+}
+
 #[test]
 fn corpus_is_nonempty_and_well_formed() {
     let cases = corpus_cases();
