@@ -47,7 +47,7 @@
 //! Constructors size `L` generously (`track_len` defaults to `8(M+1)`), and
 //! [`BinaryRacing::space`] — what Table 1 measures — is `2L + O(1) = Θ(n)`.
 
-use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{Domain, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{
     KSetTask, ObjectClasses, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition,
 };
@@ -175,8 +175,8 @@ impl Protocol for BinaryRacing {
         KSetTask::consensus(self.n)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::readable_swap(Domain::BINARY); self.space()]
+    fn num_objects(&self) -> usize {
+        self.space()
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -194,14 +194,14 @@ impl Protocol for BinaryRacing {
         }
     }
 
-    fn poised(&self, state: &BrState) -> (ObjectId, HistorylessOp<u64>) {
+    fn poised(&self, state: &BrState) -> (ObjectId, ObjectOp<u64>) {
         match state.phase {
-            BrPhase::ScanMine { idx } => (self.cell(state.pref, idx), HistorylessOp::Read),
-            BrPhase::ScanOther { idx, .. } => (self.cell(1 - state.pref, idx), HistorylessOp::Read),
-            BrPhase::Advance { at } => (self.cell(state.pref, at), HistorylessOp::Swap(1)),
+            BrPhase::ScanMine { idx } => (self.cell(state.pref, idx), ObjectOp::read()),
+            BrPhase::ScanOther { idx, .. } => (self.cell(1 - state.pref, idx), ObjectOp::read()),
+            BrPhase::Advance { at } => (self.cell(state.pref, at), ObjectOp::swap(1)),
             BrPhase::Stuck => (
                 self.cell(state.pref, self.track_len - 1),
-                HistorylessOp::Read,
+                ObjectOp::read(),
             ),
         }
     }
@@ -352,7 +352,10 @@ mod tests {
         let mut sched = SeededRandom::new(5);
         let out = runner::run(&p, &mut c, &mut sched, 300).unwrap();
         for step in out.history.iter() {
-            if let HistorylessOp::Swap(v) = step.op {
+            if let Some(&v) = matches!(step.op.kind(), swapcons_objects::OpKind::Swap)
+                .then(|| step.op.payload())
+                .flatten()
+            {
                 assert_eq!(v, 1, "only 1s are ever swapped in");
             }
         }

@@ -52,7 +52,7 @@
 
 use std::fmt;
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{
     KSetTask, ObjectId, ProcessId, Protocol, Renaming, SimValue, Symmetry, Transition,
 };
@@ -213,8 +213,8 @@ impl Protocol for CommitAdoptConsensus {
         KSetTask::new(self.n, 1, self.m)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::register(); self.space()]
+    fn num_objects(&self) -> usize {
+        self.space()
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -234,7 +234,7 @@ impl Protocol for CommitAdoptConsensus {
         }
     }
 
-    fn poised(&self, state: &CaState) -> (ObjectId, HistorylessOp<Stamp>) {
+    fn poised(&self, state: &CaState) -> (ObjectId, ObjectOp<Stamp>) {
         let me = state.pid.index();
         match &state.phase {
             CaPhase::WriteA => (
@@ -243,18 +243,20 @@ impl Protocol for CommitAdoptConsensus {
                     round: state.round,
                     value: state.pref,
                     proposed: false,
-                }),
+                })
+                .into(),
             ),
-            CaPhase::ReadA { j, .. } => (self.a_reg(*j), HistorylessOp::Read),
+            CaPhase::ReadA { j, .. } => (self.a_reg(*j), ObjectOp::read()),
             CaPhase::WriteB { proposal } => (
                 self.b_reg(me),
                 HistorylessOp::Write(Stamp {
                     round: state.round,
                     value: proposal.unwrap_or(state.pref),
                     proposed: proposal.is_some(),
-                }),
+                })
+                .into(),
             ),
-            CaPhase::ReadB { j, .. } => (self.b_reg(*j), HistorylessOp::Read),
+            CaPhase::ReadB { j, .. } => (self.b_reg(*j), ObjectOp::read()),
         }
     }
 

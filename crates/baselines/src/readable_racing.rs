@@ -25,7 +25,7 @@
 //! attempts may spend an extra `n-1` reads).
 
 use swapcons_core::lap::{LapVec, SwapEntry};
-use swapcons_objects::{Domain, HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{Domain, HistorylessOp, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 /// Consensus from `n-1` readable swap objects (Algorithm 1 plus a read-only
@@ -116,8 +116,8 @@ impl Protocol for ReadableRacing {
         KSetTask::new(self.n, 1, self.m)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::readable_swap(Domain::Unbounded); self.space()]
+    fn num_objects(&self) -> usize {
+        self.space()
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -137,13 +137,13 @@ impl Protocol for ReadableRacing {
         }
     }
 
-    fn poised(&self, state: &RacingState) -> (ObjectId, HistorylessOp<SwapEntry>) {
+    fn poised(&self, state: &RacingState) -> (ObjectId, ObjectOp<SwapEntry>) {
         match state.mode {
             RacingMode::Racing { .. } => (
                 ObjectId(state.pos),
-                HistorylessOp::Swap(SwapEntry::of(state.u.clone(), state.pid)),
+                HistorylessOp::Swap(SwapEntry::of(state.u.clone(), state.pid)).into(),
             ),
-            RacingMode::Confirming { .. } => (ObjectId(state.pos), HistorylessOp::Read),
+            RacingMode::Confirming { .. } => (ObjectId(state.pos), ObjectOp::read()),
         }
     }
 

@@ -11,7 +11,7 @@
 //! literature formula `n-k+1` (Bouzid–Raynal–Sutra \[6\]) alongside our
 //! measured `2(n-k+1)`.
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 use crate::commit_adopt::{CaState, CommitAdoptConsensus, Stamp};
@@ -91,8 +91,8 @@ impl Protocol for RegisterKSet {
         KSetTask::new(self.n, self.k, self.inner.task().m)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        self.inner.schemas()
+    fn num_objects(&self) -> usize {
+        self.inner.num_objects()
     }
 
     fn schema(&self, obj: ObjectId) -> ObjectSchema {
@@ -115,7 +115,7 @@ impl Protocol for RegisterKSet {
         (pid.index() >= self.participants()).then_some(input)
     }
 
-    fn poised(&self, state: &CaState) -> (ObjectId, HistorylessOp<Stamp>) {
+    fn poised(&self, state: &CaState) -> (ObjectId, ObjectOp<Stamp>) {
         self.inner.poised(state)
     }
 

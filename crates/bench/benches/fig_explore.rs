@@ -32,7 +32,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use swapcons_baselines::{BinaryRacing, CommitAdoptConsensus, ReadableRacing};
 use swapcons_bench::harness::{bench_artifact_dir, render_series, write_series_artifact};
 use swapcons_core::pairs::PairsKSet;
-use swapcons_core::SwapKSet;
+use swapcons_core::{OneBitSwapConsensus, SwapKSet};
 use swapcons_lower::lemma9::searched_solo_pressure;
 use swapcons_lower::section5::{lemma16_driver, searched_object_pressure, Budgets};
 use swapcons_sim::explore::{CheckReport, ModelChecker};
@@ -221,6 +221,20 @@ fn verify_reduction_consistency() {
             )
         },
         {
+            // The derived-object composition layer: 2-process consensus from
+            // one-bit swaps, run on the *flattened* Aspnes construction (one
+            // max register + TAS bit per swap) — the engine sees base
+            // objects only, and the lifted process symmetry must still fold
+            // the orbits.
+            let p = OneBitSwapConsensus.derived();
+            let c = ModelChecker::new(64, 200_000);
+            (
+                "onebit consensus derived all-inputs",
+                c.check_all_inputs(&p),
+                c.with_symmetry_reduction().check_all_inputs(&p),
+            )
+        },
+        {
             // The n=4 full-process-symmetry row: unanimous inputs leave the
             // whole S4 (|G| = 24) as the run group. Under the old
             // enumerate-the-group canonicalization every insert hashed 24
@@ -284,6 +298,37 @@ fn verify_reduction_consistency() {
             row.full_states,
             row.reduced_states
         );
+    }
+    // The derived-object parity gate: the same consensus protocol on atomic
+    // one-bit swaps vs the flattened Aspnes construction. Verdicts must
+    // match across every binary input vector, and the derived run's state
+    // count is pinned alongside (three base steps per visible swap leave
+    // mid-operation configurations the native stack never has).
+    {
+        let c = ModelChecker::new(64, 200_000);
+        let native = c.check_all_inputs(&OneBitSwapConsensus);
+        let derived = c.check_all_inputs(&OneBitSwapConsensus.derived());
+        assert!(native.proves_safety(), "onebit native: {native}");
+        assert!(
+            native.same_verdict(&derived),
+            "onebit consensus: derived verdict diverged: {native} vs {derived}"
+        );
+        assert!(
+            derived.states > native.states,
+            "flattening must expand the state space: {} vs {}",
+            native.states,
+            derived.states
+        );
+        println!(
+            "onebit consensus native-vs-derived   : verdict match ✓  ({} native -> {} derived states)",
+            native.states, derived.states
+        );
+        table.push(ReductionRow {
+            label: "onebit consensus native-vs-derived states".to_string(),
+            full_states: derived.states,
+            reduced_states: native.states,
+            group: 1,
+        });
     }
     for (row, full, reduced) in swapcons_lower::table1::verify_witnesses() {
         assert!(

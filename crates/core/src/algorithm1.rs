@@ -22,7 +22,7 @@
 //! decides within `8(n-k)` swaps — is exposed as
 //! [`SwapKSet::solo_step_bound`] and asserted in tests.
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{KSetTask, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition};
 
 use crate::lap::{LapVec, SwapEntry};
@@ -126,8 +126,8 @@ impl Protocol for SwapKSet {
         KSetTask::new(self.n, self.k, self.m)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::swap(); self.space()]
+    fn num_objects(&self) -> usize {
+        self.space()
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -149,11 +149,11 @@ impl Protocol for SwapKSet {
         }
     }
 
-    fn poised(&self, state: &Alg1State) -> (ObjectId, HistorylessOp<SwapEntry>) {
+    fn poised(&self, state: &Alg1State) -> (ObjectId, ObjectOp<SwapEntry>) {
         // Line 7: ⟨U', p'⟩ ← Swap(B_i, ⟨U, p⟩).
         (
             ObjectId(state.pos),
-            HistorylessOp::Swap(SwapEntry::of(state.u.clone(), state.pid)),
+            HistorylessOp::Swap(SwapEntry::of(state.u.clone(), state.pid)).into(),
         )
     }
 

@@ -22,7 +22,7 @@
 //!   exactly why the paper studies obstruction-free algorithms, where
 //!   Algorithm 1 solves n-process consensus from n-1 swap objects.
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{
     KSetTask, ObjectId, ProcessId, Protocol, Renaming, SimValue, Symmetry, Transition,
 };
@@ -110,13 +110,9 @@ impl Protocol for TasConsensus {
         KSetTask::new(2, 1, 16)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
+    fn num_objects(&self) -> usize {
         // Objects 0, 1: proposal registers; object 2: the TAS.
-        vec![
-            ObjectSchema::register(),
-            ObjectSchema::register(),
-            ObjectSchema::test_and_set(),
-        ]
+        3
     }
 
     fn schema(&self, obj: ObjectId) -> ObjectSchema {
@@ -143,16 +139,19 @@ impl Protocol for TasConsensus {
         }
     }
 
-    fn poised(&self, state: &TasState) -> (ObjectId, HistorylessOp<TasValue>) {
+    fn poised(&self, state: &TasState) -> (ObjectId, ObjectOp<TasValue>) {
         match state.phase {
             TasPhase::Publish => (
                 ObjectId(state.pid.index()),
-                HistorylessOp::Write(TasValue::Proposal(Some(state.input))),
+                HistorylessOp::Write(TasValue::Proposal(Some(state.input))).into(),
             ),
             // Test-and-set = swap `true` into the flag; the response tells
             // us whether we won.
-            TasPhase::Contend => (ObjectId(2), HistorylessOp::Swap(TasValue::Flag(true))),
-            TasPhase::ReadWinner => (ObjectId(1 - state.pid.index()), HistorylessOp::Read),
+            TasPhase::Contend => (
+                ObjectId(2),
+                HistorylessOp::Swap(TasValue::Flag(true)).into(),
+            ),
+            TasPhase::ReadWinner => (ObjectId(1 - state.pid.index()), ObjectOp::read()),
         }
     }
 

@@ -38,9 +38,11 @@
 pub mod algorithm1;
 pub mod hierarchy;
 pub mod lap;
+pub mod onebit;
 pub mod pairs;
 pub mod threaded;
 pub mod two_process;
 
 pub use algorithm1::SwapKSet;
+pub use onebit::OneBitSwapConsensus;
 pub use lap::{LapVec, SwapEntry};

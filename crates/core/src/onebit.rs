@@ -1,0 +1,235 @@
+//! Wait-free 2-process binary consensus from **one-bit** readable swap
+//! objects — the consensus-from-swap workload used to validate the derived
+//! object composition layer end to end.
+//!
+//! [`OneBitSwapConsensus`] is the Section 1 racing idea restated over
+//! *binary* objects so that the very same protocol runs on two stacks:
+//!
+//! * **native** — three atomic readable binary swap objects; and
+//! * **derived** — each object replaced by Aspnes's one-bit swap built from
+//!   a max register and test-and-set bits
+//!   ([`swapcons_objects::AspnesOneBitSwap`]), flattened onto the base set
+//!   by [`swapcons_sim::LayeredProtocol`] (use
+//!   [`OneBitSwapConsensus::derived`]).
+//!
+//! Object layout: `R` (object `0`) is the race object, initially `0`;
+//! `A_p` (object `1 + p`) is process `p`'s announcement slot, initially
+//! `0`. Each process **announces** by swapping its input into `A_p`, then
+//! **races** by swapping `1` into `R`. The response `0` means it got there
+//! first — it decides its own input. The response `1` means the other
+//! process won the race; since announcing precedes racing in program order,
+//! the winner's announcement is already in place, so the loser reads
+//! `A_{1-p}` and decides what it finds.
+//!
+//! Model checking both stacks over *all* binary input vectors must produce
+//! identical verdicts ([`swapcons_sim::explore::CheckReport::same_verdict`])
+//! — pinned in this module's tests and in the `fig_explore` benchmark gate.
+
+use swapcons_objects::{AspnesOneBitSwap, HistorylessOp, ObjectOp, ObjectSchema, Response};
+use swapcons_sim::{
+    KSetTask, LayeredProtocol, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition,
+};
+
+/// Wait-free 2-process binary consensus from three one-bit readable swap
+/// objects. See the module docs for the algorithm.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OneBitSwapConsensus;
+
+/// Where a process stands in the announce → race → read-peer pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OneBitPhase {
+    /// Swap the input into the own announcement slot.
+    Announce,
+    /// Swap `1` into the race object.
+    Race,
+    /// Lost the race: read the winner's announcement.
+    ReadPeer,
+}
+
+/// Process state: identity, input bit, and pipeline phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OneBitState {
+    /// The process id (selects the announcement slot and the peer's).
+    pub pid: usize,
+    /// The process's input bit.
+    pub input: u64,
+    /// Pipeline phase.
+    pub phase: OneBitPhase,
+}
+
+impl OneBitSwapConsensus {
+    /// The alternation budget each derived object needs: the race object
+    /// sees two `Swap(1)` operations but only the first alternates (the
+    /// second takes the invisible fast path), and each announcement slot
+    /// sees one swap. One test-and-set bit per object therefore suffices.
+    pub const ALTERNATION_BUDGET: usize = 1;
+
+    /// The same protocol over derived one-bit swaps: every object replaced
+    /// by the Aspnes construction and flattened onto its base objects (per
+    /// object: one max register plus [`Self::ALTERNATION_BUDGET`]
+    /// test-and-set bits).
+    pub fn derived(self) -> LayeredProtocol<OneBitSwapConsensus, AspnesOneBitSwap> {
+        LayeredProtocol::derive_swaps(self, Self::ALTERNATION_BUDGET)
+    }
+}
+
+impl Protocol for OneBitSwapConsensus {
+    type State = OneBitState;
+    type Value = u64;
+
+    fn name(&self) -> String {
+        "2-process consensus from one-bit swaps".into()
+    }
+
+    fn task(&self) -> KSetTask {
+        KSetTask::new(2, 1, 2)
+    }
+
+    fn num_objects(&self) -> usize {
+        3
+    }
+
+    fn schema(&self, _obj: ObjectId) -> ObjectSchema {
+        ObjectSchema::readable_binary_swap()
+    }
+
+    fn initial_value(&self, _obj: ObjectId) -> u64 {
+        0
+    }
+
+    fn initial_state(&self, pid: ProcessId, input: u64) -> OneBitState {
+        assert!(input <= 1, "binary consensus takes inputs in {{0, 1}}");
+        OneBitState {
+            pid: pid.index(),
+            input,
+            phase: OneBitPhase::Announce,
+        }
+    }
+
+    fn poised(&self, state: &OneBitState) -> (ObjectId, ObjectOp<u64>) {
+        match state.phase {
+            OneBitPhase::Announce => (
+                ObjectId(1 + state.pid),
+                HistorylessOp::Swap(state.input).into(),
+            ),
+            OneBitPhase::Race => (ObjectId(0), HistorylessOp::Swap(1).into()),
+            OneBitPhase::ReadPeer => (ObjectId(1 + (1 - state.pid)), ObjectOp::read()),
+        }
+    }
+
+    fn observe(&self, state: OneBitState, response: Response<u64>) -> Transition<OneBitState> {
+        match state.phase {
+            OneBitPhase::Announce => Transition::Continue(OneBitState {
+                phase: OneBitPhase::Race,
+                ..state
+            }),
+            OneBitPhase::Race => {
+                if response.expect_value("swap returns the displaced bit") == 0 {
+                    // First through the race: decide the own input.
+                    Transition::Decide(state.input)
+                } else {
+                    Transition::Continue(OneBitState {
+                        phase: OneBitPhase::ReadPeer,
+                        ..state
+                    })
+                }
+            }
+            OneBitPhase::ReadPeer => {
+                // The race winner announced before racing, so this is its
+                // input.
+                Transition::Decide(response.expect_value("read returns the announced bit"))
+            }
+        }
+    }
+
+    // Process-symmetric: ids select announcement slots but never a role.
+    // Values are *not* interchangeable — the announcement slots cannot
+    // distinguish "unwritten" from "announced 0", so relabeling inputs does
+    // not fix the initial configuration.
+    fn symmetry(&self) -> Symmetry {
+        Symmetry::full_process(2)
+    }
+
+    fn rename_state(&self, state: &OneBitState, renaming: &Renaming) -> OneBitState {
+        OneBitState {
+            pid: renaming.pid(ProcessId(state.pid)).index(),
+            ..*state
+        }
+    }
+
+    // The announcement slots move with their owners; the race object is
+    // fixed. A function of `π`, so expressed as an override rather than a
+    // declared object class (and therefore liftable by `LayeredProtocol`).
+    fn rename_object(&self, obj: ObjectId, renaming: &Renaming) -> ObjectId {
+        match obj.index() {
+            0 => ObjectId(0),
+            i => ObjectId(1 + renaming.pid(ProcessId(i - 1)).index()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swapcons_sim::canon::assert_equivariant;
+    use swapcons_sim::explore::ModelChecker;
+
+    #[test]
+    fn native_stack_solves_consensus() {
+        let report = ModelChecker::new(64, 100_000).check_all_inputs(&OneBitSwapConsensus);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn derived_stack_solves_consensus() {
+        let derived = OneBitSwapConsensus.derived();
+        // The facade is 3 objects; the priced base set is 6 (one max
+        // register + one TAS bit per derived swap).
+        assert_eq!(OneBitSwapConsensus.num_objects(), 3);
+        assert_eq!(derived.num_objects(), 6);
+        let report = ModelChecker::new(64, 2_000_000).check_all_inputs(&derived);
+        assert!(report.proves_safety(), "{report}");
+    }
+
+    #[test]
+    fn native_and_derived_verdicts_agree() {
+        // The pinned parity gate: model checking the protocol on atomic
+        // swaps and on the flattened Aspnes construction must reach the
+        // same verdict over every binary input vector.
+        let native = ModelChecker::new(64, 100_000).check_all_inputs(&OneBitSwapConsensus);
+        let derived =
+            ModelChecker::new(64, 2_000_000).check_all_inputs(&OneBitSwapConsensus.derived());
+        assert!(
+            native.same_verdict(&derived),
+            "native: {native}\nderived: {derived}"
+        );
+        // And the derived run explores strictly more states: three base
+        // steps per visible swap leave mid-operation configurations the
+        // native stack never has.
+        assert!(derived.states > native.states);
+    }
+
+    #[test]
+    fn both_stacks_are_equivariant() {
+        // Process symmetry commutes with every operation kind the stacks
+        // use — swap/read natively; max-read, test-and-set, and max-write
+        // once flattened (mid-frame states included).
+        for inputs in [[0, 0], [1, 1], [0, 1]] {
+            assert_equivariant(&OneBitSwapConsensus, &inputs, 12, 6);
+            assert_equivariant(&OneBitSwapConsensus.derived(), &inputs, 12, 6);
+        }
+    }
+
+    #[test]
+    fn wait_free_on_both_stacks() {
+        // Three high-level operations per process; ≤ 3 base steps each.
+        let native = ModelChecker::new(64, 100_000)
+            .with_wait_free_bound(3)
+            .check_all_inputs(&OneBitSwapConsensus);
+        assert!(native.proves_safety(), "{native}");
+        let derived = ModelChecker::new(64, 2_000_000)
+            .with_wait_free_bound(9)
+            .check_all_inputs(&OneBitSwapConsensus.derived());
+        assert!(derived.proves_safety(), "{derived}");
+    }
+}

@@ -12,7 +12,7 @@
 //! — every process decides within exactly one of its own steps (or zero, for
 //! the unpaired processes) — but it only applies in the `k ≥ ⌈n/2⌉` regime.
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response};
 use swapcons_sim::{
     KSetTask, ObjectClasses, ObjectId, ProcessId, Protocol, Renaming, Symmetry, Transition,
 };
@@ -104,8 +104,8 @@ impl Protocol for PairsKSet {
         KSetTask::new(self.n, self.k, self.m)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::swap(); self.space()]
+    fn num_objects(&self) -> usize {
+        self.space()
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -128,10 +128,10 @@ impl Protocol for PairsKSet {
         self.pair_of(pid).is_none().then_some(input)
     }
 
-    fn poised(&self, state: &PairState) -> (ObjectId, HistorylessOp<Option<u64>>) {
+    fn poised(&self, state: &PairState) -> (ObjectId, ObjectOp<Option<u64>>) {
         (
             ObjectId(state.object),
-            HistorylessOp::Swap(Some(state.input)),
+            HistorylessOp::Swap(Some(state.input)).into(),
         )
     }
 

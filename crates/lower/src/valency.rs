@@ -689,10 +689,12 @@ mod tests {
             swapcons_sim::KSetTask::new(2, 1, 2)
         }
 
-        fn schemas(&self) -> Vec<swapcons_objects::ObjectSchema> {
-            vec![swapcons_objects::ObjectSchema::readable_swap(
-                swapcons_objects::Domain::Unbounded,
-            )]
+        fn num_objects(&self) -> usize {
+            1
+        }
+
+        fn schema(&self, _obj: swapcons_sim::ObjectId) -> swapcons_objects::ObjectSchema {
+            swapcons_objects::ObjectSchema::readable_swap(swapcons_objects::Domain::Unbounded)
         }
 
         fn initial_value(&self, _obj: swapcons_sim::ObjectId) -> Option<u64> {
@@ -711,16 +713,13 @@ mod tests {
             state: &CdState,
         ) -> (
             swapcons_sim::ObjectId,
-            swapcons_objects::HistorylessOp<Option<u64>>,
+            swapcons_objects::ObjectOp<Option<u64>>,
         ) {
             let obj = swapcons_sim::ObjectId(0);
             if state.swapped {
-                (obj, swapcons_objects::HistorylessOp::Read)
+                (obj, swapcons_objects::ObjectOp::read())
             } else {
-                (
-                    obj,
-                    swapcons_objects::HistorylessOp::Swap(Some(state.input)),
-                )
+                (obj, swapcons_objects::ObjectOp::swap(Some(state.input)))
             }
         }
 

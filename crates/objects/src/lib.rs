@@ -44,10 +44,12 @@
 
 pub mod atomic;
 pub mod cell;
+pub mod derived;
 pub mod historyless;
 pub mod linearize;
 mod op;
 mod schema;
 
-pub use op::{HistorylessOp, OpKind, Response};
+pub use derived::{AspnesOneBitSwap, ObjectProgram, ProgramStep};
+pub use op::{HistorylessOp, ObjectOp, OpKind, Response};
 pub use schema::{Domain, ObjectKind, ObjectSchema, SchemaError};

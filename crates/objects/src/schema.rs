@@ -28,11 +28,17 @@ pub enum ObjectKind {
     /// Supports `Read` and `Swap` (and `Write`, which is `Swap` with the
     /// response discarded).
     ReadableSwap,
-    /// A test-and-set object: a binary object supporting only the nontrivial
-    /// operation `Swap(1)` (test-and-set) and, in the readable variant used
-    /// here, `Read`. Modeled as a domain-2 readable swap object restricted to
-    /// swapping in `1`.
+    /// A test-and-set object: a binary object supporting the nontrivial
+    /// operations `Swap(1)` (legacy test-and-set-by-swap) and the one-shot
+    /// `TestAndSet`, plus `Read` in the readable variant used here. Modeled
+    /// as a domain-2 readable swap object restricted to swapping in `1`.
     TestAndSet,
+    /// A max register: holds the largest value written so far. Supports only
+    /// `MaxRead` and `MaxWrite`. **Not historyless** — the value a
+    /// `MaxWrite` leaves behind depends on the value it found — so this kind
+    /// never participates in Table-1 space accounting
+    /// ([`ObjectKind::is_historyless`] is the machine-checked boundary).
+    MaxRegister,
 }
 
 impl ObjectKind {
@@ -42,8 +48,13 @@ impl ObjectKind {
         match self {
             ObjectKind::Register => matches!(op, OpKind::Read | OpKind::Write),
             ObjectKind::Swap => matches!(op, OpKind::Swap),
-            ObjectKind::ReadableSwap => true,
-            ObjectKind::TestAndSet => matches!(op, OpKind::Read | OpKind::Swap),
+            ObjectKind::ReadableSwap => {
+                matches!(op, OpKind::Read | OpKind::Write | OpKind::Swap)
+            }
+            ObjectKind::TestAndSet => {
+                matches!(op, OpKind::Read | OpKind::Swap | OpKind::TestAndSet)
+            }
+            ObjectKind::MaxRegister => matches!(op, OpKind::MaxRead | OpKind::MaxWrite),
         }
     }
 
@@ -53,7 +64,24 @@ impl ObjectKind {
     pub fn supports_trivial(self) -> bool {
         match self {
             ObjectKind::Swap => false,
-            ObjectKind::Register | ObjectKind::ReadableSwap | ObjectKind::TestAndSet => true,
+            ObjectKind::Register
+            | ObjectKind::ReadableSwap
+            | ObjectKind::TestAndSet
+            | ObjectKind::MaxRegister => true,
+        }
+    }
+
+    /// Whether this object kind is historyless (its value is determined by
+    /// the last nontrivial operation alone). Every kind the paper's Table 1
+    /// counts is; a max register is not. Space-accounting code gates on this
+    /// so derived-object base sets are priced honestly.
+    pub fn is_historyless(self) -> bool {
+        match self {
+            ObjectKind::Register
+            | ObjectKind::Swap
+            | ObjectKind::ReadableSwap
+            | ObjectKind::TestAndSet => true,
+            ObjectKind::MaxRegister => false,
         }
     }
 }
@@ -65,6 +93,7 @@ impl fmt::Display for ObjectKind {
             ObjectKind::Swap => "swap",
             ObjectKind::ReadableSwap => "readable-swap",
             ObjectKind::TestAndSet => "test-and-set",
+            ObjectKind::MaxRegister => "max-register",
         };
         f.write_str(s)
     }
@@ -179,6 +208,16 @@ impl ObjectSchema {
         ObjectSchema {
             kind: ObjectKind::TestAndSet,
             domain: Domain::BINARY,
+        }
+    }
+
+    /// A max register over the given domain. Aspnes's one-bit swap uses a
+    /// single bounded max register to count alternations; unbounded max
+    /// registers are admitted for completeness.
+    pub fn max_register(domain: Domain) -> Self {
+        ObjectSchema {
+            kind: ObjectKind::MaxRegister,
+            domain,
         }
     }
 
@@ -377,7 +416,49 @@ mod tests {
         assert!(s.permits_kind(OpKind::Read));
         assert!(s.permits_kind(OpKind::Swap));
         assert!(!s.permits_kind(OpKind::Write));
+        assert!(s.permits_kind(OpKind::TestAndSet));
+        assert!(!s.permits_kind(OpKind::MaxRead));
         assert_eq!(s.domain(), Domain::BINARY);
+    }
+
+    #[test]
+    fn max_register_permits_only_max_ops() {
+        let s = ObjectSchema::max_register(Domain::Bounded(5));
+        assert!(s.permits_kind(OpKind::MaxRead));
+        assert!(s.permits_kind(OpKind::MaxWrite));
+        assert!(!s.permits_kind(OpKind::Read));
+        assert!(!s.permits_kind(OpKind::Write));
+        assert!(!s.permits_kind(OpKind::Swap));
+        assert!(!s.permits_kind(OpKind::TestAndSet));
+        assert!(s.kind().supports_trivial());
+        assert_eq!(s.domain(), Domain::Bounded(5));
+        assert_eq!(s.kind().to_string(), "max-register");
+    }
+
+    #[test]
+    fn historyless_boundary_excludes_exactly_the_max_register() {
+        for kind in [
+            ObjectKind::Register,
+            ObjectKind::Swap,
+            ObjectKind::ReadableSwap,
+            ObjectKind::TestAndSet,
+        ] {
+            assert!(kind.is_historyless(), "{kind}");
+        }
+        assert!(!ObjectKind::MaxRegister.is_historyless());
+    }
+
+    #[test]
+    fn rmw_kinds_are_rejected_on_historyless_objects() {
+        for schema in [
+            ObjectSchema::register(),
+            ObjectSchema::swap(),
+            ObjectSchema::readable_swap(Domain::Unbounded),
+        ] {
+            assert!(!schema.permits_kind(OpKind::MaxWrite), "{schema:?}");
+            assert!(!schema.permits_kind(OpKind::MaxRead), "{schema:?}");
+            assert!(!schema.permits_kind(OpKind::TestAndSet), "{schema:?}");
+        }
     }
 
     #[test]

@@ -1704,6 +1704,33 @@ pub fn assert_equivariant<P: Protocol>(protocol: &P, inputs: &[u64], steps: usiz
             let crash = running.len() > 1 && rng.gen_range(0..4) == 0;
             for g in canon.renamings() {
                 let mut renamed_then_stepped = apply_renaming(protocol, g, &config);
+                // Poised operations must commute kind-for-kind: the renamed
+                // process is poised on the renamed object with an operation
+                // of the same kind (and the same triviality — this is what
+                // extends the contract to the read-modify-write kinds:
+                // renaming may rewrite a swap's payload, but it must never
+                // turn a test-and-set into a max-write or a max-read into
+                // anything nontrivial).
+                {
+                    let (obj, op) = protocol.poised(config.state(p).expect("p is running"));
+                    let (robj, rop) = protocol.poised(
+                        renamed_then_stepped
+                            .state(g.pid(p))
+                            .expect("renamed p is running"),
+                    );
+                    assert!(
+                        robj == protocol.rename_object(obj, g),
+                        "renaming {g:?}: process {p} poised on {obj} is renamed \
+                         to a process poised on {robj}"
+                    );
+                    assert!(
+                        rop.kind() == op.kind(),
+                        "renaming {g:?}: process {p} poised to {:?} is renamed \
+                         to a process poised to {:?}",
+                        op.kind(),
+                        rop.kind()
+                    );
+                }
                 let mut original = config.clone();
                 if crash {
                     renamed_then_stepped

@@ -21,7 +21,7 @@ use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, OpKind, Response, SchemaError};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response, SchemaError};
 
 use crate::history::StepRecord;
 use crate::ids::{Action, ObjectId, ProcessId};
@@ -372,7 +372,7 @@ impl<P: Protocol> Configuration<P> {
         &self,
         protocol: &P,
         pid: ProcessId,
-    ) -> Option<(ObjectId, HistorylessOp<P::Value>)> {
+    ) -> Option<(ObjectId, ObjectOp<P::Value>)> {
         self.state(pid).map(|s| protocol.poised(s))
     }
 
@@ -393,20 +393,10 @@ impl<P: Protocol> Configuration<P> {
     /// operation targets an out-of-range object (both are protocol bugs).
     pub fn step(&mut self, protocol: &P, pid: ProcessId) -> Result<StepRecord<P::Value>, SimError> {
         let (obj, op) = self.validated_poised(protocol, pid)?;
-        // Apply phase. For a nontrivial op the previous value is moved out
-        // of the (copy-on-write-detached) object slot rather than cloned —
-        // for `Swap` that displaced value *is* the response. The record
-        // keeps the operation, so its payload is cloned into the object.
-        let response = match op.next_value(&self.objects[obj.index()]) {
-            Some(next) => {
-                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
-                match op.kind() {
-                    OpKind::Write => Response::Ack,
-                    _ => Response::Value(prev),
-                }
-            }
-            None => op.response(&self.objects[obj.index()]),
-        };
+        // Apply phase. The record keeps the operation, so the payload is
+        // cloned into the object via the cloned op; the quiet paths below
+        // move it instead.
+        let (response, _) = self.apply_op(obj, op.clone(), false);
         let decided = self.absorb(protocol, pid, response.clone());
         Ok(StepRecord {
             pid,
@@ -417,6 +407,74 @@ impl<P: Protocol> Configuration<P> {
         })
     }
 
+    /// Apply `op` to the slot of `obj` — the one authoritative
+    /// implementation of every [`ObjectOp`] kind's semantics in the
+    /// simulator. The payload is *moved* into the object and, for a swap,
+    /// the displaced value is *moved* into the response (zero value clones
+    /// on the hot path). With `save_prior` set, a mutated slot's displaced
+    /// value is additionally cloned and returned for delta-undo; operations
+    /// that left the slot untouched (reads, lost test-and-sets, max-writes
+    /// at or below the current value) return `None` — nothing to restore.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a `MaxWrite`'s comparison is undefined because either
+    /// side lacks a domain point — max registers hold integer-pointed
+    /// values by construction, so this is a protocol bug.
+    fn apply_op(
+        &mut self,
+        obj: ObjectId,
+        op: ObjectOp<P::Value>,
+        save_prior: bool,
+    ) -> (Response<P::Value>, Option<(ObjectId, P::Value)>) {
+        match op {
+            ObjectOp::Historyless(HistorylessOp::Read) => (
+                Response::to_read(self.objects[obj.index()].clone()),
+                None,
+            ),
+            ObjectOp::MaxRead => (
+                Response::to_max_read(self.objects[obj.index()].clone()),
+                None,
+            ),
+            ObjectOp::Historyless(HistorylessOp::Write(next)) => {
+                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                (Response::to_write(), save_prior.then(|| (obj, prev)))
+            }
+            ObjectOp::Historyless(HistorylessOp::Swap(next)) => {
+                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                let saved = save_prior.then(|| (obj, prev.clone()));
+                (Response::to_swap(prev), saved)
+            }
+            ObjectOp::TestAndSet(next) => {
+                if self.objects[obj.index()].domain_point() == Some(0) {
+                    let prev =
+                        std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                    (
+                        Response::to_test_and_set(true),
+                        save_prior.then(|| (obj, prev)),
+                    )
+                } else {
+                    (Response::to_test_and_set(false), None)
+                }
+            }
+            ObjectOp::MaxWrite(next) => {
+                let current = self.objects[obj.index()]
+                    .domain_point()
+                    .expect("max register holds a composite value with no domain point");
+                let offered = next
+                    .domain_point()
+                    .expect("max-write payload has no domain point");
+                if offered > current {
+                    let prev =
+                        std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
+                    (Response::to_max_write(), save_prior.then(|| (obj, prev)))
+                } else {
+                    (Response::to_max_write(), None)
+                }
+            }
+        }
+    }
+
     /// Validation phase shared by [`Configuration::step`] and
     /// [`Configuration::step_quiet`]: resolve the poised operation and check
     /// it against the target object's schema. Mutates nothing, so schema
@@ -425,7 +483,7 @@ impl<P: Protocol> Configuration<P> {
         &self,
         protocol: &P,
         pid: ProcessId,
-    ) -> Result<(ObjectId, HistorylessOp<P::Value>), SimError> {
+    ) -> Result<(ObjectId, ObjectOp<P::Value>), SimError> {
         let state = match &self.procs[pid.index()] {
             ProcStatus::Running(s) => s,
             ProcStatus::Decided(_) => return Err(SimError::ProcessDecided(pid)),
@@ -501,19 +559,7 @@ impl<P: Protocol> Configuration<P> {
     /// Identical to [`Configuration::step`].
     pub fn step_quiet(&mut self, protocol: &P, pid: ProcessId) -> Result<Option<u64>, SimError> {
         let (obj, op) = self.validated_poised(protocol, pid)?;
-        let kind = op.kind();
-        let response = match op.into_payload() {
-            // Nontrivial: move the payload in, move the old value out.
-            Some(next) => {
-                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
-                match kind {
-                    OpKind::Write => Response::Ack,
-                    _ => Response::Value(prev),
-                }
-            }
-            // Trivial: the object keeps its value; the response clones it.
-            None => Response::Value(self.objects[obj.index()].clone()),
-        };
+        let (response, _) = self.apply_op(obj, op, false);
         Ok(self.absorb(protocol, pid, response))
     }
 
@@ -542,20 +588,8 @@ impl<P: Protocol> Configuration<P> {
         pid: ProcessId,
     ) -> Result<(Option<u64>, StepUndo<P>), SimError> {
         let (obj, op) = self.validated_poised(protocol, pid)?;
-        let kind = op.kind();
         let prior_status = self.procs[pid.index()].clone();
-        let (response, prior_object) = match op.into_payload() {
-            Some(next) => {
-                let prev = std::mem::replace(&mut cow_slice(&mut self.objects)[obj.index()], next);
-                let saved = prev.clone();
-                let response = match kind {
-                    OpKind::Write => Response::Ack,
-                    _ => Response::Value(prev),
-                };
-                (response, Some((obj, saved)))
-            }
-            None => (Response::Value(self.objects[obj.index()].clone()), None),
-        };
+        let (response, prior_object) = self.apply_op(obj, op, true);
         let decided = self.absorb(protocol, pid, response);
         Ok((
             decided,

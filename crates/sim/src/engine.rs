@@ -1691,7 +1691,7 @@ mod tests {
     #[test]
     fn panicking_step_is_isolated_and_reported() {
         use crate::task::KSetTask;
-        use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+        use swapcons_objects::{ObjectOp, ObjectSchema, Response};
 
         /// Delegates everything to the two-process consensus protocol but
         /// panics on every observe — a worst-case protocol bug.
@@ -1705,8 +1705,11 @@ mod tests {
             fn task(&self) -> KSetTask {
                 TwoProcessSwapConsensus.task()
             }
-            fn schemas(&self) -> Vec<ObjectSchema> {
-                TwoProcessSwapConsensus.schemas()
+            fn num_objects(&self) -> usize {
+                TwoProcessSwapConsensus.num_objects()
+            }
+            fn schema(&self, obj: crate::ObjectId) -> ObjectSchema {
+                TwoProcessSwapConsensus.schema(obj)
             }
             fn initial_value(&self, obj: crate::ObjectId) -> Self::Value {
                 TwoProcessSwapConsensus.initial_value(obj)
@@ -1714,7 +1717,7 @@ mod tests {
             fn initial_state(&self, pid: ProcessId, input: u64) -> Self::State {
                 TwoProcessSwapConsensus.initial_state(pid, input)
             }
-            fn poised(&self, state: &Self::State) -> (crate::ObjectId, HistorylessOp<Self::Value>) {
+            fn poised(&self, state: &Self::State) -> (crate::ObjectId, ObjectOp<Self::Value>) {
                 TwoProcessSwapConsensus.poised(state)
             }
             fn observe(

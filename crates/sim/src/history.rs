@@ -5,7 +5,7 @@
 use std::collections::HashSet;
 use std::fmt;
 
-use swapcons_objects::{HistorylessOp, Response};
+use swapcons_objects::{ObjectOp, Response};
 
 use crate::ids::{ObjectId, ProcessId};
 
@@ -19,7 +19,7 @@ pub struct StepRecord<V> {
     /// The object targeted.
     pub object: ObjectId,
     /// The operation applied.
-    pub op: HistorylessOp<V>,
+    pub op: ObjectOp<V>,
     /// The response received.
     pub response: Response<V>,
     /// The value decided by this step, if any.
@@ -155,7 +155,7 @@ impl<V> Extend<StepRecord<V>> for History<V> {
 mod tests {
     use super::*;
 
-    fn rec(pid: usize, obj: usize, op: HistorylessOp<u64>, resp: Response<u64>) -> StepRecord<u64> {
+    fn rec(pid: usize, obj: usize, op: ObjectOp<u64>, resp: Response<u64>) -> StepRecord<u64> {
         StepRecord {
             pid: ProcessId(pid),
             object: ObjectId(obj),
@@ -169,9 +169,9 @@ mod tests {
     fn accessors_over_a_small_history() {
         let mut h = History::new();
         assert!(h.is_empty());
-        h.push(rec(0, 0, HistorylessOp::Swap(1), Response::Value(0)));
-        h.push(rec(1, 1, HistorylessOp::Read, Response::Value(0)));
-        h.push(rec(0, 1, HistorylessOp::Write(2), Response::Ack));
+        h.push(rec(0, 0, ObjectOp::swap(1), Response::Value(0)));
+        h.push(rec(1, 1, ObjectOp::read(), Response::Value(0)));
+        h.push(rec(0, 1, ObjectOp::write(2), Response::Ack));
         assert_eq!(h.len(), 3);
         assert_eq!(h.step_count_of(ProcessId(0)), 2);
         assert_eq!(h.participants().len(), 2);
@@ -186,7 +186,7 @@ mod tests {
     #[test]
     fn only_by_checks_participants() {
         let mut h = History::new();
-        h.push(rec(2, 0, HistorylessOp::Read, Response::Value(0)));
+        h.push(rec(2, 0, ObjectOp::read(), Response::Value(0)));
         assert!(h.is_only_by(&[ProcessId(2)]));
         assert!(h.is_only_by(&[ProcessId(1), ProcessId(2)]));
         assert!(!h.is_only_by(&[ProcessId(1)]));
@@ -196,10 +196,10 @@ mod tests {
     #[test]
     fn decisions_extracted_in_order() {
         let mut h = History::new();
-        let mut r = rec(0, 0, HistorylessOp::Swap(1), Response::Value(0));
+        let mut r = rec(0, 0, ObjectOp::swap(1), Response::Value(0));
         r.decided = Some(7);
         h.push(r);
-        let mut r = rec(1, 0, HistorylessOp::Swap(2), Response::Value(1));
+        let mut r = rec(1, 0, ObjectOp::swap(2), Response::Value(1));
         r.decided = Some(9);
         h.push(r);
         assert_eq!(h.decisions(), vec![(ProcessId(0), 7), (ProcessId(1), 9)]);
@@ -207,11 +207,11 @@ mod tests {
 
     #[test]
     fn concat_and_collect() {
-        let a: History<u64> = vec![rec(0, 0, HistorylessOp::Read, Response::Value(0))]
+        let a: History<u64> = vec![rec(0, 0, ObjectOp::read(), Response::Value(0))]
             .into_iter()
             .collect();
         let mut b = History::new();
-        b.push(rec(1, 0, HistorylessOp::Read, Response::Value(0)));
+        b.push(rec(1, 0, ObjectOp::read(), Response::Value(0)));
         let mut ab = a.clone();
         ab.extend(b);
         assert_eq!(ab.len(), 2);
@@ -221,7 +221,7 @@ mod tests {
 
     #[test]
     fn debug_format_mentions_decision() {
-        let mut r = rec(0, 0, HistorylessOp::Swap(1), Response::Value(0));
+        let mut r = rec(0, 0, ObjectOp::swap(1), Response::Value(0));
         r.decided = Some(3);
         let s = format!("{r:?}");
         assert!(s.contains("decides 3"), "{s}");

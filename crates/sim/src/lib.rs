@@ -54,6 +54,7 @@
 
 pub mod canon;
 mod config;
+pub mod derived;
 pub mod engine;
 pub mod explore;
 mod history;
@@ -69,6 +70,7 @@ pub mod testing;
 
 pub use canon::{Canonicalizer, ObjectClasses, Renaming, Symmetry};
 pub use config::{Configuration, ProcStatus, SimError, StepUndo};
+pub use derived::{LayeredProtocol, LayeredState};
 pub use engine::{AdversarySynthesis, SynthesisReport};
 pub use history::{History, StepRecord};
 pub use ids::{Action, ObjectId, ProcessId};

@@ -13,7 +13,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{ObjectOp, ObjectSchema, Response};
 
 use crate::canon::{Renaming, Symmetry};
 use crate::ids::{ObjectId, ProcessId};
@@ -100,25 +100,28 @@ pub trait Protocol: Sync {
         self.task().n
     }
 
-    /// Capability schema of every shared object. The length of this vector
-    /// is the protocol's **space complexity** — the quantity all of the
-    /// paper's bounds are about.
-    fn schemas(&self) -> Vec<ObjectSchema>;
+    /// Number of shared objects. This count is the protocol's **space
+    /// complexity** — the quantity all of the paper's bounds are about
+    /// (priced per-kind via [`Protocol::schema`]; for protocols over
+    /// *derived* objects, what counts is the flattened base-object set the
+    /// engine actually simulates, never the derived facade).
+    fn num_objects(&self) -> usize;
 
-    /// Number of shared objects.
-    fn num_objects(&self) -> usize {
-        self.schemas().len()
-    }
-
-    /// Capability schema of a single object — semantically
-    /// `self.schemas()[obj.index()]`.
+    /// Capability schema of object `obj` (`0..num_objects()`).
     ///
-    /// [`crate::Configuration::step`] consults this once per simulated step,
-    /// so protocols should override it to return the schema directly: the
-    /// default implementation materializes the whole schema vector, which is
-    /// a heap allocation on the hottest path in the workspace.
-    fn schema(&self, obj: ObjectId) -> ObjectSchema {
-        self.schemas()[obj.index()]
+    /// [`crate::Configuration::step`] consults this once per simulated step
+    /// — it is the hottest schema path in the workspace, which is why the
+    /// per-object accessor is the required method and the vector form
+    /// ([`Protocol::schemas`]) is derived from it, not the other way
+    /// around.
+    fn schema(&self, obj: ObjectId) -> ObjectSchema;
+
+    /// Capability schemas of all shared objects, materialized. Derived from
+    /// [`Protocol::schema`]; prefer the per-object accessor on hot paths.
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        ObjectId::all(self.num_objects())
+            .map(|obj| self.schema(obj))
+            .collect()
     }
 
     /// Initial value of object `obj` (the paper's initial configuration
@@ -138,7 +141,13 @@ pub trait Protocol: Sync {
 
     /// The operation the process is poised to apply in a state. Must be
     /// deterministic.
-    fn poised(&self, state: &Self::State) -> (ObjectId, HistorylessOp<Self::Value>);
+    ///
+    /// Protocols over historyless objects build the operation with
+    /// [`swapcons_objects::HistorylessOp`] and convert with `.into()`; the
+    /// full [`ObjectOp`] hierarchy additionally admits the
+    /// read-modify-write kinds (test-and-set, max-register read/write) that
+    /// flattened derived-object protocols step through.
+    fn poised(&self, state: &Self::State) -> (ObjectId, ObjectOp<Self::Value>);
 
     /// Absorb the response to the poised operation, producing the next state
     /// or a decision. Must be deterministic.
@@ -220,11 +229,14 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     fn task(&self) -> KSetTask {
         (**self).task()
     }
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        (**self).schemas()
+    fn num_objects(&self) -> usize {
+        (**self).num_objects()
     }
     fn schema(&self, obj: ObjectId) -> ObjectSchema {
         (**self).schema(obj)
+    }
+    fn schemas(&self) -> Vec<ObjectSchema> {
+        (**self).schemas()
     }
     fn initial_value(&self, obj: ObjectId) -> Self::Value {
         (**self).initial_value(obj)
@@ -235,7 +247,7 @@ impl<P: Protocol + ?Sized> Protocol for &P {
     fn initial_decision(&self, pid: ProcessId, input: u64) -> Option<u64> {
         (**self).initial_decision(pid, input)
     }
-    fn poised(&self, state: &Self::State) -> (ObjectId, HistorylessOp<Self::Value>) {
+    fn poised(&self, state: &Self::State) -> (ObjectId, ObjectOp<Self::Value>) {
         (**self).poised(state)
     }
     fn observe(

@@ -13,7 +13,7 @@
 //! its own input) — it exists so tests can confirm the model checker
 //! actually catches agreement violations.
 
-use swapcons_objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons_objects::{HistorylessOp, ObjectOp, ObjectSchema, Response};
 
 use crate::canon::{Renaming, Symmetry};
 use crate::ids::{ObjectId, ProcessId};
@@ -56,8 +56,8 @@ impl Protocol for TwoProcessSwapConsensus {
         KSetTask::new(2, 1, 16)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::swap()]
+    fn num_objects(&self) -> usize {
+        1
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -72,10 +72,10 @@ impl Protocol for TwoProcessSwapConsensus {
         TwoProcState { input }
     }
 
-    fn poised(&self, state: &TwoProcState) -> (ObjectId, HistorylessOp<TwoProcConsensusValue>) {
+    fn poised(&self, state: &TwoProcState) -> (ObjectId, ObjectOp<TwoProcConsensusValue>) {
         (
             ObjectId(0),
-            HistorylessOp::Swap(TwoProcConsensusValue::Input(state.input)),
+            HistorylessOp::Swap(TwoProcConsensusValue::Input(state.input)).into(),
         )
     }
 
@@ -143,8 +143,8 @@ impl Protocol for SelfishConsensus {
         KSetTask::consensus(self.n)
     }
 
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        vec![ObjectSchema::register()]
+    fn num_objects(&self) -> usize {
+        1
     }
 
     fn schema(&self, _obj: ObjectId) -> ObjectSchema {
@@ -159,8 +159,8 @@ impl Protocol for SelfishConsensus {
         SelfishState { input }
     }
 
-    fn poised(&self, _state: &SelfishState) -> (ObjectId, HistorylessOp<u64>) {
-        (ObjectId(0), HistorylessOp::Read)
+    fn poised(&self, _state: &SelfishState) -> (ObjectId, ObjectOp<u64>) {
+        (ObjectId(0), ObjectOp::read())
     }
 
     fn observe(&self, state: SelfishState, _response: Response<u64>) -> Transition<SelfishState> {

@@ -38,7 +38,7 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use swapcons::core::SwapKSet;
-use swapcons::objects::{HistorylessOp, ObjectSchema, Response};
+use swapcons::objects::{ObjectOp, ObjectSchema, Response};
 use swapcons::sim::explore::{CheckReport, ModelChecker};
 use swapcons::sim::task::KSetTask;
 use swapcons::sim::{ObjectId, ProcessId, Protocol, Transition};
@@ -69,8 +69,8 @@ impl<P: Protocol> Protocol for Throttled<P> {
     fn task(&self) -> KSetTask {
         self.inner.task()
     }
-    fn schemas(&self) -> Vec<ObjectSchema> {
-        self.inner.schemas()
+    fn num_objects(&self) -> usize {
+        self.inner.num_objects()
     }
     fn schema(&self, obj: ObjectId) -> ObjectSchema {
         self.inner.schema(obj)
@@ -84,7 +84,7 @@ impl<P: Protocol> Protocol for Throttled<P> {
     fn initial_decision(&self, pid: ProcessId, input: u64) -> Option<u64> {
         self.inner.initial_decision(pid, input)
     }
-    fn poised(&self, state: &Self::State) -> (ObjectId, HistorylessOp<Self::Value>) {
+    fn poised(&self, state: &Self::State) -> (ObjectId, ObjectOp<Self::Value>) {
         std::thread::sleep(self.per_step);
         self.inner.poised(state)
     }
